@@ -1,0 +1,54 @@
+// Table III reproduction: effectiveness of context-aware taint analysis.
+//
+// Paper reference: plain taint (no context) fails to produce a working
+// poc' on 3 of the 9 triggered pairs — exactly the pairs whose crash
+// needs multiple ep encounters (pdftops, avconv→ffmpeg, gif2png) —
+// while context-aware taint succeeds on all 9.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/octopocs.h"
+
+using namespace octopocs;
+
+namespace {
+
+bool Verifies(const corpus::Pair& pair, bool context_aware) {
+  core::PipelineOptions opts;
+  opts.verify_exec.fuel = 2'000'000;
+  opts.taint.context_aware = context_aware;
+  return core::VerifyPair(pair, opts).verdict == core::Verdict::kTriggered;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table III: effectiveness of context-aware taint ===\n");
+  std::printf("(paper: context-free fails on Idx 3, 4, 9)\n\n");
+
+  bench::TextTable table(
+      {"Idx", "S", "T", "Taint (no context)", "Context-aware"});
+
+  int plain_ok = 0, aware_ok = 0;
+  bool expected_shape = true;
+  for (int idx = 1; idx <= 9; ++idx) {
+    const corpus::Pair pair = corpus::BuildPair(idx);
+    const bool plain = Verifies(pair, /*context_aware=*/false);
+    const bool aware = Verifies(pair, /*context_aware=*/true);
+    plain_ok += plain;
+    aware_ok += aware;
+    const bool paper_plain = !(idx == 3 || idx == 4 || idx == 9);
+    if (plain != paper_plain || !aware) expected_shape = false;
+    table.AddRow({std::to_string(idx), pair.s_name, pair.t_name,
+                  plain ? "O" : "X", aware ? "O" : "X"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nSummary: context-free verified %d/9 (paper: 6/9), "
+      "context-aware %d/9 (paper: 9/9)\n",
+      plain_ok, aware_ok);
+  std::printf("Shape matches the paper: %s\n",
+              expected_shape ? "yes" : "NO");
+  return expected_shape ? 0 : 1;
+}

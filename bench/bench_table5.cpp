@@ -1,0 +1,90 @@
+// Table V reproduction: OCTOPOCS vs AFLFast vs AFLGo.
+//
+// Paper reference: with 20 hours of fuzzing, AFLFast verified only the
+// artificial gif2png case (201 s) and AFLGo verified none, while
+// OCTOPOCS verified all three pairs within 15 minutes. Wall-clock
+// budgets scale down to execution budgets here (MiniVM executions are
+// microseconds, not milliseconds); the shape under test is who verifies
+// and who exhausts the budget.
+//
+// Known deviation (recorded in EXPERIMENTS.md): our AFLGo analog shares
+// AFLFast's mutation engine, so on the one-byte gif2png case it can
+// succeed where the paper's AFLGo did not (their failure had
+// tool-specific causes); both fuzzers still fail both container-reform
+// cases, which carries the paper's conclusion.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/octopocs.h"
+#include "fuzz/fuzzer.h"
+
+using namespace octopocs;
+
+namespace {
+
+constexpr std::uint64_t kBudget = 300'000;  // execs ≙ the paper's 20 h
+
+std::string FuzzCell(const fuzz::FuzzResult& r) {
+  if (!r.verified) return "N/A (budget)";
+  return bench::Fmt("%.1f", r.elapsed_seconds * 1e3) + " ms / " +
+         bench::FmtU(r.execs_to_crash) + " execs";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table V: elapsed effort to verify (fuzzers vs OCTOPOCS) ===\n");
+  std::printf("(paper: AFLFast verifies only gif2png; AFLGo none; "
+              "OCTOPOCS all three)\n\n");
+
+  struct Row {
+    int pair_idx;
+    const char* ep;
+  };
+  const Row rows[] = {{7, "mj2k_decode"},
+                      {8, "mj2k_decode"},
+                      {9, "gif_read_image"}};
+
+  bench::TextTable table({"S", "T", "AFLFast", "AFLGo", "OCTOPOCS"});
+
+  bool shape_ok = true;
+  for (const Row& row : rows) {
+    const corpus::Pair pair = corpus::BuildPair(row.pair_idx);
+    const vm::FuncId target = pair.t.FindFunction(row.ep);
+
+    fuzz::FuzzOptions fopts;
+    fopts.max_execs = kBudget;
+    fuzz::AflFastFuzzer aflfast(pair.t, target, {pair.poc}, fopts);
+    const fuzz::FuzzResult fast = aflfast.Run();
+
+    const cfg::Cfg graph = cfg::Cfg::Build(pair.t);
+    fuzz::AflGoFuzzer aflgo(pair.t, target, graph, {pair.poc}, fopts);
+    const fuzz::FuzzResult go = aflgo.Run();
+
+    core::PipelineOptions popts;
+    popts.verify_exec.fuel = 2'000'000;
+    const core::VerificationReport octo = core::VerifyPair(pair, popts);
+    const bool octo_ok = octo.verdict == core::Verdict::kTriggered;
+
+    // Paper shape: OCTOPOCS verifies all three; both fuzzers fail the
+    // two container-reform pairs (7 and 8); AFLFast cracks gif2png.
+    // (Our AFLGo analog may also crack gif2png — a documented deviation,
+    // see EXPERIMENTS.md — so its result there is not part of the gate.)
+    if (!octo_ok) shape_ok = false;
+    if (row.pair_idx != 9 && (fast.verified || go.verified)) {
+      shape_ok = false;
+    }
+    if (row.pair_idx == 9 && !fast.verified) shape_ok = false;
+
+    table.AddRow({pair.s_name, pair.t_name, FuzzCell(fast), FuzzCell(go),
+                  octo_ok ? bench::Fmt("%.1f",
+                                       octo.timings.total_seconds * 1e3) +
+                                " ms"
+                          : "FAILED"});
+  }
+  table.Print();
+  std::printf("\nFuzzer budget: %llu executions per tool and target.\n",
+              static_cast<unsigned long long>(kBudget));
+  std::printf("Shape matches the paper: %s\n", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

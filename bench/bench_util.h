@@ -1,0 +1,67 @@
+// Small shared helpers for the table-reproduction benches: fixed-width
+// text table rendering so every bench prints rows shaped like the
+// paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace octopocs::bench {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (const std::size_t w : widths_) {
+      sep += std::string(w + 2, '-') + "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += " " + cells[i] +
+              std::string(widths_[i] - cells[i].size() + 1, ' ') + "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+inline std::string FmtU(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", v);
+  return buf;
+}
+
+}  // namespace octopocs::bench

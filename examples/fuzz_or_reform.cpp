@@ -1,0 +1,65 @@
+// Fuzzing vs PoC reforming on the same verification task (§V-D).
+//
+// Gives AFLFast, AFLGo, and OCTOPOCS the same job — confirm that the
+// MuPDF-analog still contains the cloned OpenJPEG null dereference —
+// and shows why search-based tools struggle where reforming succeeds:
+// the crash primitive must be *relocated into a different container*,
+// which mutation has to rediscover byte by byte while reforming simply
+// re-derives the container prefix with directed symbolic execution.
+//
+//   ./build/examples/fuzz_or_reform [exec_budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/octopocs.h"
+#include "fuzz/fuzzer.h"
+
+using namespace octopocs;
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+
+  const corpus::Pair pair = corpus::BuildPair(8);  // opj_dump → MuPDF
+  const vm::FuncId target = pair.t.FindFunction("mj2k_decode");
+
+  std::printf("Task: prove the cloned decoder in %s is still exploitable\n",
+              pair.t_name.c_str());
+  std::printf("Budget: %llu executions per fuzzer\n\n",
+              static_cast<unsigned long long>(budget));
+
+  fuzz::FuzzOptions fopts;
+  fopts.max_execs = budget;
+
+  fuzz::AflFastFuzzer aflfast(pair.t, target, {pair.poc}, fopts);
+  const fuzz::FuzzResult fast = aflfast.Run();
+  std::printf("AFLFast : %s (%llu execs, %zu edges, corpus %zu)\n",
+              fast.verified ? "VERIFIED" : "gave up",
+              static_cast<unsigned long long>(fast.execs),
+              fast.edges_covered, fast.corpus_size);
+
+  const cfg::Cfg graph = cfg::Cfg::Build(pair.t);
+  fuzz::AflGoFuzzer aflgo(pair.t, target, graph, {pair.poc}, fopts);
+  const fuzz::FuzzResult go = aflgo.Run();
+  std::printf("AFLGo   : %s (%llu execs, %zu edges, corpus %zu)\n",
+              go.verified ? "VERIFIED" : "gave up",
+              static_cast<unsigned long long>(go.execs),
+              go.edges_covered, go.corpus_size);
+
+  const core::VerificationReport octo = core::VerifyPair(pair);
+  std::printf("OCTOPOCS: %s (%llu symbolic instructions, %llu states, "
+              "%.2f ms)\n\n",
+              octo.verdict == core::Verdict::kTriggered ? "VERIFIED"
+                                                        : "failed",
+              static_cast<unsigned long long>(
+                  octo.symex_stats.instructions),
+              static_cast<unsigned long long>(
+                  octo.symex_stats.states_created),
+              octo.timings.total_seconds * 1e3);
+
+  std::printf("Why the gap: the fuzzers must synthesize a %zu-byte PDF\n"
+              "container around the crash primitive by random mutation;\n"
+              "reforming derives it from T's own branch conditions.\n",
+              octo.reformed_poc.size());
+  return octo.verdict == core::Verdict::kTriggered ? 0 : 1;
+}

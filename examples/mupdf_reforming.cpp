@@ -1,0 +1,64 @@
+// The paper's motivating example (§II-C, Figure 2): opj_dump → MuPDF.
+//
+// A null-pointer dereference in the OpenJPEG codebase is triggered by a
+// malformed JPEG2000 file. MuPDF clones that decoder but only accepts
+// PDF input — the original J2K PoC never reaches the vulnerable code.
+// OCTOPOCS extracts the crash primitive from the J2K PoC and generates
+// guiding inputs that wrap it into a PDF, producing a working poc'.
+//
+//   ./build/examples/mupdf_reforming
+#include <cstdio>
+
+#include "core/octopocs.h"
+#include "support/hex.h"
+
+using namespace octopocs;
+
+int main() {
+  const corpus::Pair pair = corpus::BuildPair(8);  // opj_dump → MuPDF
+
+  std::printf("S = %s (accepts bare MJ2K codestreams)\n",
+              pair.s_name.c_str());
+  std::printf("T = %s (accepts only MPDF containers)\n\n",
+              pair.t_name.c_str());
+
+  std::printf("Original PoC (a malformed J2K stream, ncomp = 0):\n%s\n",
+              HexDump(pair.poc).c_str());
+
+  const auto s_run = vm::RunProgram(pair.s, pair.poc);
+  std::printf("S(poc)  -> %s (%s)\n", vm::TrapName(s_run.trap).data(),
+              s_run.trap_message.c_str());
+  const auto t_run = vm::RunProgram(pair.t, pair.poc);
+  std::printf("T(poc)  -> %s (the PDF parser rejects a J2K file)\n\n",
+              vm::TrapName(t_run.trap).data());
+
+  core::Octopocs pipeline(pair.s, pair.t, pair.shared_functions, pair.poc);
+  const core::VerificationReport report = pipeline.Verify();
+
+  std::printf("--- OCTOPOCS ---\n");
+  std::printf("P1: ep = %s, %zu bunch(es), %zu crash-primitive bytes "
+              "(%.3f ms)\n",
+              report.ep_name.c_str(), report.bunch_count,
+              report.crash_primitive_bytes,
+              report.timings.p1_seconds * 1e3);
+  std::printf("P2/P3: %s — %llu states, %llu instructions (%.3f ms)\n",
+              symex::SymexStatusName(report.symex_status).data(),
+              static_cast<unsigned long long>(
+                  report.symex_stats.states_created),
+              static_cast<unsigned long long>(
+                  report.symex_stats.instructions),
+              report.timings.p23_seconds * 1e3);
+  std::printf("P4: %s\n\n", report.detail.c_str());
+
+  std::printf("Reformed PoC (the J2K primitive wrapped in a PDF):\n%s\n",
+              HexDump(report.reformed_poc).c_str());
+  std::printf("verdict: %s (%s)\n",
+              core::VerdictName(report.verdict).data(),
+              core::ResultTypeName(report.type).data());
+
+  // Cross-check concretely.
+  const auto verify = vm::RunProgram(pair.t, report.reformed_poc);
+  std::printf("T(poc') -> %s (%s)\n", vm::TrapName(verify.trap).data(),
+              verify.trap_message.c_str());
+  return report.verdict == core::Verdict::kTriggered ? 0 : 1;
+}

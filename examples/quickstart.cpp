@@ -1,0 +1,126 @@
+// Quickstart: verify a propagated vulnerability end-to-end.
+//
+// Builds a miniature S/T pair in MiniVM assembly — S parses an "SS"
+// container, T parses a "TT!" container, both share the vulnerable
+// record decoder `dec` — then asks OCTOPOCS whether S's crashing input
+// still threatens T. Run it:
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/octopocs.h"
+#include "support/hex.h"
+#include "vm/asm.h"
+
+using namespace octopocs;
+
+// The shared vulnerable area ℓ: a record decoder that indexes a 16-byte
+// table with the unchecked sum of two record bytes.
+constexpr const char* kSharedDecoder = R"(
+  func dec(mode)
+    movi %two, 2
+    alloc %rec, %two
+    read %got, %rec, %two
+    load.1 %a, %rec, 0
+    load.1 %b, %rec, 1
+    add %idx, %a, %b
+    movi %lim, 16
+    alloc %tbl, %lim
+    add %p, %tbl, %idx
+    movi %one, 1
+    store.1 %one, %p, 0       ; out-of-bounds when a + b >= 16
+    ret %idx
+)";
+
+// S: "SS" magic, record count, then records.
+constexpr const char* kOriginalS = R"(
+  func main()
+    movi %n, 4
+    alloc %hdr, %n
+    movi %three, 3
+    read %got, %hdr, %three
+    load.1 %m, %hdr, 0
+    movi %cs, 'S'
+    cmpeq %ok, %m, %cs
+    assert %ok
+    load.1 %cnt, %hdr, 2
+    movi %i, 0
+    movi %zero, 0
+  loop:
+    cmpltu %more, %i, %cnt
+    br %more, body, done
+  body:
+    call %v, dec(%zero)
+    addi %i, %i, 1
+    jmp loop
+  done:
+    ret %i
+)";
+
+// T: different container ("TT!" magic, count at offset 3) around the
+// cloned decoder — S's PoC means nothing to T's parser.
+constexpr const char* kPropagatedT = R"(
+  func main()
+    movi %n, 8
+    alloc %hdr, %n
+    movi %four, 4
+    read %got, %hdr, %four
+    load.1 %m0, %hdr, 0
+    movi %ct, 'T'
+    cmpeq %ok0, %m0, %ct
+    assert %ok0
+    load.1 %m1, %hdr, 1
+    cmpeq %ok1, %m1, %ct
+    assert %ok1
+    load.1 %m2, %hdr, 2
+    movi %bang, '!'
+    cmpeq %ok2, %m2, %bang
+    assert %ok2
+    load.1 %cnt, %hdr, 3
+    movi %i, 0
+    movi %zero, 0
+  loop:
+    cmpltu %more, %i, %cnt
+    br %more, body, done
+  body:
+    call %v, dec(%zero)
+    addi %i, %i, 1
+    jmp loop
+  done:
+    ret %i
+)";
+
+int main() {
+  const vm::Program s = vm::AssembleParts({kSharedDecoder, kOriginalS});
+  const vm::Program t = vm::AssembleParts({kSharedDecoder, kPropagatedT});
+
+  // The original PoC: "SS", two records, the second overflows.
+  const Bytes poc{'S', 'S', 2, 1, 2, 0x80, 0x90};
+
+  std::printf("S crashes on poc:  %s\n",
+              vm::TrapName(vm::RunProgram(s, poc).trap).data());
+  std::printf("T on the same poc: %s (wrong container, PoC rejected)\n\n",
+              vm::TrapName(vm::RunProgram(t, poc).trap).data());
+
+  // Ask OCTOPOCS: is the clone still triggerable in T?
+  core::Octopocs pipeline(s, t, {"dec"}, poc);
+  const core::VerificationReport report = pipeline.Verify();
+
+  std::printf("verdict:  %s (%s)\n",
+              core::VerdictName(report.verdict).data(),
+              core::ResultTypeName(report.type).data());
+  std::printf("ep:       %s | encounters in S: %u | bunches: %zu\n",
+              report.ep_name.c_str(), report.ep_encounters_in_s,
+              report.bunch_count);
+  std::printf("poc:      %s\n", ToHex(poc).c_str());
+  std::printf("poc':     %s\n", ToHex(report.reformed_poc).c_str());
+  std::printf("P4 trap:  %s\n\n",
+              vm::TrapName(report.observed_trap).data());
+
+  // Seeing is believing: run T on the reformed PoC directly.
+  const auto verify = vm::RunProgram(t, report.reformed_poc);
+  std::printf("T(poc') => %s at address 0x%llx\n",
+              vm::TrapName(verify.trap).data(),
+              static_cast<unsigned long long>(verify.fault_addr));
+  return report.verdict == core::Verdict::kTriggered ? 0 : 1;
+}

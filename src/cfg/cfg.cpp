@@ -1,0 +1,412 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace octopocs::cfg {
+
+namespace {
+constexpr std::uint32_t kInf = ~0u;
+}  // namespace
+
+std::optional<std::uint32_t> DistanceMap::Distance(vm::FuncId fn,
+                                                   vm::BlockId block) const {
+  if (fn >= dist_.size() || block >= dist_[fn].size()) return std::nullopt;
+  const std::uint32_t d = dist_[fn][block];
+  if (d == kInf) return std::nullopt;
+  return d;
+}
+
+bool DistanceMap::Reaches(vm::FuncId fn, vm::BlockId block) const {
+  return Distance(fn, block).has_value();
+}
+
+bool DistanceMap::FuncReaches(vm::FuncId fn) const { return Reaches(fn, 0); }
+
+Cfg Cfg::Build(const vm::Program& program, const CfgOptions& options) {
+  if (auto err = Validate(program)) {
+    throw CfgError("invalid program: " + *err);
+  }
+  Cfg cfg(program);
+  cfg.BuildStaticEdges();
+  if (options.use_dynamic) {
+    cfg.CheckObfuscatedICalls(options);
+    cfg.BuildDynamicEdges(options);
+  }
+  if (options.resolve_obfuscated_icalls) {
+    cfg.ResolveIndirectTargetsByConstProp();
+  }
+  cfg.ComputeBackEdges();
+  return cfg;
+}
+
+void Cfg::BuildStaticEdges() {
+  const vm::Program& p = *program_;
+  succs_.resize(p.functions.size());
+  for (vm::FuncId f = 0; f < p.functions.size(); ++f) {
+    const vm::Function& fn = p.functions[f];
+    succs_[f].resize(fn.blocks.size());
+    for (vm::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      auto& out = succs_[f][b];
+      // Direct call edges (indirect sites contribute nothing statically).
+      for (const vm::Instr& ins : fn.blocks[b].instrs) {
+        if (ins.op == vm::Op::kCall) {
+          out.push_back({static_cast<vm::FuncId>(ins.imm), 0});
+        }
+      }
+      // Terminator edges.
+      const vm::Terminator& t = fn.blocks[b].term;
+      switch (t.kind) {
+        case vm::TermKind::kJump:
+          out.push_back({f, t.target});
+          break;
+        case vm::TermKind::kBranch:
+          out.push_back({f, t.target});
+          if (t.fallthrough != t.target) out.push_back({f, t.fallthrough});
+          break;
+        case vm::TermKind::kReturn:
+          break;
+      }
+    }
+  }
+}
+
+void Cfg::CheckObfuscatedICalls(const CfgOptions& options) const {
+  if (options.resolve_obfuscated_icalls) return;
+  const vm::Program& p = *program_;
+  for (const vm::Function& fn : p.functions) {
+    for (const vm::Block& block : fn.blocks) {
+      for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const vm::Instr& ins = block.instrs[i];
+        if (ins.op != vm::Op::kICall) continue;
+        // Walk backwards in the block for the defining instruction of the
+        // target register; an XOR definition is the obfuscation pattern
+        // the simulated angr defect chokes on.
+        for (std::size_t j = i; j-- > 0;) {
+          const vm::Instr& def = block.instrs[j];
+          const bool defines_target =
+              def.a == ins.b && def.op != vm::Op::kStore &&
+              def.op != vm::Op::kAssert && def.op != vm::Op::kFree &&
+              def.op != vm::Op::kSeek;
+          if (!defines_target) continue;
+          if (def.op == vm::Op::kXor) {
+            throw CfgError(
+                "dynamic CFG recovery failed in function '" + fn.name +
+                "': indirect-call target flows through an XOR-obfuscated "
+                "pointer (simulated angr defect; enable "
+                "resolve_obfuscated_icalls to apply the upstream fix)");
+          }
+          break;  // nearest definition decides
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Observer collecting resolved indirect-call targets per call site.
+class ICallRecorder : public vm::ExecutionObserver {
+ public:
+  void OnIndirectCall(vm::FuncId caller, vm::BlockId block, std::size_t,
+                      vm::FuncId target) override {
+    edges.insert({{caller, block}, target});
+  }
+  std::set<std::pair<std::pair<vm::FuncId, vm::BlockId>, vm::FuncId>> edges;
+};
+
+}  // namespace
+
+void Cfg::BuildDynamicEdges(const CfgOptions& options) {
+  ICallRecorder recorder;
+  std::vector<Bytes> seeds = options.seed_inputs;
+  seeds.emplace_back();  // always try the empty input too
+  for (const Bytes& seed : seeds) {
+    vm::Interpreter interp(*program_, seed, options.exec);
+    interp.AddObserver(&recorder);
+    (void)interp.Run();  // crashes during exploration are fine
+  }
+  for (const auto& [site, target] : recorder.edges) {
+    auto& out = succs_[site.first][site.second];
+    const Node node{target, 0};
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+      ++dynamic_edge_count_;
+    }
+  }
+}
+
+namespace {
+
+/// Abstract register state for the const-prop resolver: nullopt = not a
+/// compile-time constant.
+using RegConsts = std::vector<std::optional<std::uint64_t>>;
+
+std::optional<std::uint64_t> LoadRodataConst(const vm::Program& p,
+                                             std::uint64_t addr,
+                                             unsigned width) {
+  if (addr < vm::kRodataBase ||
+      addr + width > vm::kRodataBase + p.rodata.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(p.rodata[addr - vm::kRodataBase + i])
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Applies one instruction to the abstract state; appends resolved
+/// indirect-call targets.
+void TransferConstProp(const vm::Program& p, const vm::Instr& ins,
+                       RegConsts* regs,
+                       std::vector<std::uint64_t>* icall_targets) {
+  auto& r = *regs;
+  auto known = [&](vm::Reg reg) { return r[reg].has_value(); };
+  switch (ins.op) {
+    case vm::Op::kMovImm:
+    case vm::Op::kFnAddr:
+      r[ins.a] = ins.imm;
+      break;
+    case vm::Op::kMMap:
+      r[ins.a] = vm::kMmapBase;  // the mapping base is a constant
+      break;
+    case vm::Op::kMov:
+      r[ins.a] = r[ins.b];
+      break;
+    case vm::Op::kNot:
+      r[ins.a] = known(ins.b) ? std::optional(~*r[ins.b]) : std::nullopt;
+      break;
+    case vm::Op::kAddImm:
+      r[ins.a] = known(ins.b) ? std::optional(*r[ins.b] + ins.imm)
+                              : std::nullopt;
+      break;
+    case vm::Op::kLoad:
+      r[ins.a] = known(ins.b)
+                     ? LoadRodataConst(p, *r[ins.b] + ins.imm, ins.width)
+                     : std::nullopt;
+      break;
+    case vm::Op::kICall:
+      if (known(ins.b) && *r[ins.b] < p.functions.size()) {
+        icall_targets->push_back(*r[ins.b]);
+      }
+      r[ins.a] = std::nullopt;
+      break;
+    default:
+      if (vm::IsBinaryAlu(ins.op)) {
+        if (known(ins.b) && known(ins.c)) {
+          const std::uint64_t a = *r[ins.b], b = *r[ins.c];
+          std::optional<std::uint64_t> out;
+          switch (ins.op) {
+            case vm::Op::kAdd: out = a + b; break;
+            case vm::Op::kSub: out = a - b; break;
+            case vm::Op::kMul: out = a * b; break;
+            case vm::Op::kAnd: out = a & b; break;
+            case vm::Op::kOr: out = a | b; break;
+            case vm::Op::kXor: out = a ^ b; break;
+            case vm::Op::kShl: out = a << (b & 63); break;
+            case vm::Op::kShr: out = a >> (b & 63); break;
+            case vm::Op::kCmpEq: out = a == b ? 1 : 0; break;
+            case vm::Op::kCmpNe: out = a != b ? 1 : 0; break;
+            case vm::Op::kCmpLtU: out = a < b ? 1 : 0; break;
+            case vm::Op::kCmpLeU: out = a <= b ? 1 : 0; break;
+            case vm::Op::kCmpGtU: out = a > b ? 1 : 0; break;
+            case vm::Op::kCmpGeU: out = a >= b ? 1 : 0; break;
+            default: break;
+          }
+          r[ins.a] = out;
+        } else {
+          r[ins.a] = std::nullopt;
+        }
+      } else if (ins.op == vm::Op::kDivU || ins.op == vm::Op::kRemU) {
+        r[ins.a] = std::nullopt;
+      } else {
+        // Everything else that writes `a` produces a runtime value.
+        switch (ins.op) {
+          case vm::Op::kAlloc:
+          case vm::Op::kRead:
+          case vm::Op::kTell:
+          case vm::Op::kFileSize:
+          case vm::Op::kCall:
+            r[ins.a] = std::nullopt;
+            break;
+          default:
+            break;
+        }
+      }
+      break;
+  }
+}
+
+/// Meet of two abstract states: values agree → keep, else unknown.
+bool MeetInto(RegConsts* into, const RegConsts& other) {
+  bool changed = false;
+  for (std::size_t i = 0; i < into->size(); ++i) {
+    if ((*into)[i].has_value() &&
+        (!other[i].has_value() || *other[i] != *(*into)[i])) {
+      (*into)[i] = std::nullopt;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+void Cfg::ResolveIndirectTargetsByConstProp() {
+  const vm::Program& p = *program_;
+  for (vm::FuncId f = 0; f < p.functions.size(); ++f) {
+    const vm::Function& fn = p.functions[f];
+    bool has_icall = false;
+    for (const vm::Block& b : fn.blocks) {
+      for (const vm::Instr& ins : b.instrs) {
+        if (ins.op == vm::Op::kICall) has_icall = true;
+      }
+    }
+    if (!has_icall) continue;
+
+    // Forward dataflow to fixpoint over block-entry states.
+    std::vector<std::optional<RegConsts>> entry(fn.blocks.size());
+    entry[0] = RegConsts(fn.num_regs);  // params/regs unknown
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 64) {
+      changed = false;
+      for (vm::BlockId b = 0; b < fn.blocks.size(); ++b) {
+        if (!entry[b]) continue;
+        RegConsts state = *entry[b];
+        std::vector<std::uint64_t> ignored;
+        for (const vm::Instr& ins : fn.blocks[b].instrs) {
+          TransferConstProp(p, ins, &state, &ignored);
+        }
+        auto propagate = [&](vm::BlockId succ) {
+          if (!entry[succ]) {
+            entry[succ] = state;
+            changed = true;
+          } else if (MeetInto(&*entry[succ], state)) {
+            changed = true;
+          }
+        };
+        const vm::Terminator& t = fn.blocks[b].term;
+        if (t.kind == vm::TermKind::kJump) propagate(t.target);
+        if (t.kind == vm::TermKind::kBranch) {
+          propagate(t.target);
+          propagate(t.fallthrough);
+        }
+      }
+    }
+
+    // Final pass: harvest resolved targets.
+    for (vm::BlockId b = 0; b < fn.blocks.size(); ++b) {
+      if (!entry[b]) continue;
+      RegConsts state = *entry[b];
+      std::vector<std::uint64_t> targets;
+      for (const vm::Instr& ins : fn.blocks[b].instrs) {
+        TransferConstProp(p, ins, &state, &targets);
+      }
+      for (const std::uint64_t target : targets) {
+        auto& out = succs_[f][b];
+        const Node node{static_cast<vm::FuncId>(target), 0};
+        if (std::find(out.begin(), out.end(), node) == out.end()) {
+          out.push_back(node);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<Cfg::Node>& Cfg::Successors(vm::FuncId fn,
+                                              vm::BlockId block) const {
+  return succs_[fn][block];
+}
+
+DistanceMap Cfg::BackwardReachability(vm::FuncId ep) const {
+  const vm::Program& p = *program_;
+  DistanceMap map;
+  map.dist_.resize(p.functions.size());
+  for (vm::FuncId f = 0; f < p.functions.size(); ++f) {
+    map.dist_[f].assign(p.functions[f].blocks.size(), kInf);
+  }
+
+  // Build the reversed adjacency on the fly: predecessors of each node.
+  // The graph is small (corpus programs are a few hundred blocks), so a
+  // full reverse pass is cheap.
+  std::map<Node, std::vector<Node>> preds;
+  for (vm::FuncId f = 0; f < p.functions.size(); ++f) {
+    for (vm::BlockId b = 0; b < succs_[f].size(); ++b) {
+      for (const Node& s : succs_[f][b]) {
+        preds[s].push_back({f, b});
+      }
+    }
+  }
+
+  std::deque<Node> queue;
+  map.dist_[ep][0] = 0;
+  queue.push_back({ep, 0});
+  while (!queue.empty()) {
+    const Node n = queue.front();
+    queue.pop_front();
+    const std::uint32_t d = map.dist_[n.fn][n.block];
+    auto it = preds.find(n);
+    if (it == preds.end()) continue;
+    for (const Node& pred : it->second) {
+      if (map.dist_[pred.fn][pred.block] == kInf) {
+        map.dist_[pred.fn][pred.block] = d + 1;
+        queue.push_back(pred);
+      }
+    }
+  }
+  map.entry_reaches_ = map.dist_[p.entry][0] != kInf;
+  return map;
+}
+
+void Cfg::ComputeBackEdges() {
+  const vm::Program& p = *program_;
+  back_edges_.resize(p.functions.size());
+  for (vm::FuncId f = 0; f < p.functions.size(); ++f) {
+    const vm::Function& fn = p.functions[f];
+    // Iterative DFS from the entry block, intra-procedural edges only.
+    enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<Color> color(fn.blocks.size(), Color::kWhite);
+    struct StackItem {
+      vm::BlockId block;
+      std::size_t next_succ = 0;
+    };
+    auto intra_succs = [&](vm::BlockId b) {
+      std::vector<vm::BlockId> out;
+      const vm::Terminator& t = fn.blocks[b].term;
+      if (t.kind == vm::TermKind::kJump) out.push_back(t.target);
+      if (t.kind == vm::TermKind::kBranch) {
+        out.push_back(t.target);
+        if (t.fallthrough != t.target) out.push_back(t.fallthrough);
+      }
+      return out;
+    };
+    std::vector<StackItem> stack;
+    stack.push_back({0, 0});
+    color[0] = Color::kGray;
+    while (!stack.empty()) {
+      StackItem& top = stack.back();
+      const auto succs = intra_succs(top.block);
+      if (top.next_succ >= succs.size()) {
+        color[top.block] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const vm::BlockId next = succs[top.next_succ++];
+      if (color[next] == Color::kGray) {
+        back_edges_[f].insert({top.block, next});
+      } else if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+}
+
+bool Cfg::IsBackEdge(vm::FuncId fn, vm::BlockId from, vm::BlockId to) const {
+  return back_edges_[fn].count({from, to}) != 0;
+}
+
+}  // namespace octopocs::cfg

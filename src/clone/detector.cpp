@@ -1,0 +1,108 @@
+#include "clone/detector.h"
+
+#include <map>
+
+namespace octopocs::clone {
+
+namespace {
+
+/// FNV-1a over a stream of integers / strings.
+class Hasher {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+    }
+  }
+  void Mix(std::string_view s) {
+    for (const char c : s) {
+      h_ = (h_ ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+    }
+    Mix(0x1F);  // delimiter
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+bool IsCalleeRef(vm::Op op) {
+  return op == vm::Op::kCall || op == vm::Op::kFnAddr;
+}
+
+}  // namespace
+
+std::uint64_t Fingerprint(const vm::Program& program, vm::FuncId fn_id,
+                          Abstraction abstraction) {
+  const vm::Function& fn = program.Fn(fn_id);
+  Hasher h;
+  h.Mix(fn.num_params);
+  h.Mix(fn.blocks.size());
+  for (const vm::Block& block : fn.blocks) {
+    h.Mix(0xB10C);  // block delimiter
+    for (const vm::Instr& ins : block.instrs) {
+      h.Mix(static_cast<std::uint64_t>(ins.op));
+      h.Mix(ins.a);
+      h.Mix(ins.b);
+      h.Mix(ins.c);
+      h.Mix(ins.width);
+      if (IsCalleeRef(ins.op)) {
+        // Callee *name*, not id: S and T lay their function tables out
+        // differently even when the bodies are verbatim clones.
+        h.Mix(program.Fn(static_cast<vm::FuncId>(ins.imm)).name);
+      } else if (abstraction == Abstraction::kExact) {
+        h.Mix(ins.imm);
+      }
+      for (const vm::Reg r : ins.args) h.Mix(r);
+    }
+    const vm::Terminator& t = block.term;
+    h.Mix(static_cast<std::uint64_t>(t.kind));
+    h.Mix(t.cond);
+    h.Mix(t.returns_value ? 1 : 0);
+    h.Mix(t.target);
+    h.Mix(t.fallthrough);
+  }
+  return h.value();
+}
+
+std::vector<CloneMatch> DetectClones(const vm::Program& s,
+                                     const vm::Program& t,
+                                     Abstraction abstraction) {
+  // Fingerprint index over T.
+  std::multimap<std::uint64_t, vm::FuncId> t_index;
+  for (vm::FuncId f = 0; f < t.functions.size(); ++f) {
+    t_index.emplace(Fingerprint(t, f, abstraction), f);
+  }
+
+  std::vector<CloneMatch> matches;
+  for (vm::FuncId f = 0; f < s.functions.size(); ++f) {
+    const std::uint64_t fp = Fingerprint(s, f, abstraction);
+    const auto [lo, hi] = t_index.equal_range(fp);
+    if (lo == hi) continue;
+    // Prefer the same-named candidate when the fingerprint is ambiguous.
+    vm::FuncId best = lo->second;
+    for (auto it = lo; it != hi; ++it) {
+      if (t.Fn(it->second).name == s.Fn(f).name) {
+        best = it->second;
+        break;
+      }
+    }
+    matches.push_back(
+        {s.Fn(f).name, t.Fn(best).name, f, best});
+  }
+  return matches;
+}
+
+std::vector<std::string> DetectSharedFunctions(const vm::Program& s,
+                                               const vm::Program& t,
+                                               Abstraction abstraction) {
+  std::vector<std::string> names;
+  for (const CloneMatch& match : DetectClones(s, t, abstraction)) {
+    if (t.FindFunction(match.name_in_s) != vm::kInvalidFunc) {
+      names.push_back(match.name_in_s);
+    }
+  }
+  return names;
+}
+
+}  // namespace octopocs::clone

@@ -1,0 +1,65 @@
+// Function-level clone detection over MiniVM programs (the VUDDY
+// substitute).
+//
+// The paper's design assumption (§III) is that the S/T pair and the
+// shared function set ℓ come from a vulnerable-clone detector such as
+// VUDDY, which fingerprints normalized function bodies and matches the
+// fingerprints across programs. This module reproduces that mechanism
+// for MiniVM IR, so the pipeline can be driven without hand-supplying
+// ℓ:
+//
+//   auto shared = clone::DetectSharedFunctions(s, t);
+//   core::Octopocs pipeline(s, t, shared, poc);
+//
+// Normalization before hashing (mirroring VUDDY's abstraction levels):
+//  - level 0 (exact): opcode, registers, widths, and immediates, with
+//    direct-call/fnaddr targets replaced by the *callee name* so that
+//    differing function-id layouts between S and T do not break
+//    matching;
+//  - level 1 (abstract): additionally masks non-call immediates, which
+//    tolerates clones whose constants were retuned (e.g. a resized
+//    buffer). Level 1 may over-match; the default is level 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/ir.h"
+
+namespace octopocs::clone {
+
+enum class Abstraction : std::uint8_t {
+  kExact = 0,     // VUDDY level-0-like: everything but callee ids
+  kAbstract = 1,  // additionally masks immediates
+};
+
+/// Stable fingerprint of one function under the given abstraction.
+/// Fingerprints are comparable across programs.
+std::uint64_t Fingerprint(const vm::Program& program, vm::FuncId fn,
+                          Abstraction abstraction = Abstraction::kExact);
+
+struct CloneMatch {
+  std::string name_in_s;  // function name in S
+  std::string name_in_t;  // function name in T (may differ)
+  vm::FuncId fn_in_s = vm::kInvalidFunc;
+  vm::FuncId fn_in_t = vm::kInvalidFunc;
+};
+
+/// All function-level clones between S and T: functions whose
+/// normalized bodies hash identically. Matching is by fingerprint, not
+/// by name — renamed clones are found — but when several functions in
+/// one program share a fingerprint, name equality breaks the tie.
+std::vector<CloneMatch> DetectClones(
+    const vm::Program& s, const vm::Program& t,
+    Abstraction abstraction = Abstraction::kExact);
+
+/// Convenience for the pipeline: the ℓ estimate as a name list (names
+/// as they appear in S). Matches whose T-side name differs are still
+/// included under the S name only if T also contains that name;
+/// otherwise they are dropped (the pipeline resolves ep by name).
+std::vector<std::string> DetectSharedFunctions(
+    const vm::Program& s, const vm::Program& t,
+    Abstraction abstraction = Abstraction::kExact);
+
+}  // namespace octopocs::clone

@@ -1,0 +1,85 @@
+#include "core/minimize.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace octopocs::core {
+
+namespace {
+
+/// The signature minimization must preserve: trap class + innermost
+/// crashing function.
+struct CrashSignature {
+  vm::TrapKind trap = vm::TrapKind::kNone;
+  vm::FuncId fn = vm::kInvalidFunc;
+
+  bool operator==(const CrashSignature&) const = default;
+};
+
+std::optional<CrashSignature> Signature(const vm::Program& program,
+                                        ByteView input,
+                                        const vm::ExecOptions& exec) {
+  const vm::ExecResult run = vm::RunProgram(program, input, exec);
+  if (!vm::IsVulnerabilityCrash(run.trap)) return std::nullopt;
+  CrashSignature sig;
+  sig.trap = run.trap;
+  sig.fn = run.backtrace.empty() ? vm::kInvalidFunc : run.backtrace.back().fn;
+  return sig;
+}
+
+}  // namespace
+
+MinimizeResult MinimizePoc(const vm::Program& program, const Bytes& poc,
+                           const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.original_size = poc.size();
+
+  const auto want = Signature(program, poc, options.exec);
+  ++result.runs;
+  if (!want) {
+    throw std::invalid_argument(
+        "MinimizePoc: input does not crash the program");
+  }
+
+  auto still_crashes = [&](const Bytes& candidate) {
+    if (result.runs >= options.max_runs) return false;
+    ++result.runs;
+    return Signature(program, candidate, options.exec) == want;
+  };
+
+  // Step 1: shortest crashing prefix via binary search. Crash behaviour
+  // is not monotone in the prefix length in general, so the bounds are
+  // validated: `hi` always crashes; shrink while some shorter prefix
+  // still does.
+  Bytes current = poc;
+  {
+    std::size_t lo = 0, hi = current.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      Bytes prefix(current.begin(), current.begin() + mid);
+      if (still_crashes(prefix)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    current.resize(hi);
+  }
+
+  // Step 2: greedy zeroing of the surviving bytes.
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i] == 0) continue;
+    const std::uint8_t saved = current[i];
+    current[i] = 0;
+    if (still_crashes(current)) {
+      ++result.zeroed_bytes;
+    } else {
+      current[i] = saved;
+    }
+  }
+
+  result.poc = std::move(current);
+  return result;
+}
+
+}  // namespace octopocs::core

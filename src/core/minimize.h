@@ -1,0 +1,41 @@
+// PoC minimization (delta debugging over the MiniVM).
+//
+// The paper observes that reformed PoCs are "often more optimized than
+// poc because [they] did not contain unnecessary bytes". This utility
+// pushes that further: given any crashing input, it produces a smaller
+// input that still triggers the *same* trap class in the *same*
+// function — useful both for reporting (smaller repro) and for testing
+// (a minimized PoC isolates the crash-relevant bytes).
+//
+// Strategy: (1) binary-search the shortest crashing prefix (trailing
+// bytes are the cheapest cut), then (2) greedy byte zeroing — each
+// nonzero byte is set to 0 and kept that way if the crash survives.
+// Both steps preserve the (trap kind, crashing function) signature.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.h"
+#include "vm/interp.h"
+
+namespace octopocs::core {
+
+struct MinimizeOptions {
+  vm::ExecOptions exec;
+  /// Upper bound on executions spent minimizing.
+  std::uint64_t max_runs = 4'096;
+};
+
+struct MinimizeResult {
+  Bytes poc;                 // the minimized input (still crashes)
+  std::uint64_t runs = 0;    // executions spent
+  std::size_t original_size = 0;
+  std::size_t zeroed_bytes = 0;  // bytes proven irrelevant in place
+};
+
+/// Minimizes `poc` against `program`. The input must crash with a
+/// vulnerability-class trap; throws std::invalid_argument otherwise.
+MinimizeResult MinimizePoc(const vm::Program& program, const Bytes& poc,
+                           const MinimizeOptions& options = {});
+
+}  // namespace octopocs::core

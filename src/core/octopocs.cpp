@@ -1,0 +1,289 @@
+#include "core/octopocs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace octopocs::core {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Observes the first entry into any ℓ function — the fallback ep
+/// discovery when the crash backtrace has no ℓ frame (e.g. a CWE-835
+/// hang caught while execution happens to sit outside ℓ).
+class FirstSharedEntry : public vm::ExecutionObserver {
+ public:
+  explicit FirstSharedEntry(std::set<vm::FuncId> shared)
+      : shared_(std::move(shared)) {}
+
+  void OnCallEnter(vm::FuncId callee, std::span<const std::uint64_t>,
+                   const vm::Instr*) override {
+    if (!first_ && shared_.count(callee) != 0) first_ = callee;
+  }
+
+  std::optional<vm::FuncId> first() const { return first_; }
+
+ private:
+  std::set<vm::FuncId> shared_;
+  std::optional<vm::FuncId> first_;
+};
+
+}  // namespace
+
+std::string_view VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kTriggered: return "Triggered";
+    case Verdict::kNotTriggerable: return "NotTriggerable";
+    case Verdict::kFailure: return "Failure";
+  }
+  return "?";
+}
+
+std::string_view ResultTypeName(ResultType type) {
+  switch (type) {
+    case ResultType::kTypeI: return "Type-I";
+    case ResultType::kTypeII: return "Type-II";
+    case ResultType::kTypeIII: return "Type-III";
+    case ResultType::kFailure: return "Failure";
+  }
+  return "?";
+}
+
+Octopocs::Octopocs(const vm::Program& s, const vm::Program& t,
+                   std::vector<std::string> shared_functions, Bytes poc,
+                   PipelineOptions options,
+                   std::map<std::string, std::string> t_names)
+    : s_(s),
+      t_(t),
+      shared_(std::move(shared_functions)),
+      poc_(std::move(poc)),
+      options_(std::move(options)),
+      t_names_(std::move(t_names)) {}
+
+std::optional<vm::FuncId> Octopocs::DiscoverEp() {
+  std::set<vm::FuncId> shared_ids;
+  for (const std::string& name : shared_) {
+    const vm::FuncId id = s_.FindFunction(name);
+    if (id != vm::kInvalidFunc) shared_ids.insert(id);
+  }
+  if (shared_ids.empty()) return std::nullopt;
+
+  FirstSharedEntry fallback(shared_ids);
+  vm::Interpreter interp(s_, poc_, options_.verify_exec);
+  interp.AddObserver(&fallback);
+  const vm::ExecResult run = interp.Run();
+  if (!vm::IsCrash(run.trap)) return std::nullopt;
+
+  // ep: the bottom-most (outermost) ℓ function on the crash callstack —
+  // "the first function to be called in ℓ".
+  for (const vm::BacktraceEntry& frame : run.backtrace) {
+    if (shared_ids.count(frame.fn) != 0) return frame.fn;
+  }
+  return fallback.first();
+}
+
+taint::ExtractionResult Octopocs::ExtractPrimitives(vm::FuncId ep_in_s) {
+  taint::ExtractionOptions opts = options_.taint;
+  // The taint run must be allowed at least as much fuel as the verify
+  // run, or a CWE-835 hang would never reach its "crash".
+  if (opts.exec.fuel < options_.verify_exec.fuel) {
+    opts.exec.fuel = options_.verify_exec.fuel;
+  }
+  return taint::ExtractCrashPrimitives(s_, poc_, ep_in_s, opts);
+}
+
+ResultType Octopocs::ClassifyTriggered(
+    const symex::SymexResult& result,
+    const std::vector<taint::Bunch>& bunches) const {
+  // Type-I: every crash-primitive byte stayed at its original offset
+  // (the relocation was the identity) and the guiding region of poc'
+  // byte-matches the original PoC. Anything else means the PoC was
+  // genuinely reformed — Type-II. Note poc' may legitimately be shorter
+  // than poc (the paper observed reformed PoCs dropping unnecessary
+  // trailing bytes); only bytes poc' actually contains are compared.
+  std::set<std::uint32_t> sources;
+  for (const taint::Bunch& bunch : bunches) {
+    for (const auto& [off, val] : bunch.bytes) {
+      // Pre-ep bytes travel through ep's parameters, not placement;
+      // only relocatable bytes participate in the identity check.
+      if (off >= bunch.file_pos_at_ep) sources.insert(off);
+    }
+  }
+  const std::set<std::uint32_t> targets(result.bunch_offsets.begin(),
+                                        result.bunch_offsets.end());
+  if (sources != targets) return ResultType::kTypeII;
+  for (std::uint32_t off = 0; off < result.poc.size(); ++off) {
+    if (targets.count(off) != 0) continue;  // crash primitive
+    if (off >= poc_.size() || result.poc[off] != poc_[off]) {
+      return ResultType::kTypeII;
+    }
+  }
+  return ResultType::kTypeI;
+}
+
+VerificationReport Octopocs::Verify() {
+  using Clock = std::chrono::steady_clock;
+  VerificationReport report;
+  const auto t0 = Clock::now();
+
+  // -- Preprocessing: locate ep --------------------------------------------
+  const std::optional<vm::FuncId> ep_s = DiscoverEp();
+  const auto t1 = Clock::now();
+  report.timings.preprocess_seconds = Seconds(t0, t1);
+  if (!ep_s) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.detail =
+        "preprocessing failed: the PoC does not crash S inside ℓ";
+    report.timings.total_seconds = Seconds(t0, Clock::now());
+    return report;
+  }
+  report.ep_in_s = *ep_s;
+  report.ep_name = s_.Fn(*ep_s).name;
+  const auto renamed = t_names_.find(report.ep_name);
+  report.ep_in_t = t_.FindFunction(
+      renamed != t_names_.end() ? renamed->second : report.ep_name);
+  if (report.ep_in_t == vm::kInvalidFunc) {
+    // The clone is not even present — trivially not triggerable.
+    report.verdict = Verdict::kNotTriggerable;
+    report.type = ResultType::kTypeIII;
+    report.detail = "ep '" + report.ep_name + "' does not exist in T";
+    report.timings.total_seconds = Seconds(t0, Clock::now());
+    return report;
+  }
+
+  // -- P1: crash primitives --------------------------------------------------
+  const taint::ExtractionResult p1 = ExtractPrimitives(*ep_s);
+  const auto t2 = Clock::now();
+  report.timings.p1_seconds = Seconds(t1, t2);
+  report.ep_encounters_in_s = p1.ep_encounters;
+  report.bunch_count = p1.bunches.size();
+  for (const taint::Bunch& b : p1.bunches) {
+    report.crash_primitive_bytes += b.size();
+  }
+  if (!p1.Crashed() || p1.bunches.empty()) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.detail = "P1 failed: no crash primitives extracted";
+    report.timings.total_seconds = Seconds(t0, Clock::now());
+    return report;
+  }
+
+  // -- CFG of T (P2 precondition) --------------------------------------------
+  cfg::CfgOptions cfg_opts = options_.cfg;
+  if (options_.poc_as_cfg_seed) cfg_opts.seed_inputs.push_back(poc_);
+  std::optional<cfg::Cfg> graph;
+  try {
+    graph.emplace(cfg::Cfg::Build(t_, cfg_opts));
+  } catch (const cfg::CfgError& e) {
+    // The paper's Idx-15 outcome: CFG recovery failed, verification is
+    // impossible (a tooling failure, not a verdict about T).
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.detail = e.what();
+    report.timings.total_seconds = Seconds(t0, Clock::now());
+    return report;
+  }
+
+  // -- P2 + P3: guiding inputs and combining ----------------------------------
+  symex::ExecutorOptions sym_opts = options_.symex;
+  // Hint the solver with the original PoC so reformed PoCs stay as
+  // close to the original as the constraints allow.
+  for (std::uint32_t off = 0; off < poc_.size(); ++off) {
+    sym_opts.solver.hints.emplace(off, poc_[off]);
+  }
+  symex::SymexResult sym;
+  bool theta_ceiling_hit = false;
+  for (;;) {
+    symex::SymExecutor executor(t_, *graph, report.ep_in_t, sym_opts);
+    sym = executor.GeneratePoc(p1.bunches);
+    // Adaptive θ: a program-dead verdict caused (possibly) by the loop
+    // cap is retried with a doubled cap until the verdict stabilises.
+    if (options_.adaptive_theta &&
+        sym.status == symex::SymexStatus::kProgramDead &&
+        sym.loop_dead_observed) {
+      if (sym_opts.theta >= options_.adaptive_theta_max) {
+        theta_ceiling_hit = true;
+        break;
+      }
+      sym_opts.theta *= 2;
+      continue;
+    }
+    break;
+  }
+  const auto t3 = Clock::now();
+  report.timings.p23_seconds = Seconds(t2, t3);
+  report.symex_status = sym.status;
+  report.symex_stats = sym.stats;
+  report.detail = sym.detail;
+
+  switch (sym.status) {
+    case symex::SymexStatus::kPocGenerated:
+      break;  // proceed to P4
+    case symex::SymexStatus::kCfgUnreachable:
+      report.verdict = Verdict::kNotTriggerable;  // case (ii)
+      report.type = ResultType::kTypeIII;
+      report.timings.total_seconds = Seconds(t0, Clock::now());
+      return report;
+    case symex::SymexStatus::kProgramDead:  // case (iii)
+      if (theta_ceiling_hit) {
+        // The search was cut by the loop cap even at the adaptive
+        // ceiling: refusing to call this NotTriggerable avoids the
+        // wrong-verdict failure mode §VII warns about.
+        report.verdict = Verdict::kFailure;
+        report.type = ResultType::kFailure;
+        report.detail = "loop cap ceiling reached without a verdict";
+        report.timings.total_seconds = Seconds(t0, Clock::now());
+        return report;
+      }
+      [[fallthrough]];
+    case symex::SymexStatus::kUnsat:        // P3.3 / parameter mismatch
+      report.verdict = Verdict::kNotTriggerable;
+      report.type = ResultType::kTypeIII;
+      report.timings.total_seconds = Seconds(t0, Clock::now());
+      return report;
+    case symex::SymexStatus::kBudget:
+    case symex::SymexStatus::kSolverFailure:
+    case symex::SymexStatus::kReachedEp:
+      report.verdict = Verdict::kFailure;
+      report.type = ResultType::kFailure;
+      report.timings.total_seconds = Seconds(t0, Clock::now());
+      return report;
+  }
+
+  report.poc_generated = true;
+  report.reformed_poc = sym.poc;
+  report.bunch_offsets = sym.bunch_offsets;
+
+  // -- P4: verification --------------------------------------------------------
+  const vm::ExecResult verify =
+      vm::RunProgram(t_, report.reformed_poc, options_.verify_exec);
+  report.timings.p4_seconds = Seconds(t3, Clock::now());
+  report.observed_trap = verify.trap;
+  if (vm::IsVulnerabilityCrash(verify.trap)) {
+    report.verdict = Verdict::kTriggered;  // case (i)
+    report.type = ClassifyTriggered(sym, p1.bunches);
+    report.detail = "poc' crashed T: " + std::string(vm::TrapName(verify.trap)) +
+                    " (" + verify.trap_message + ")";
+  } else {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.detail = "generated poc' did not reproduce the crash in T";
+  }
+  report.timings.total_seconds = Seconds(t0, Clock::now());
+  return report;
+}
+
+VerificationReport VerifyPair(const corpus::Pair& pair,
+                              PipelineOptions options) {
+  Octopocs pipeline(pair.s, pair.t, pair.shared_functions, pair.poc,
+                    std::move(options), pair.t_names);
+  return pipeline.Verify();
+}
+
+}  // namespace octopocs::core

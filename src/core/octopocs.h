@@ -1,0 +1,162 @@
+// OCTOPOCS — the public pipeline API.
+//
+// Verifies whether a vulnerability that propagated from S into T can
+// still be triggered, by reforming S's proof-of-concept (paper §III):
+//
+//   Preprocessing  discover ep — the bottom-most ℓ function on the
+//                  crash callstack of S(poc) (backtrace(3) substitute).
+//   P1             context-aware taint analysis over S(poc) extracts
+//                  crash primitives, grouped into per-encounter bunches.
+//   P2             directed symbolic execution of T, steered by
+//                  backward path finding on T's CFG, collects guiding
+//                  constraints from the entry to ep.
+//   P3             at each ep encounter the matching bunch is pinned at
+//                  T's file-position indicator; after the last bunch the
+//                  combined system is solved into poc'.
+//   P4             T runs concretely on poc'; a trap of the expected
+//                  class verifies the propagated vulnerability.
+//
+// Verdicts follow §III-D: Triggered (case i), NotTriggerable (case ii —
+// ep unreachable, case iii — program-dead, or an unsatisfiable combined
+// system), and Failure for tooling limits (the simulated angr CFG
+// defect, solver budget), which is exactly the paper's Failure row.
+//
+// Typical use:
+//
+//   corpus::Pair pair = corpus::BuildPair(8);   // opj_dump → MuPDF
+//   core::Octopocs pipeline(pair.s, pair.t, pair.shared_functions,
+//                           pair.poc);
+//   core::VerificationReport report = pipeline.Verify();
+//   if (report.verdict == core::Verdict::kTriggered) {
+//     // report.reformed_poc crashes pair.t
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "corpus/pairs.h"
+#include "support/bytes.h"
+#include "symex/executor.h"
+#include "taint/crash_primitive.h"
+#include "vm/interp.h"
+
+namespace octopocs::core {
+
+enum class Verdict : std::uint8_t {
+  kTriggered,       // poc' reproduces the crash in T (patch urgently)
+  kNotTriggerable,  // verified: the clone cannot fire in T
+  kFailure,         // tooling could not decide (CFG/solver/budget)
+};
+
+std::string_view VerdictName(Verdict verdict);
+
+/// Table II result classification.
+enum class ResultType : std::uint8_t { kTypeI, kTypeII, kTypeIII, kFailure };
+
+std::string_view ResultTypeName(ResultType type);
+
+struct PhaseTimings {
+  double preprocess_seconds = 0;
+  double p1_seconds = 0;
+  double p23_seconds = 0;  // guiding + combining run as one phase
+  double p4_seconds = 0;
+  double total_seconds = 0;
+};
+
+struct VerificationReport {
+  Verdict verdict = Verdict::kFailure;
+  ResultType type = ResultType::kFailure;
+  /// Why the pipeline reached this verdict (CFG error text, unsat
+  /// detail, trap message, ...).
+  std::string detail;
+
+  /// Discovered shared-area entry point.
+  std::string ep_name;
+  vm::FuncId ep_in_s = vm::kInvalidFunc;
+  vm::FuncId ep_in_t = vm::kInvalidFunc;
+
+  /// P1 outcome.
+  std::uint32_t ep_encounters_in_s = 0;
+  std::size_t bunch_count = 0;
+  std::size_t crash_primitive_bytes = 0;
+
+  /// P2/P3 outcome.
+  symex::SymexStatus symex_status = symex::SymexStatus::kProgramDead;
+  symex::SymexStats symex_stats;
+  bool poc_generated = false;
+  Bytes reformed_poc;
+  std::vector<std::uint32_t> bunch_offsets;  // where bunches landed
+
+  /// P4 outcome (only meaningful when poc_generated).
+  vm::TrapKind observed_trap = vm::TrapKind::kNone;
+
+  PhaseTimings timings;
+};
+
+struct PipelineOptions {
+  taint::ExtractionOptions taint;  // context_aware is the Table III knob
+  symex::ExecutorOptions symex;    // theta / budgets (Tables IV & V)
+  cfg::CfgOptions cfg;             // dynamic CFG / simulated angr defect
+  /// P4 execution limits; the fuel bound doubles as the hang detector
+  /// for infinite-loop (CWE-835) vulnerabilities.
+  vm::ExecOptions verify_exec;
+  /// Feed the original PoC to the dynamic CFG builder as a seed (angr's
+  /// dynamic CFG equally observes concrete executions).
+  bool poc_as_cfg_seed = true;
+  /// Adaptive loop cap — the improvement the paper leaves as future
+  /// work (§III-D "improving OCTOPOCS so that it can efficiently handle
+  /// loops"): when P2/P3 ends program-dead *and* some state was killed
+  /// by θ, retry with θ doubled, up to adaptive_theta_max. A
+  /// NotTriggerable verdict is only trusted once no state died at the
+  /// cap (or the ceiling is hit, which degrades the verdict to Failure
+  /// instead of a potentially wrong NotTriggerable).
+  bool adaptive_theta = false;
+  std::uint32_t adaptive_theta_max = 1'920;
+};
+
+class Octopocs {
+ public:
+  /// `shared_functions` is ℓ by name (the clone detector's output; both
+  /// programs must contain these functions). When T renamed the cloned
+  /// functions, `t_names` maps S-side names to T-side names — exactly
+  /// what clone::DetectClones reports for renamed matches.
+  Octopocs(const vm::Program& s, const vm::Program& t,
+           std::vector<std::string> shared_functions, Bytes poc,
+           PipelineOptions options = {},
+           std::map<std::string, std::string> t_names = {});
+
+  /// Runs the full pipeline.
+  VerificationReport Verify();
+
+  // -- Individual phases, exposed for the ablation benches ------------------
+
+  /// Preprocessing: runs S(poc) and locates ep (§III "Preprocessing").
+  /// Returns nullopt when the PoC does not crash S or no ℓ function is
+  /// involved in the crash.
+  std::optional<vm::FuncId> DiscoverEp();
+
+  /// P1 with the configured taint options.
+  taint::ExtractionResult ExtractPrimitives(vm::FuncId ep_in_s);
+
+ private:
+  ResultType ClassifyTriggered(const symex::SymexResult& result,
+                               const std::vector<taint::Bunch>& bunches) const;
+
+  const vm::Program& s_;
+  const vm::Program& t_;
+  std::vector<std::string> shared_;
+  Bytes poc_;
+  PipelineOptions options_;
+  std::map<std::string, std::string> t_names_;
+};
+
+/// Convenience wrapper for corpus pairs.
+VerificationReport VerifyPair(const corpus::Pair& pair,
+                              PipelineOptions options = {});
+
+}  // namespace octopocs::core

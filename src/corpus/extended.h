@@ -1,0 +1,35 @@
+// Extended corpus (pairs 16-20): scenarios beyond the paper's dataset.
+//
+// The paper's 15 pairs cover its evaluation; these five probe corners
+// the paper discusses but does not measure:
+//
+//   16  double wrapping        the crash primitive sits two container
+//                              levels deep (archive → PDF → J2K); the
+//                              reform must derive both wrappers
+//   17  renamed clone          T renamed the cloned function; ℓ-name
+//                              mapping comes from the clone detector
+//                              (VUDDY matches bodies, not names)
+//   18  three ep encounters    context-aware taint with three bunches
+//   19  use-after-free         CWE-416: a stateful ℓ whose crash needs
+//                              an exact record *sequence* (data, reset,
+//                              data), not just field values
+//   20  divide-by-zero + patch CWE-369 clone behind a divisor check in
+//                              T — Unsat must prove NotTriggerable
+//   21  mmap input channel     the PoC reaches ℓ through the read-only
+//                              file mapping, not read(2) — the second
+//                              input path the paper hooks (§III-A)
+//
+// Pairs reuse corpus::Pair; indices continue Table II's numbering.
+#pragma once
+
+#include "corpus/pairs.h"
+
+namespace octopocs::corpus {
+
+/// Builds extended pair `idx` ∈ [16, 21]. Throws std::out_of_range.
+Pair BuildExtendedPair(int idx);
+
+/// All six extended pairs, in index order.
+std::vector<Pair> BuildExtendedCorpus();
+
+}  // namespace octopocs::corpus

@@ -1,0 +1,57 @@
+// The 15 S/T corpus pairs (Table II of the paper).
+//
+// Every pair bundles: the original software S (a MiniVM program that the
+// PoC crashes), the propagated software T (sharing the ℓ functions
+// verbatim), the original PoC, the ℓ member names, and the verdict the
+// paper reports. DESIGN.md §4 maps each pair to the real-world pair it
+// models and the mechanism it preserves.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "vm/interp.h"
+
+namespace octopocs::corpus {
+
+/// Expected verification outcome, following the paper's result types.
+enum class ExpectedResult {
+  kTypeI,    // triggered; guiding input of poc' equals poc's
+  kTypeII,   // triggered; guiding input differs (container reform)
+  kTypeIII,  // verified NOT triggerable
+  kFailure,  // tooling failure (the simulated angr CFG defect)
+};
+
+std::string_view ExpectedResultName(ExpectedResult r);
+
+struct Pair {
+  int idx = 0;
+  std::string s_name, s_version;
+  std::string t_name, t_version;
+  std::string vuln_id;  // CVE / bug-tracker id being modelled
+  std::string cwe;      // "CWE-119", "CWE-190", "CWE-835", "No-CWE"
+  ExpectedResult expected = ExpectedResult::kTypeI;
+  /// Trap class the vulnerability produces (in S; and in T when
+  /// triggerable).
+  vm::TrapKind expected_trap = vm::TrapKind::kOutOfBounds;
+
+  vm::Program s;
+  vm::Program t;
+  Bytes poc;
+  /// Names of the ℓ member functions (present in both S and T).
+  std::vector<std::string> shared_functions;
+  /// S-name → T-name for clones T renamed (extended pair 17; empty for
+  /// the paper's 15 pairs, where clone names survive propagation).
+  std::map<std::string, std::string> t_names;
+};
+
+/// Builds pair `idx` (1-based, matching Table II). Throws
+/// std::out_of_range for indices outside [1, 15].
+Pair BuildPair(int idx);
+
+/// All 15 pairs in Table II order.
+std::vector<Pair> BuildCorpus();
+
+}  // namespace octopocs::corpus

@@ -1,0 +1,363 @@
+#include "corpus/shared.h"
+
+namespace octopocs::corpus {
+
+// Pairs 1-2. The quant table holds up to 4 data pointers (8 bytes each);
+// mjpg_scan trusts the scan header's table index — index 9 reads slot 9
+// of a 32-byte allocation and traps out-of-bounds.
+const char* kSharedMjpgDecoder = R"(
+  func mjpg_decode(mode)
+    movi %qtabsz, 32
+    alloc %qtab, %qtabsz
+    movi %hdrsz, 8
+    alloc %hdr, %hdrsz
+  segloop:
+    movi %three, 3
+    read %got, %hdr, %three        ; [type:1][len:2]
+    cmpltu %short, %got, %three
+    br %short, done, have
+  have:
+    load.1 %type, %hdr, 0
+    load.2 %len, %hdr, 1
+    movi %tq, 0xd8
+    cmpeq %isq, %type, %tq
+    br %isq, quant, notq
+  quant:
+    call %v, mjpg_quant(%qtab, %len)
+    jmp segloop
+  notq:
+    movi %ts, 0xda
+    cmpeq %iss, %type, %ts
+    br %iss, scan, nots
+  scan:
+    call %v, mjpg_scan(%qtab, %len)
+    jmp segloop
+  nots:
+    movi %te, 0xd9
+    cmpeq %ise, %type, %te
+    br %ise, done, skip
+  skip:
+    tell %pos
+    add %pos, %pos, %len
+    seek %pos
+    jmp segloop
+  done:
+    ret %qtab
+
+  func mjpg_quant(qtab, len)
+    movi %one, 1
+    alloc %idxbuf, %one
+    read %got, %idxbuf, %one
+    load.1 %idx, %idxbuf, 0
+    movi %slots, 4
+    cmpltu %ok, %idx, %slots       ; the *table loader* is bounds-checked
+    assert %ok
+    sub %rest, %len, %one
+    alloc %data, %rest
+    read %g2, %data, %rest
+    movi %eight, 8
+    mul %off, %idx, %eight
+    add %slot, %qtab, %off
+    store.8 %data, %slot, 0
+    ret %idx
+
+  func mjpg_scan(qtab, len)
+    movi %three, 3
+    alloc %hdr, %three
+    read %got, %hdr, %three        ; [qidx:1][w:1][h:1]
+    load.1 %qidx, %hdr, 0
+    movi %eight, 8
+    mul %off, %qidx, %eight        ; NO bounds check: the vulnerability
+    add %slot, %qtab, %off
+    load.8 %table, %slot, 0        ; OOB read when qidx >= 4
+    load.1 %w, %hdr, 1
+    load.1 %h, %hdr, 2
+    mul %npix, %w, %h
+    tell %pos
+    add %pos, %pos, %npix
+    seek %pos                      ; skip pixel data
+    ret %table
+)";
+
+// Pair 4. The chunk header's length is trusted; the staging buffer is
+// fixed at 32 bytes, so a 48-byte chunk overflows during the file read.
+const char* kSharedStreamCopy = R"(
+  func stream_copy(mode)
+    movi %two, 2
+    alloc %lenbuf, %two
+    read %got, %lenbuf, %two
+    load.2 %len, %lenbuf, 0
+    movi %cap, 32
+    alloc %staging, %cap
+    read %g2, %staging, %len       ; OOB write when len > 32
+    ret %len
+)";
+
+// Pair 5. Pixel-count arithmetic is done modulo 2^16 (a 32-bit codebase
+// truncating to an unsigned short); the fill loop uses the untruncated
+// count, so w = h = 256 allocates 0 bytes and overflows immediately.
+const char* kSharedTjDecompress = R"(
+  func tj_decompress(mode)
+    movi %four, 4
+    alloc %hdr, %four
+    read %got, %hdr, %four         ; [w:2][h:2]
+    load.2 %w, %hdr, 0
+    load.2 %h, %hdr, 2
+    mul %real, %w, %h
+    movi %mask, 0xffff
+    and %alloc_size, %real, %mask  ; CWE-190: truncating multiply
+    alloc %pix, %alloc_size
+    movi %i, 0
+  fill:
+    cmpltu %more, %i, %real
+    br %more, body, done
+  body:
+    add %p, %pix, %i
+    movi %b, 0x55
+    store.1 %b, %p, 0              ; overflows once i >= alloc_size
+    addi %i, %i, 1
+    jmp fill
+  done:
+    ret %alloc_size
+)";
+
+// Pairs 7, 8, 13. The component-pointer table is zero-initialized; with
+// ncomp == 0 no pointer is ever populated, yet the decoder dereferences
+// slot 0 — a null dereference.
+const char* kSharedMj2kDecoder = R"(
+  func mj2k_decode(mode)
+    movi %four, 4
+    alloc %magic, %four
+    read %got, %magic, %four
+    load.4 %m, %magic, 0
+    movi %want, 0x4b324a4d         ; "MJ2K" little-endian
+    cmpeq %ok, %m, %want
+    assert %ok
+    movi %tabsz, 64
+    alloc %comps, %tabsz           ; zero-initialized pointer table
+    movi %hdrsz, 8
+    alloc %hdr, %hdrsz
+  boxloop:
+    movi %three, 3
+    read %g2, %hdr, %three         ; [type:1][len:2]
+    cmpltu %short, %g2, %three
+    br %short, fin, have
+  have:
+    load.1 %type, %hdr, 0
+    load.2 %len, %hdr, 1
+    movi %th, 0x01
+    cmpeq %ish, %type, %th
+    br %ish, header, noth
+  header:
+    call %v, mj2k_components(%comps)
+    jmp boxloop
+  noth:
+    movi %te, 0x7f
+    cmpeq %ise, %type, %te
+    br %ise, fin, skip
+  skip:
+    tell %pos
+    add %pos, %pos, %len
+    seek %pos
+    jmp boxloop
+  fin:
+    ret %comps
+
+  func mj2k_components(comps)
+    movi %five, 5
+    alloc %hdr, %five
+    read %got, %hdr, %five         ; [ncomp:1][w:2][h:2]
+    load.1 %ncomp, %hdr, 0
+    movi %i, 0
+  alloc_loop:
+    cmpltu %more, %i, %ncomp
+    br %more, mk, use
+  mk:
+    movi %sz, 16
+    alloc %c, %sz
+    movi %eight, 8
+    mul %off, %i, %eight
+    add %slot, %comps, %off
+    store.8 %c, %slot, 0
+    addi %i, %i, 1
+    jmp alloc_loop
+  use:
+    load.8 %first, %comps, 0       ; slot 0 is 0 when ncomp == 0
+    load.4 %px, %first, 0          ; null dereference
+    ret %px
+)";
+
+// Pair 9. The classic gif2png ReadImage shape: the LZW prefix table has
+// 256 entries but the initial clear-code index is 1 << code_size, which
+// lands outside the table for code_size >= 9 (we use bytes, so >= 9
+// overflows the 256-byte table; the disclosed PoC uses 12).
+const char* kSharedGifReadImage = R"(
+  func gif_read_image(mode)
+    movi %three, 3
+    alloc %hdr, %three
+    read %got, %hdr, %three        ; [code_size:1][npix:2]
+    load.1 %cs, %hdr, 0
+    movi %tblsz, 256
+    alloc %prefix, %tblsz
+    movi %one, 1
+    shl %clear, %one, %cs          ; 1 << code_size
+    add %slot, %prefix, %clear
+    movi %mark, 0xee
+    store.1 %mark, %slot, 0        ; OOB write when code_size >= 9
+    load.2 %npix, %hdr, 1
+    tell %pos
+    add %pos, %pos, %npix
+    seek %pos                      ; skip pixel data
+    ret %clear
+)";
+
+// Pairs 10-12. Copies `count` bytes of the entry value through an
+// 8-byte staging buffer, but only the PageName (0x13D) path skips the
+// clamping the other tags get — CVE-2016-10095's shape.
+const char* kSharedTifVGetField = R"(
+  func tif_vget(tag, count, src)
+    movi %name, 0x13d
+    cmpeq %isname, %tag, %name
+    br %isname, pagename, clamped
+  pagename:
+    movi %cap, 8
+    alloc %staging, %cap
+    movi %i, 0
+  copyloop:
+    cmpltu %more, %i, %count
+    br %more, cbody, cdone
+  cbody:
+    add %sp, %src, %i
+    load.1 %byte, %sp, 0           ; reads past the 4-byte value field
+    add %dp, %staging, %i
+    store.1 %byte, %dp, 0          ; and past the 8-byte staging buffer
+    addi %i, %i, 1
+    jmp copyloop
+  cdone:
+    ret %i
+  clamped:
+    movi %four, 4
+    cmpleu %fits, %count, %four
+    assert %fits                   ; non-PageName tags are validated
+    load.4 %v, %src, 0
+    ret %v
+)";
+
+// Pairs 6, 14. Streams `len` declared bytes into a 64-byte buffer.
+const char* kSharedPdfMetaCopy = R"(
+  func pdf_meta_copy(len)
+    movi %cap, 64
+    alloc %buf, %cap
+    read %got, %buf, %len          ; OOB write when len > 64
+    ret %got
+)";
+
+// Pair 3. mode 0 loads only the root page record (the "count pages"
+// pass); mode 1 follows next-references — with no visited set, a cycle
+// never terminates (CWE-835; surfaces as fuel exhaustion).
+const char* kSharedPdfWalkPages = R"(
+  func pdf_walk_pages(mode)
+    movi %recsz, 4
+    alloc %rec, %recsz
+    movi %idx, 0
+  walk:
+    movi %base, 6                  ; page table offset in the file
+    mul %off, %idx, %recsz
+    add %pos, %base, %off
+    seek %pos
+    read %got, %rec, %recsz        ; [type:1][next:1][a:1][b:1]
+    load.1 %type, %rec, 0
+    movi %tpage, 0x03
+    cmpeq %ispage, %type, %tpage
+    br %ispage, follow, stop
+  follow:
+    br %mode, full, stop           ; mode 0: only the root record
+  full:
+    load.1 %idx, %rec, 1           ; follow the reference; cycles hang
+    jmp walk
+  stop:
+    ret %idx
+)";
+
+// Pair 15. The staging size is len*2 computed modulo 2^16; len 0x8001
+// doubles to 2, so the copy overflows a 2-byte allocation — CWE-190.
+const char* kSharedPdfMetaWrap = R"(
+  func pdf_meta_wrap(len)
+    movi %two, 2
+    mul %twice, %len, %two
+    movi %mask, 0xffff
+    and %cap, %twice, %mask        ; CWE-190: 16-bit staging arithmetic
+    alloc %buf, %cap
+    read %got, %buf, %len          ; OOB write when 2*len wraps
+    ret %got
+)";
+
+// Extended pair 19. The scratch buffer is freed on a reset record
+// (kind 0xFE) but the pointer is kept; the next data record writes
+// through it — a classic use-after-free.
+const char* kSharedUafProcessor = R"(
+  func rec_process(scratch)
+    movi %two, 2
+    alloc %hdr, %two
+    read %got, %hdr, %two          ; [kind:1][value:1]
+    load.1 %kind, %hdr, 0
+    movi %reset, 0xfe
+    cmpeq %isreset, %kind, %reset
+    br %isreset, do_reset, datarec
+  do_reset:
+    free %scratch                  ; ...but the caller keeps the pointer
+    ret %kind
+  datarec:
+    load.1 %v, %hdr, 1
+    store.1 %v, %scratch, 0        ; use-after-free once reset happened
+    ret %v
+)";
+
+// Extended pair 20. Reads [w:2][den:1]; the divisor is trusted —
+// den == 0 divides by zero (CWE-369).
+const char* kSharedScaler = R"(
+  func img_scale(mode)
+    movi %three, 3
+    alloc %hdr, %three
+    read %got, %hdr, %three
+    load.2 %w, %hdr, 0
+    load.1 %den, %hdr, 2
+    divu %scaled, %w, %den         ; CWE-369 when den == 0
+    ret %scaled
+)";
+
+// Extended pair 21. All input travels through the read-only file
+// mapping: the walker loads entries via pointer arithmetic on the
+// mapped base instead of read(2). Tag 0x77's value indexes a 16-byte
+// table without a bounds check.
+const char* kSharedExifWalk = R"(
+  func exif_walk(base)
+    load.1 %n, %base, 4            ; entry count at mapped offset 4
+    movi %tblsz, 16
+    alloc %tbl, %tblsz
+    movi %i, 0
+    movi %three, 3
+  entloop:
+    cmpltu %more, %i, %n
+    br %more, ent, done
+  ent:
+    mul %off, %i, %three
+    add %ep2, %base, %off
+    load.1 %tag, %ep2, 5           ; entries start at offset 5
+    load.2 %val, %ep2, 6
+    movi %vuln, 0x77
+    cmpeq %isv, %tag, %vuln
+    br %isv, index, next
+  index:
+    add %p, %tbl, %val
+    movi %one, 1
+    store.1 %one, %p, 0            ; OOB when val >= 16
+    jmp next
+  next:
+    addi %i, %i, 1
+    jmp entloop
+  done:
+    ret %i
+)";
+
+}  // namespace octopocs::corpus

@@ -1,0 +1,78 @@
+// Shared vulnerable code areas (ℓ) for the corpus pairs.
+//
+// Each constant is MiniVM assembly for a set of functions that is
+// spliced *verbatim* into both S and T of a pair — the reproduction's
+// equivalent of a vulnerable code clone. The paper's design assumption
+// (§III) is that ℓ is known a priori from a clone detector such as
+// VUDDY; here ℓ is known by construction, and corpus::Pair records the
+// member function names.
+//
+// Every decoder reads its own input bytes from the current file
+// position, which is what makes crash primitives relocatable: P3 places
+// a bunch at T's file-position indicator when T enters ep.
+#pragma once
+
+namespace octopocs::corpus {
+
+/// MJPG segment decoder with the quant-table-index OOB (pairs 1-2).
+/// ℓ = {mjpg_decode, mjpg_quant, mjpg_scan}; ep = mjpg_decode.
+/// Vulnerability: mjpg_scan indexes the 4-slot quant-pointer table with
+/// an unchecked index from the scan header.
+extern const char* kSharedMjpgDecoder;
+
+/// MJPG stream-chunk copier with a fixed staging buffer (pair 4).
+/// ℓ = {stream_copy}; ep = stream_copy. Reads [len:2] then `len` bytes
+/// into a 32-byte buffer — CWE-119.
+extern const char* kSharedStreamCopy;
+
+/// tjbench-style decompressor with the dimension integer overflow
+/// (pair 5). ℓ = {tj_decompress}; ep = tj_decompress. size = (w*h)
+/// truncated to 16 bits — CWE-190 manifesting as a heap overflow.
+extern const char* kSharedTjDecompress;
+
+/// MJ2K decoder with the zero-component null dereference (pairs 7, 8,
+/// 13). ℓ = {mj2k_decode, mj2k_components}; ep = mj2k_decode.
+extern const char* kSharedMj2kDecoder;
+
+/// MGIF image reader with the code-size prefix-table overflow (pair 9).
+/// ℓ = {gif_read_image}; ep = gif_read_image — CWE-119 (heap).
+extern const char* kSharedGifReadImage;
+
+/// MTIF field getter — the _TIFFVGetField analog (pairs 10-12).
+/// ℓ = {tif_vget}; ep = tif_vget. Copies `count` bytes of the entry
+/// value through an 8-byte staging buffer when tag == 0x13D — CWE-119.
+extern const char* kSharedTifVGetField;
+
+/// MPDF metadata copier with an unchecked declared length (pairs 6, 14).
+/// ℓ = {pdf_meta_copy}; ep = pdf_meta_copy — CWE-119.
+extern const char* kSharedPdfMetaCopy;
+
+/// MPDF two-pass page walker with the unterminated reference cycle
+/// (pairs 3). ℓ = {pdf_walk_pages}; ep = pdf_walk_pages — CWE-835.
+extern const char* kSharedPdfWalkPages;
+
+/// MPDF metadata copier whose staging size doubles in 16-bit arithmetic
+/// (pair 15) — CWE-190.
+extern const char* kSharedPdfMetaWrap;
+
+// --- Extended corpus (pairs 16-20; see corpus/extended.h) -----------------
+
+/// Record processor with a use-after-free (extended pair 19, CWE-416):
+/// a "reset" record frees the scratch buffer but the stale pointer is
+/// written through by the next data record.
+/// ℓ = {rec_process}; ep = rec_process.
+extern const char* kSharedUafProcessor;
+
+/// Image scaler with an unchecked divisor (extended pair 20,
+/// CWE-369): reads [w:2][den:1] and computes w / den.
+/// ℓ = {img_scale}; ep = img_scale.
+extern const char* kSharedScaler;
+
+/// EXIF-style tag walker over a *memory-mapped* input (extended pair
+/// 21, CWE-119): the PoC reaches ℓ through the mmap channel, not file
+/// reads — the second input path the paper hooks (§III-A).
+/// Entries at base+5+i*3: [tag:1][val:2]; tag 0x77's value indexes a
+/// 16-byte table unchecked. ℓ = {exif_walk}; ep = exif_walk.
+extern const char* kSharedExifWalk;
+
+}  // namespace octopocs::corpus

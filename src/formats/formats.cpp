@@ -1,0 +1,216 @@
+#include "formats/formats.h"
+
+namespace octopocs::formats {
+
+// ---------------------------------------------------------------------------
+// MJPG
+// ---------------------------------------------------------------------------
+
+Bytes WriteMjpg(const std::vector<MjpgSegment>& segments) {
+  Bytes out;
+  AppendStr(out, "MJPG");
+  for (const MjpgSegment& seg : segments) {
+    out.push_back(seg.type);
+    AppendLe(out, seg.payload.size(), 2);
+    AppendBytes(out, seg.payload);
+  }
+  return out;
+}
+
+Bytes MjpgValidFile() {
+  Bytes quant{0 /*index*/, 1, 2, 3, 4};
+  Bytes scan{0 /*qidx*/, 2 /*w*/, 2 /*h*/, 9, 9, 9, 9};
+  return WriteMjpg({{kMjpgQuantTable, quant},
+                    {kMjpgScan, scan},
+                    {kMjpgEnd, {}}});
+}
+
+Bytes MjpgQuantIndexPoc() {
+  Bytes quant{0, 1, 2, 3, 4};
+  // Scan references quant slot 9 of a 4-slot table.
+  Bytes scan{9 /*qidx*/, 1, 1, 7};
+  return WriteMjpg({{kMjpgQuantTable, quant},
+                    {kMjpgScan, scan},
+                    {kMjpgEnd, {}}});
+}
+
+Bytes MjpgStreamChunkPoc() {
+  // A benign 8-byte chunk followed by the 48-byte overflow (48 > the
+  // 32-byte staging buffer). Two chunks → two ep encounters, which is
+  // what the context-aware taint ablation (Table III) exercises.
+  Bytes benign(8, 0x11);
+  Bytes crash(48, 0xCC);
+  return WriteMjpg({{kMjpgStreamChunk, benign},
+                    {kMjpgStreamChunk, crash},
+                    {kMjpgEnd, {}}});
+}
+
+Bytes MjpgDimsOverflowPoc() {
+  Bytes dims;
+  AppendLe(dims, 0x0100, 2);  // w = 256
+  AppendLe(dims, 0x0100, 2);  // h = 256 → w*h = 0x10000, truncates to 0
+  return WriteMjpg({{kMjpgDims, dims}, {kMjpgEnd, {}}});
+}
+
+// ---------------------------------------------------------------------------
+// MJ2K
+// ---------------------------------------------------------------------------
+
+Bytes WriteMj2k(const std::vector<Mj2kBox>& boxes) {
+  Bytes out;
+  AppendStr(out, "MJ2K");
+  for (const Mj2kBox& box : boxes) {
+    out.push_back(box.type);
+    AppendLe(out, box.payload.size(), 2);
+    AppendBytes(out, box.payload);
+  }
+  return out;
+}
+
+Bytes Mj2kValidFile() {
+  Bytes header{2 /*ncomp*/};
+  AppendLe(header, 4, 2);  // w
+  AppendLe(header, 4, 2);  // h
+  return WriteMj2k({{kMj2kHeader, header},
+                    {kMj2kData, {1, 2, 3, 4}},
+                    {kMj2kEnd, {}}});
+}
+
+Bytes Mj2kZeroComponentPoc() {
+  Bytes header{0 /*ncomp == 0: the null-deref trigger*/};
+  AppendLe(header, 4, 2);
+  AppendLe(header, 4, 2);
+  return WriteMj2k({{kMj2kHeader, header}, {kMj2kEnd, {}}});
+}
+
+// ---------------------------------------------------------------------------
+// MGIF
+// ---------------------------------------------------------------------------
+
+Bytes WriteMgif(ByteView version, std::uint16_t w, std::uint16_t h,
+                const std::vector<GifImage>& images) {
+  Bytes out;
+  AppendStr(out, "GIF");
+  AppendBytes(out, version);
+  AppendLe(out, w, 2);
+  AppendLe(out, h, 2);
+  for (int i = 0; i < 16; ++i) {  // global colour table (palette)
+    out.push_back(static_cast<std::uint8_t>(0x10 + i));
+  }
+  for (const GifImage& img : images) {
+    out.push_back(kMgifImage);
+    out.push_back(img.code_size);
+    AppendLe(out, img.pixels.size(), 2);
+    AppendBytes(out, img.pixels);
+  }
+  out.push_back(kMgifTrailer);
+  return out;
+}
+
+Bytes MgifValidFile() {
+  const Bytes version{'8', '7', 'a'};
+  return WriteMgif(version, 2, 2, {{4, {1, 2, 3, 4}}});
+}
+
+Bytes MgifCodeSizePoc() {
+  // Invalid version "87x" (the disclosed-PoC quirk from the paper's
+  // artificial case); a benign image precedes the code_size-12 overflow.
+  const Bytes version{'8', '7', 'x'};
+  return WriteMgif(version, 1, 1, {{4, {1, 2}}, {12, {1}}});
+}
+
+// ---------------------------------------------------------------------------
+// MTIF
+// ---------------------------------------------------------------------------
+
+Bytes WriteMtif(const std::vector<TifEntry>& entries) {
+  Bytes out;
+  out.push_back('I');
+  out.push_back('I');
+  out.push_back('*');
+  out.push_back(0);
+  AppendLe(out, entries.size(), 2);
+  for (const TifEntry& e : entries) {
+    AppendLe(out, e.tag, 2);
+    AppendLe(out, e.count, 2);
+    AppendLe(out, e.value, 4);
+  }
+  return out;
+}
+
+Bytes MtifValidFile() {
+  return WriteMtif({{kTifTagImageWidth, 1, 64},
+                    {kTifTagImageLength, 1, 64},
+                    {kTifTagBitsPerSample, 1, 8}});
+}
+
+Bytes MtifPageNamePoc() {
+  // The benign leading entry uses count 4 — the same count the Type-III
+  // targets hardcode, so their parameter mismatch trips on the *tag* of
+  // the second encounter, mirroring the paper's 0x13D analysis.
+  return WriteMtif({{kTifTagImageWidth, 4, 64},
+                    {kTifTagPageName, 24 /*count > 8*/, 0xAAAAAAAA}});
+}
+
+// ---------------------------------------------------------------------------
+// MPDF
+// ---------------------------------------------------------------------------
+
+Bytes WriteMpdf(const std::vector<PdfObject>& objects) {
+  Bytes out;
+  AppendStr(out, "%PDF");
+  out.push_back(static_cast<std::uint8_t>(objects.size()));
+  for (const PdfObject& obj : objects) {
+    out.push_back(obj.id);
+    out.push_back(obj.type);
+    AppendLe(out, obj.payload.size(), 2);
+    AppendBytes(out, obj.payload);
+  }
+  return out;
+}
+
+Bytes WriteMpdfPages(const std::vector<PdfPageRec>& pages,
+                     std::uint8_t render_flag) {
+  Bytes out;
+  AppendStr(out, "%PDF");
+  out.push_back(static_cast<std::uint8_t>(pages.size()));
+  out.push_back(render_flag);
+  for (const PdfPageRec& p : pages) {
+    out.push_back(p.type);
+    out.push_back(p.next);
+    out.push_back(p.a);
+    out.push_back(p.b);
+  }
+  return out;
+}
+
+Bytes MpdfValidFile() {
+  Bytes meta;
+  AppendStr(meta, "title");
+  return WriteMpdf({{1, kPdfObjMeta, meta}, {2, kPdfObjEnd, {}}});
+}
+
+Bytes MpdfCyclePoc() {
+  // Page 0 → page 1 → page 0: the walk never terminates.
+  return WriteMpdfPages({{kPdfObjPage, 1, 0, 0},
+                         {kPdfObjPage, 0, 0, 0}});
+}
+
+Bytes MpdfMetaOverflowPoc() {
+  Bytes meta(0x100, 'A');  // 256 > the copier's 64-byte buffer
+  return WriteMpdf({{1, kPdfObjMeta, meta}, {2, kPdfObjEnd, {}}});
+}
+
+Bytes MpdfMetaWrapPoc() {
+  // Length 0x8001: doubling in 16-bit arithmetic wraps to 2, the copier
+  // allocates 2 bytes and streams 0x8001 → heap overflow via CWE-190.
+  Bytes meta(0x8001, 'B');
+  return WriteMpdf({{1, kPdfObjMeta, meta}, {2, kPdfObjEnd, {}}});
+}
+
+Bytes MpdfEmbeddedJ2kPoc() {
+  const Bytes j2k = Mj2kZeroComponentPoc();
+  return WriteMpdf({{1, kPdfObjImage, j2k}, {2, kPdfObjEnd, {}}});
+}
+
+}  // namespace octopocs::formats

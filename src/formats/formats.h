@@ -1,0 +1,180 @@
+// Miniature file formats used by the corpus pairs.
+//
+// The paper's 15 CVE pairs parse real JPEG / JPEG2000 / GIF / TIFF / PDF
+// files. The corpus substitutes five miniature formats that preserve the
+// structural properties the experiments depend on — magic headers,
+// length-prefixed segments/boxes, tag-directory entries, and nested
+// containers (a PDF-like wrapper embedding an image stream, which is the
+// motivating MuPDF example). Each format has a writer for well-formed
+// files and one or more malformed-PoC constructors that trigger the
+// corresponding corpus vulnerability.
+//
+// All multi-byte fields are little-endian (matching the MiniVM's loads).
+//
+//   MJPG  "MJPG"  [type:1][len:2][payload]*            segments
+//   MJ2K  "MJ2K"  [type:1][len:2][payload]*            boxes
+//   MGIF  "GIF87a" [w:2][h:2] [blocktype:1]...         blocks
+//   MTIF  "II*\0" [n:2] ([tag:2][count:2][value:4])*   IFD entries
+//   MPDF  "%PDF"  [nobj:1] objects                     container
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+
+namespace octopocs::formats {
+
+// ---------------------------------------------------------------------------
+// MJPG — mini JPEG. Segment types.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint8_t kMjpgQuantTable = 0xD8;  // [index:1][data...]
+inline constexpr std::uint8_t kMjpgScan = 0xDA;        // [qidx:1][w:1][h:1][pix]
+inline constexpr std::uint8_t kMjpgStreamChunk = 0xC0; // [data...] (pair 4)
+inline constexpr std::uint8_t kMjpgDims = 0xC4;        // [w:2][h:2]  (pair 5)
+inline constexpr std::uint8_t kMjpgEnd = 0xD9;         // len 0
+
+struct MjpgSegment {
+  std::uint8_t type = kMjpgEnd;
+  Bytes payload;
+};
+
+Bytes WriteMjpg(const std::vector<MjpgSegment>& segments);
+
+/// Well-formed image: one quant table (index 0) + one scan using it.
+Bytes MjpgValidFile();
+
+/// Quant-table-index OOB (pairs 1-2): the scan references table index 9
+/// while the decoder only has 4 slots.
+Bytes MjpgQuantIndexPoc();
+
+/// Oversized stream chunk (pair 4): a chunk longer than the decoder's
+/// 32-byte staging buffer.
+Bytes MjpgStreamChunkPoc();
+
+/// Dimension integer overflow (pair 5): w*h truncates to 16 bits, the
+/// allocation wraps small and the pixel fill overflows.
+Bytes MjpgDimsOverflowPoc();
+
+// ---------------------------------------------------------------------------
+// MJ2K — mini JPEG2000. Box types.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint8_t kMj2kHeader = 0x01;  // [ncomp:1][w:2][h:2]
+inline constexpr std::uint8_t kMj2kData = 0x02;    // [bytes...]
+inline constexpr std::uint8_t kMj2kEnd = 0x7F;     // len 0
+
+struct Mj2kBox {
+  std::uint8_t type = kMj2kEnd;
+  Bytes payload;
+};
+
+Bytes WriteMj2k(const std::vector<Mj2kBox>& boxes);
+
+Bytes Mj2kValidFile();
+
+/// Zero-component null dereference (pairs 7-8, 13): ncomp == 0 makes the
+/// decoder dereference a never-initialized component pointer (0).
+Bytes Mj2kZeroComponentPoc();
+
+// ---------------------------------------------------------------------------
+// MGIF — mini GIF.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint8_t kMgifImage = 0x2C;    // [code_size:1][n:2][pix]
+inline constexpr std::uint8_t kMgifTrailer = 0x3B;
+
+struct GifImage {
+  std::uint8_t code_size = 4;
+  Bytes pixels;
+};
+
+/// `version` is the 3 bytes after "GIF" ("87a" for a conforming file).
+/// Layout: "GIF"+version, [w:2][h:2], a 16-byte global colour table,
+/// then per image [0x2C][code_size:1][npix:2][pixels], then [0x3B].
+Bytes WriteMgif(ByteView version, std::uint16_t w, std::uint16_t h,
+                const std::vector<GifImage>& images);
+
+Bytes MgifValidFile();
+
+/// ReadImage heap overflow (pair 9): code_size >= 9 indexes past the
+/// 256-entry prefix table. The PoC carries a benign image before the
+/// crashing one (two ep encounters — the context-aware taint ablation
+/// hinges on this) and the *invalid* version "87x" from the disclosed
+/// PoC — exactly the paper's artificial gif2png scenario.
+Bytes MgifCodeSizePoc();
+
+// ---------------------------------------------------------------------------
+// MTIF — mini TIFF.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint16_t kTifTagImageWidth = 0x0100;
+inline constexpr std::uint16_t kTifTagImageLength = 0x0101;
+inline constexpr std::uint16_t kTifTagBitsPerSample = 0x0102;
+inline constexpr std::uint16_t kTifTagCompression = 0x0103;
+inline constexpr std::uint16_t kTifTagPhotometric = 0x0106;
+inline constexpr std::uint16_t kTifTagStripOffsets = 0x0111;
+inline constexpr std::uint16_t kTifTagSamplesPerPixel = 0x0115;
+/// The vulnerable tag from CVE-2016-10095 (_TIFFVGetField).
+inline constexpr std::uint16_t kTifTagPageName = 0x013D;
+
+struct TifEntry {
+  std::uint16_t tag = 0;
+  std::uint16_t count = 1;
+  std::uint32_t value = 0;
+};
+
+Bytes WriteMtif(const std::vector<TifEntry>& entries);
+
+Bytes MtifValidFile();
+
+/// PageName buffer overflow (pairs 10-12): tag 0x13D with count > 8
+/// overruns the shared getter's 8-byte staging buffer.
+Bytes MtifPageNamePoc();
+
+// ---------------------------------------------------------------------------
+// MPDF — mini PDF container.
+// ---------------------------------------------------------------------------
+inline constexpr std::uint8_t kPdfObjEnd = 0x00;
+inline constexpr std::uint8_t kPdfObjMeta = 0x01;    // [string bytes]
+inline constexpr std::uint8_t kPdfObjImage = 0x02;   // [embedded file]
+inline constexpr std::uint8_t kPdfObjPage = 0x03;    // fixed form (see below)
+
+struct PdfObject {
+  std::uint8_t id = 0;
+  std::uint8_t type = kPdfObjEnd;
+  Bytes payload;
+};
+
+/// Variable-size container: "%PDF" [nobj:1] then per object
+/// [id:1][type:1][len:2][payload].
+Bytes WriteMpdf(const std::vector<PdfObject>& objects);
+
+/// Fixed-size page-table variant used by the page-walk pair: "%PDF"
+/// [npages:1] [render_flag:1] then `npages` 4-byte records
+/// [type:1][next:1][a:1][b:1] starting at offset 6. The render flag is
+/// read between the two walk passes (after the first ep encounter),
+/// which is what defeats context-free taint on this pair.
+struct PdfPageRec {
+  std::uint8_t type = kPdfObjEnd;
+  std::uint8_t next = 0;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+};
+Bytes WriteMpdfPages(const std::vector<PdfPageRec>& pages,
+                     std::uint8_t render_flag = 1);
+
+Bytes MpdfValidFile();
+
+/// Cyclic page references (pair 3, CWE-835): page 0 → page 1 → page 0.
+Bytes MpdfCyclePoc();
+
+/// Oversized metadata (pairs 6, 14): a metadata object whose declared
+/// length exceeds the shared copier's 64-byte buffer.
+Bytes MpdfMetaOverflowPoc();
+
+/// Metadata length-doubling overflow (pair 15): length whose doubling
+/// wraps the 16-bit staging arithmetic in the shared copier.
+Bytes MpdfMetaWrapPoc();
+
+/// A PDF embedding the MJ2K zero-component stream (pairs 7-8, 13).
+Bytes MpdfEmbeddedJ2kPoc();
+
+}  // namespace octopocs::formats

@@ -1,0 +1,84 @@
+// Edge-coverage instrumentation for greybox fuzzing (the AFL shared
+// bitmap, rebuilt over MiniVM observer events).
+//
+// Block transfers and call entries hash into a 64 KiB bucket map; a
+// fuzzing run is "interesting" when it hits a bucket no previous run
+// hit (AFL's new-edge rule, without the hit-count bucketing refinement,
+// which none of the Table V experiments depend on).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "vm/interp.h"
+
+namespace octopocs::fuzz {
+
+inline constexpr std::size_t kMapSize = 1 << 16;
+
+/// Per-execution trace recorder.
+class CoverageObserver : public vm::ExecutionObserver {
+ public:
+  void OnBlockTransfer(vm::FuncId fn, vm::BlockId from,
+                       vm::BlockId to) override {
+    Record((static_cast<std::uint64_t>(fn) << 40) ^
+           (static_cast<std::uint64_t>(from) << 20) ^ to);
+  }
+  void OnCallEnter(vm::FuncId callee, std::span<const std::uint64_t>,
+                   const vm::Instr*) override {
+    Record(0x9E3779B97F4A7C15ULL ^ callee);
+    call_trace_.push_back(callee);
+  }
+
+  const std::vector<std::uint16_t>& edges() const { return edges_; }
+  /// Functions entered, in order — AFLGo's distance metric samples this.
+  const std::vector<vm::FuncId>& call_trace() const { return call_trace_; }
+
+ private:
+  void Record(std::uint64_t key) {
+    key = (key ^ (key >> 33)) * 0xFF51AFD7ED558CCDULL;
+    key = (key ^ (key >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+    edges_.push_back(static_cast<std::uint16_t>(key & (kMapSize - 1)));
+  }
+
+  std::vector<std::uint16_t> edges_;
+  std::vector<vm::FuncId> call_trace_;
+};
+
+/// Global coverage state across a campaign.
+class CoverageMap {
+ public:
+  CoverageMap() { hit_.fill(false); }
+
+  /// Merges an execution trace; returns the number of new buckets.
+  std::size_t Merge(const std::vector<std::uint16_t>& edges) {
+    std::size_t fresh = 0;
+    for (const std::uint16_t e : edges) {
+      if (!hit_[e]) {
+        hit_[e] = true;
+        ++fresh;
+        ++count_;
+      }
+    }
+    return fresh;
+  }
+
+  std::size_t count() const { return count_; }
+
+  /// Stable 64-bit hash of an execution's edge multiset — AFLFast keys
+  /// its path-frequency table on this.
+  static std::uint64_t PathHash(const std::vector<std::uint16_t>& edges) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint16_t e : edges) {
+      h = (h ^ e) * 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+ private:
+  std::array<bool, kMapSize> hit_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace octopocs::fuzz

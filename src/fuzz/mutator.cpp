@@ -1,0 +1,103 @@
+#include "fuzz/mutator.h"
+
+namespace octopocs::fuzz {
+
+namespace {
+
+constexpr std::uint8_t kInteresting8[] = {0,    1,    16,   32,  64,
+                                          100,  127,  128,  255, 0x2C,
+                                          0x3B, 0xD8, 0xD9};
+constexpr std::uint16_t kInteresting16[] = {0,      1,     256,   512,
+                                            0x1000, 0x7FFF, 0x8000, 0xFFFF};
+
+}  // namespace
+
+std::vector<Bytes> Mutator::DeterministicStage(const Bytes& input,
+                                               std::size_t budget) {
+  std::vector<Bytes> out;
+  if (input.empty()) return out;
+  auto emit = [&](Bytes b) {
+    if (out.size() < budget) out.push_back(std::move(b));
+  };
+
+  // Walking bit flips.
+  for (std::size_t bit = 0; bit < input.size() * 8 && out.size() < budget;
+       ++bit) {
+    Bytes b = input;
+    b[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    emit(std::move(b));
+  }
+  // Byte flips.
+  for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    Bytes b = input;
+    b[i] ^= 0xFF;
+    emit(std::move(b));
+  }
+  // Arithmetic ±1..35 on bytes.
+  for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    for (int delta = 1; delta <= 35 && out.size() < budget; ++delta) {
+      Bytes plus = input;
+      plus[i] = static_cast<std::uint8_t>(plus[i] + delta);
+      emit(std::move(plus));
+      Bytes minus = input;
+      minus[i] = static_cast<std::uint8_t>(minus[i] - delta);
+      emit(std::move(minus));
+    }
+  }
+  // Interesting byte values.
+  for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    for (const std::uint8_t v : kInteresting8) {
+      if (out.size() >= budget) break;
+      Bytes b = input;
+      b[i] = v;
+      emit(std::move(b));
+    }
+  }
+  // Interesting 16-bit values (little-endian).
+  for (std::size_t i = 0; i + 1 < input.size() && out.size() < budget; ++i) {
+    for (const std::uint16_t v : kInteresting16) {
+      if (out.size() >= budget) break;
+      Bytes b = input;
+      b[i] = static_cast<std::uint8_t>(v);
+      b[i + 1] = static_cast<std::uint8_t>(v >> 8);
+      emit(std::move(b));
+    }
+  }
+  return out;
+}
+
+Bytes Mutator::Havoc(const Bytes& input, const Bytes& other) {
+  // Byte-local operators only. AFL's chunk copy/splice/insert/delete
+  // operators are omitted deliberately: MiniVM containers embed their
+  // streams *verbatim* (real PDF/JPEG containers compress them), so a
+  // single chunk-copy could strip a container in one step — a shortcut
+  // the paper's fuzzers demonstrably did not have. See EXPERIMENTS.md,
+  // Table V notes.
+  (void)other;
+  Bytes b = input;
+  if (b.empty()) return b;
+  const std::uint64_t ops = 1 + rng_.Below(8);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const std::size_t i = rng_.Below(b.size());
+    switch (rng_.Below(4)) {
+      case 0:  // bit flip
+        b[i] ^= static_cast<std::uint8_t>(1u << rng_.Below(8));
+        break;
+      case 1:  // random byte
+        b[i] = static_cast<std::uint8_t>(rng_.Next());
+        break;
+      case 2:  // interesting byte
+        b[i] = kInteresting8[rng_.Below(std::size(kInteresting8))];
+        break;
+      case 3: {  // arithmetic
+        const int delta = static_cast<int>(rng_.Range(1, 35));
+        b[i] = static_cast<std::uint8_t>(
+            rng_.Chance(1, 2) ? b[i] + delta : b[i] - delta);
+        break;
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace octopocs::fuzz

@@ -1,0 +1,41 @@
+// AFL-style mutation engine.
+//
+// Implements the deterministic stages (bit flips, byte flips, arithmetic
+// ±, interesting values) and a havoc stage of stacked random operators.
+// Length-preserving operators only: AFL's block insert/delete stages are
+// intentionally omitted because the corpus formats are offset-rigid —
+// the same reason the paper's fuzzers struggled to re-form PoCs across
+// containers (see DESIGN.md §2 and EXPERIMENTS.md Table V notes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace octopocs::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// The deterministic stage for one seed: every queued mutation of the
+  /// classic bitflip/arith/interesting sequence, bounded by `budget`
+  /// outputs. Deterministic given the input.
+  std::vector<Bytes> DeterministicStage(const Bytes& input,
+                                        std::size_t budget);
+
+  /// One havoc output: 1-8 stacked random byte-local operators (bit
+  /// flip, byte set, arith, interesting value). `other` is accepted for
+  /// interface stability but unused — see the implementation note on
+  /// why chunk operators are omitted.
+  Bytes Havoc(const Bytes& input, const Bytes& other);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace octopocs::fuzz

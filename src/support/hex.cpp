@@ -1,0 +1,79 @@
+#include "support/hex.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace octopocs {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+}  // namespace
+
+std::string ToHex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string HexDump(ByteView data) {
+  std::string out;
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    // offset column
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(row >> shift) & 0xF]);
+    }
+    out += "  ";
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        out.push_back(kDigits[data[row + i] >> 4]);
+        out.push_back(kDigits[data[row + i] & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      const char c = static_cast<char>(data[row + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view text) {
+  Bytes out;
+  int nibble = -1;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (nibble >= 0) throw std::invalid_argument("odd hex digit count");
+      continue;
+    }
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      throw std::invalid_argument("invalid hex character");
+    }
+    if (nibble < 0) {
+      nibble = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((nibble << 4) | v));
+      nibble = -1;
+    }
+  }
+  if (nibble >= 0) throw std::invalid_argument("odd hex digit count");
+  return out;
+}
+
+}  // namespace octopocs

@@ -1,0 +1,21 @@
+// Hex formatting/parsing helpers, mainly for PoC dumps in examples,
+// benches, and test failure messages.
+#pragma once
+
+#include <string>
+
+#include "support/bytes.h"
+
+namespace octopocs {
+
+/// "de ad be ef" — single line, lowercase, space separated.
+std::string ToHex(ByteView data);
+
+/// Classic 16-bytes-per-row hex dump with offsets and an ASCII gutter.
+std::string HexDump(ByteView data);
+
+/// Parses "de ad be ef" (whitespace-separated or contiguous hex pairs).
+/// Throws std::invalid_argument on malformed input.
+Bytes FromHex(std::string_view text);
+
+}  // namespace octopocs

@@ -1,0 +1,31 @@
+#include "support/rng.h"
+
+namespace octopocs {
+
+std::uint64_t Rng::Next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  // Modulo bias is irrelevant at fuzzing scale; keep it branch-free.
+  return Next() % bound;
+}
+
+std::uint64_t Rng::Range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + Below(hi - lo + 1);
+}
+
+bool Rng::Chance(std::uint32_t num, std::uint32_t den) {
+  return Below(den) < num;
+}
+
+Bytes Rng::RandomBytes(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(Next());
+  return out;
+}
+
+}  // namespace octopocs

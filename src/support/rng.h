@@ -1,0 +1,39 @@
+// Deterministic pseudo-random source.
+//
+// Everything stochastic in this repository (fuzzers, property-test input
+// generation, workload synthesis) draws from this generator so that runs
+// are reproducible from a seed. The core pipeline itself is deterministic
+// and never uses randomness.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace octopocs {
+
+/// SplitMix64: tiny, fast, and statistically solid for fuzzing purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be nonzero.
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability num/den.
+  bool Chance(std::uint32_t num, std::uint32_t den);
+
+  /// `n` uniformly random bytes.
+  Bytes RandomBytes(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace octopocs

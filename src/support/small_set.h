@@ -1,0 +1,74 @@
+// SortedSmallSet — the representation behind taint labels.
+//
+// A taint label is the set of input-file offsets that influenced a byte of
+// program state. Almost every live set is tiny (a field is 1-4 file bytes),
+// so a sorted vector beats node-based sets by a wide margin and gives us
+// O(n+m) unions, which dominate taint propagation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace octopocs {
+
+template <typename T>
+class SortedSmallSet {
+ public:
+  SortedSmallSet() = default;
+  SortedSmallSet(std::initializer_list<T> init) {
+    items_.assign(init.begin(), init.end());
+    Normalize();
+  }
+
+  static SortedSmallSet Single(T v) {
+    SortedSmallSet s;
+    s.items_.push_back(v);
+    return s;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  bool Contains(T v) const {
+    return std::binary_search(items_.begin(), items_.end(), v);
+  }
+
+  void Insert(T v) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), v);
+    if (it == items_.end() || *it != v) items_.insert(it, v);
+  }
+
+  /// this ∪= other, linear merge.
+  void UnionWith(const SortedSmallSet& other) {
+    if (other.items_.empty()) return;
+    if (items_.empty()) {
+      items_ = other.items_;
+      return;
+    }
+    std::vector<T> merged;
+    merged.reserve(items_.size() + other.items_.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(merged));
+    items_ = std::move(merged);
+  }
+
+  void Clear() { items_.clear(); }
+
+  const std::vector<T>& items() const { return items_; }
+
+  bool operator==(const SortedSmallSet&) const = default;
+
+ private:
+  void Normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<T> items_;
+};
+
+}  // namespace octopocs

@@ -1,0 +1,226 @@
+#include "symex/expr.h"
+
+#include <functional>
+
+namespace octopocs::symex {
+
+std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b) {
+  using vm::Op;
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDivU: return b == 0 ? 0 : a / b;
+    case Op::kRemU: return b == 0 ? 0 : a % b;
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kXor: return a ^ b;
+    case Op::kShl: return a << (b & 63);
+    case Op::kShr: return a >> (b & 63);
+    case Op::kCmpEq: return a == b ? 1 : 0;
+    case Op::kCmpNe: return a != b ? 1 : 0;
+    case Op::kCmpLtU: return a < b ? 1 : 0;
+    case Op::kCmpLeU: return a <= b ? 1 : 0;
+    case Op::kCmpGtU: return a > b ? 1 : 0;
+    case Op::kCmpGeU: return a >= b ? 1 : 0;
+    default: return 0;
+  }
+}
+
+ExprRef MakeConst(std::uint64_t value) {
+  // Cache the tiny constants that dominate expression trees.
+  static const ExprRef kSmall[] = {
+      std::make_shared<Expr>(Expr{ExprKind::kConst, vm::Op::kNop, 0, 0, 0,
+                                  nullptr, nullptr}),
+      std::make_shared<Expr>(Expr{ExprKind::kConst, vm::Op::kNop, 1, 0, 0,
+                                  nullptr, nullptr}),
+  };
+  if (value < 2) return kSmall[value];
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->value = value;
+  return e;
+}
+
+ExprRef MakeInput(std::uint32_t offset) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInput;
+  e->offset = offset;
+  return e;
+}
+
+ExprRef MakeBinOp(vm::Op op, ExprRef lhs, ExprRef rhs) {
+  using vm::Op;
+  if (lhs->IsConst() && rhs->IsConst()) {
+    return MakeConst(ApplyBinOp(op, lhs->value, rhs->value));
+  }
+  // Cheap identities. These matter: guiding-input paths build long
+  // chains of offset arithmetic that would otherwise bloat the DAG.
+  if (rhs->IsConst()) {
+    const std::uint64_t c = rhs->value;
+    if (c == 0 && (op == Op::kAdd || op == Op::kSub || op == Op::kOr ||
+                   op == Op::kXor || op == Op::kShl || op == Op::kShr)) {
+      return lhs;
+    }
+    if (c == 0 && (op == Op::kMul || op == Op::kAnd)) return MakeConst(0);
+    if (c == 1 && (op == Op::kMul || op == Op::kDivU)) return lhs;
+  }
+  if (lhs->IsConst()) {
+    const std::uint64_t c = lhs->value;
+    if (c == 0 && (op == Op::kAdd || op == Op::kOr || op == Op::kXor)) {
+      return rhs;
+    }
+    if (c == 0 && (op == Op::kMul || op == Op::kAnd)) return MakeConst(0);
+  }
+  if (lhs.get() == rhs.get()) {
+    if (op == Op::kXor || op == Op::kSub) return MakeConst(0);
+    if (op == Op::kAnd || op == Op::kOr) return lhs;
+    if (op == Op::kCmpEq || op == Op::kCmpLeU || op == Op::kCmpGeU) {
+      return MakeConst(1);
+    }
+    if (op == Op::kCmpNe || op == Op::kCmpLtU || op == Op::kCmpGtU) {
+      return MakeConst(0);
+    }
+  }
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinOp;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprRef MakeNot(ExprRef operand) {
+  if (operand->IsConst()) return MakeConst(~operand->value);
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprRef MakeExtract(ExprRef operand, std::uint8_t byte) {
+  if (operand->IsConst()) {
+    return MakeConst((operand->value >> (8 * byte)) & 0xFF);
+  }
+  // Extracting lane 0 of a single input byte is the byte itself.
+  if (operand->kind == ExprKind::kInput) {
+    if (byte == 0) return operand;
+    return MakeConst(0);  // input bytes are zero-extended
+  }
+  if (operand->kind == ExprKind::kExtract) {
+    // Extract(Extract(e, i), 0) == Extract(e, i); other lanes are 0.
+    return byte == 0 ? operand : MakeConst(0);
+  }
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kExtract;
+  e->byte = byte;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+std::uint64_t Eval(const ExprRef& expr, const Model& model) {
+  switch (expr->kind) {
+    case ExprKind::kConst:
+      return expr->value;
+    case ExprKind::kInput: {
+      auto it = model.find(expr->offset);
+      return it == model.end() ? 0 : it->second;
+    }
+    case ExprKind::kBinOp:
+      return ApplyBinOp(expr->op, Eval(expr->lhs, model),
+                        Eval(expr->rhs, model));
+    case ExprKind::kNot:
+      return ~Eval(expr->lhs, model);
+    case ExprKind::kExtract:
+      return (Eval(expr->lhs, model) >> (8 * expr->byte)) & 0xFF;
+  }
+  return 0;
+}
+
+std::optional<std::uint64_t> EvalPartial(const ExprRef& expr,
+                                         const Model& model) {
+  switch (expr->kind) {
+    case ExprKind::kConst:
+      return expr->value;
+    case ExprKind::kInput: {
+      auto it = model.find(expr->offset);
+      if (it == model.end()) return std::nullopt;
+      return it->second;
+    }
+    case ExprKind::kBinOp: {
+      const auto a = EvalPartial(expr->lhs, model);
+      if (!a) return std::nullopt;
+      const auto b = EvalPartial(expr->rhs, model);
+      if (!b) return std::nullopt;
+      return ApplyBinOp(expr->op, *a, *b);
+    }
+    case ExprKind::kNot: {
+      const auto a = EvalPartial(expr->lhs, model);
+      if (!a) return std::nullopt;
+      return ~*a;
+    }
+    case ExprKind::kExtract: {
+      const auto a = EvalPartial(expr->lhs, model);
+      if (!a) return std::nullopt;
+      return (*a >> (8 * expr->byte)) & 0xFF;
+    }
+  }
+  return std::nullopt;
+}
+
+void CollectInputs(const ExprRef& expr, SortedSmallSet<std::uint32_t>& out) {
+  switch (expr->kind) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kInput:
+      out.Insert(expr->offset);
+      return;
+    case ExprKind::kBinOp:
+      CollectInputs(expr->lhs, out);
+      CollectInputs(expr->rhs, out);
+      return;
+    case ExprKind::kNot:
+    case ExprKind::kExtract:
+      CollectInputs(expr->lhs, out);
+      return;
+  }
+}
+
+std::size_t ExprSize(const ExprRef& expr) {
+  switch (expr->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kInput:
+      return 1;
+    case ExprKind::kBinOp:
+      return 1 + ExprSize(expr->lhs) + ExprSize(expr->rhs);
+    case ExprKind::kNot:
+    case ExprKind::kExtract:
+      return 1 + ExprSize(expr->lhs);
+  }
+  return 1;
+}
+
+std::string ToString(const ExprRef& expr) {
+  switch (expr->kind) {
+    case ExprKind::kConst: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(expr->value));
+      return buf;
+    }
+    case ExprKind::kInput:
+      return "in[" + std::to_string(expr->offset) + "]";
+    case ExprKind::kBinOp:
+      return "(" + ToString(expr->lhs) + " " +
+             std::string(vm::OpName(expr->op)) + " " + ToString(expr->rhs) +
+             ")";
+    case ExprKind::kNot:
+      return "~" + ToString(expr->lhs);
+    case ExprKind::kExtract:
+      return "byte" + std::to_string(expr->byte) + "(" + ToString(expr->lhs) +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace octopocs::symex

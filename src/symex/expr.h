@@ -1,0 +1,83 @@
+// Symbolic expressions over PoC bytes.
+//
+// The symbolic executor models every register and memory byte of T as an
+// expression over the symbolic input file: the paper's "input file in
+// which all bytes are designated as symbols". Leaves are 64-bit
+// constants and Input(o) — the o-th byte of the file, zero-extended.
+// Interior nodes reuse the MiniVM opcode set so the executor's transfer
+// function is one switch shared with the interpreter's semantics.
+//
+// Expressions are immutable and hash-consed-lite (shared_ptr DAG with
+// eager constant folding); evaluation under a concrete model must agree
+// bit-for-bit with the interpreter — a property test enforces this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "support/small_set.h"
+#include "vm/ir.h"
+
+namespace octopocs::symex {
+
+struct Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kConst,    // 64-bit literal
+  kInput,    // input file byte, zero-extended to 64 bits
+  kBinOp,    // vm::Op arithmetic/comparison over two subtrees
+  kNot,      // bitwise complement
+  kExtract,  // (e >> 8*byte) & 0xFF — byte lane extraction for stores
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  vm::Op op = vm::Op::kNop;   // kBinOp only
+  std::uint64_t value = 0;    // kConst
+  std::uint32_t offset = 0;   // kInput
+  std::uint8_t byte = 0;      // kExtract lane
+  ExprRef lhs, rhs;
+
+  bool IsConst() const { return kind == ExprKind::kConst; }
+};
+
+/// A (partial) assignment of input bytes.
+using Model = std::map<std::uint32_t, std::uint8_t>;
+
+ExprRef MakeConst(std::uint64_t value);
+ExprRef MakeInput(std::uint32_t offset);
+/// Folds when both sides are constant and applies cheap identities
+/// (x+0, x*1, x&x, x^x, ...). DivU/RemU by constant zero folds to 0 —
+/// the executor traps that case before building the expression.
+ExprRef MakeBinOp(vm::Op op, ExprRef lhs, ExprRef rhs);
+ExprRef MakeNot(ExprRef operand);
+ExprRef MakeExtract(ExprRef operand, std::uint8_t byte);
+
+/// Evaluates under a *total* model: absent offsets read as 0.
+std::uint64_t Eval(const ExprRef& expr, const Model& model);
+
+/// Evaluates under a *partial* model: returns nullopt when any reached
+/// Input leaf is unassigned. Used for pinned-byte concretization.
+std::optional<std::uint64_t> EvalPartial(const ExprRef& expr,
+                                         const Model& model);
+
+/// Union of all Input offsets appearing in the expression.
+void CollectInputs(const ExprRef& expr, SortedSmallSet<std::uint32_t>& out);
+
+/// Number of nodes (diagnostics / memory-cost estimation).
+std::size_t ExprSize(const ExprRef& expr);
+
+/// Debug rendering, e.g. "(in[3] + 2)".
+std::string ToString(const ExprRef& expr);
+
+/// Applies the MiniVM's concrete semantics for a binary ALU op.
+/// Shared by constant folding and Eval so the two cannot diverge.
+/// Division/remainder by zero yield 0 here; the executor checks the
+/// divisor and traps before evaluation, so this value is never observed.
+std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b);
+
+}  // namespace octopocs::symex

@@ -1,0 +1,385 @@
+#include "symex/solver.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+namespace octopocs::symex {
+
+void ByteSolver::Add(ExprRef expr) {
+  // A constant constraint either disappears or poisons the system.
+  if (expr->IsConst() && expr->value != 0) return;
+  constraints_.push_back(std::move(expr));
+}
+
+void ByteSolver::AddEq(ExprRef expr, std::uint64_t value) {
+  Add(MakeBinOp(vm::Op::kCmpEq, std::move(expr), MakeConst(value)));
+}
+
+void ByteSolver::Pin(std::uint32_t offset, std::uint8_t value) {
+  AddEq(MakeInput(offset), value);
+}
+
+namespace {
+
+/// Tries to read `expr` as a little-endian byte concatenation — the
+/// shape LoadWide builds: or(or(b0, shl(b1,8)), shl(b2,16))... Returns
+/// lane→input-offset on success. This powers the key propagation rule:
+/// an equality between a concatenation and a constant decomposes into
+/// per-byte pins, which turns the dominant "magic/field == K" constraint
+/// from a 256^n search into unit propagation.
+bool AsByteConcat(const ExprRef& expr, unsigned shift,
+                  std::map<unsigned, std::uint32_t>* lanes) {
+  switch (expr->kind) {
+    case ExprKind::kInput: {
+      if (shift % 8 != 0) return false;
+      const unsigned lane = shift / 8;
+      if (lanes->count(lane) != 0) return false;
+      (*lanes)[lane] = expr->offset;
+      return true;
+    }
+    case ExprKind::kBinOp:
+      if (expr->op == vm::Op::kOr) {
+        return AsByteConcat(expr->lhs, shift, lanes) &&
+               AsByteConcat(expr->rhs, shift, lanes);
+      }
+      if (expr->op == vm::Op::kShl && expr->rhs->IsConst()) {
+        return AsByteConcat(expr->lhs,
+                            shift + static_cast<unsigned>(expr->rhs->value),
+                            lanes);
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// If `constraint` is CmpEq(concat, K), appends the per-byte equalities
+/// to `out` (or a constant-false when K has bits outside the lanes).
+/// Returns true when a decomposition happened.
+bool DecomposeConcatEquality(const ExprRef& constraint,
+                             std::vector<ExprRef>* out) {
+  if (constraint->kind != ExprKind::kBinOp ||
+      constraint->op != vm::Op::kCmpEq) {
+    return false;
+  }
+  ExprRef concat, konst;
+  if (constraint->rhs->IsConst()) {
+    concat = constraint->lhs;
+    konst = constraint->rhs;
+  } else if (constraint->lhs->IsConst()) {
+    concat = constraint->rhs;
+    konst = constraint->lhs;
+  } else {
+    return false;
+  }
+  std::map<unsigned, std::uint32_t> lanes;
+  if (!AsByteConcat(concat, 0, &lanes) || lanes.empty()) return false;
+  std::uint64_t covered = 0;
+  SortedSmallSet<std::uint32_t> seen;
+  for (const auto& [lane, offset] : lanes) {
+    if (lane >= 8 || seen.Contains(offset)) return false;
+    seen.Insert(offset);
+    covered |= 0xFFull << (8 * lane);
+  }
+  if ((konst->value & ~covered) != 0) {
+    out->push_back(MakeConst(0));  // impossible: bits outside any lane
+    return true;
+  }
+  for (const auto& [lane, offset] : lanes) {
+    out->push_back(MakeBinOp(
+        vm::Op::kCmpEq, MakeInput(offset),
+        MakeConst((konst->value >> (8 * lane)) & 0xFF)));
+  }
+  return true;
+}
+
+/// Propagation-queue CSP search with trail-based backtracking.
+///
+/// Domains live in a dense table; constraints carry an unassigned-var
+/// counter. Whenever a constraint drops to one unassigned variable it is
+/// queued and its variable's domain is filtered by evaluation (256
+/// probes); singleton domains assign immediately and cascade. Branching
+/// picks the smallest-domain variable, trying the hinted value first.
+struct Search {
+  Search(const std::vector<ExprRef>& constraints_in, const Model& hints_in,
+         std::uint64_t max_steps_in)
+      : constraints(constraints_in),
+        hints(hints_in),
+        max_steps(max_steps_in) {}
+
+  const std::vector<ExprRef>& constraints;
+  const Model& hints;
+  std::uint64_t max_steps;
+  std::uint64_t steps = 0;
+
+  std::vector<std::uint32_t> vars;               // dense index → offset
+  std::map<std::uint32_t, std::size_t> var_index;
+  std::vector<std::vector<std::size_t>> var_constraints;  // var → c-ids
+  std::vector<std::vector<std::size_t>> cvars;            // c-id → vars
+  std::vector<std::size_t> unassigned_count;              // per constraint
+
+  std::vector<std::array<bool, 256>> domain;
+  std::vector<int> domain_size;
+  std::vector<int> assigned;  // -1 = unassigned, else the value
+  Model assignment;           // offset → value (mirrors `assigned`)
+
+  struct TrailEntry {
+    std::size_t var;
+    std::array<bool, 256> saved_domain;
+    int saved_size;
+  };
+  std::vector<TrailEntry> trail;
+  std::vector<std::size_t> assign_trail;  // vars assigned, for undo
+  std::vector<std::size_t> count_trail;   // constraints decremented
+
+  enum class Outcome { kSat, kUnsat, kBudget };
+
+  bool Init() {
+    SortedSmallSet<std::uint32_t> all;
+    cvars.resize(constraints.size());
+    std::vector<SortedSmallSet<std::uint32_t>> cvar_sets(constraints.size());
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      CollectInputs(constraints[c], cvar_sets[c]);
+      all.UnionWith(cvar_sets[c]);
+    }
+    vars.assign(all.begin(), all.end());
+    for (std::size_t i = 0; i < vars.size(); ++i) var_index[vars[i]] = i;
+    var_constraints.resize(vars.size());
+    unassigned_count.resize(constraints.size());
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      for (const std::uint32_t off : cvar_sets[c]) {
+        const std::size_t v = var_index[off];
+        cvars[c].push_back(v);
+        var_constraints[v].push_back(c);
+      }
+      unassigned_count[c] = cvars[c].size();
+    }
+    domain.assign(vars.size(), {});
+    for (auto& d : domain) d.fill(true);
+    domain_size.assign(vars.size(), 256);
+    assigned.assign(vars.size(), -1);
+    return true;
+  }
+
+  /// Assigns var v := value, updating constraint counters. Records undo
+  /// info. Returns false on immediate conflict (a fully-assigned
+  /// constraint evaluating false).
+  bool Assign(std::size_t v, int value) {
+    assigned[v] = value;
+    assignment[vars[v]] = static_cast<std::uint8_t>(value);
+    assign_trail.push_back(v);
+    for (const std::size_t c : var_constraints[v]) {
+      --unassigned_count[c];
+      count_trail.push_back(c);
+      if (unassigned_count[c] == 0) {
+        ++steps;
+        if (Eval(constraints[c], assignment) == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Filters `v`'s domain against constraint `c` (which must have `v`
+  /// as its only unassigned variable). Returns the new domain size.
+  int FilterDomain(std::size_t v, std::size_t c) {
+    auto& dom = domain[v];
+    // Save the domain once per (decision level, var) — conservatively
+    // per call; the trail replays in reverse so repeated saves are fine.
+    trail.push_back({v, dom, domain_size[v]});
+    int size = 0;
+    const std::uint32_t off = vars[v];
+    for (int value = 0; value < 256; ++value) {
+      if (!dom[value]) continue;
+      ++steps;
+      assignment[off] = static_cast<std::uint8_t>(value);
+      if (Eval(constraints[c], assignment) != 0) {
+        ++size;
+      } else {
+        dom[value] = false;
+      }
+    }
+    assignment.erase(off);
+    domain_size[v] = size;
+    return size;
+  }
+
+  /// Unit propagation to fixpoint from the constraints of `seed_vars`.
+  /// Returns false on wipe-out or constraint violation.
+  bool Propagate(std::deque<std::size_t> queue) {
+    while (!queue.empty()) {
+      if (steps > max_steps) return true;  // caller re-checks budget
+      const std::size_t c = queue.front();
+      queue.pop_front();
+      if (unassigned_count[c] != 1) continue;
+      // Locate the single unassigned variable.
+      std::size_t v = 0;
+      for (const std::size_t cand : cvars[c]) {
+        if (assigned[cand] < 0) {
+          v = cand;
+          break;
+        }
+      }
+      const int size = FilterDomain(v, c);
+      if (size == 0) return false;
+      if (size == 1) {
+        int value = 0;
+        for (int i = 0; i < 256; ++i) {
+          if (domain[v][i]) {
+            value = i;
+            break;
+          }
+        }
+        if (!Assign(v, value)) return false;
+        for (const std::size_t c2 : var_constraints[v]) {
+          if (unassigned_count[c2] == 1) queue.push_back(c2);
+        }
+      }
+    }
+    return true;
+  }
+
+  std::deque<std::size_t> InitialUnits() {
+    std::deque<std::size_t> queue;
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      if (unassigned_count[c] == 1) queue.push_back(c);
+    }
+    return queue;
+  }
+
+  struct Checkpoint {
+    std::size_t trail_size;
+    std::size_t assign_trail_size;
+    std::size_t count_trail_size;
+  };
+
+  Checkpoint Mark() const {
+    return {trail.size(), assign_trail.size(), count_trail.size()};
+  }
+
+  void Rollback(const Checkpoint& cp) {
+    while (count_trail.size() > cp.count_trail_size) {
+      ++unassigned_count[count_trail.back()];
+      count_trail.pop_back();
+    }
+    while (assign_trail.size() > cp.assign_trail_size) {
+      const std::size_t v = assign_trail.back();
+      assign_trail.pop_back();
+      assignment.erase(vars[v]);
+      assigned[v] = -1;
+    }
+    while (trail.size() > cp.trail_size) {
+      TrailEntry& e = trail.back();
+      domain[e.var] = e.saved_domain;
+      domain_size[e.var] = e.saved_size;
+      trail.pop_back();
+    }
+  }
+
+  Outcome Run() {
+    Init();
+    if (!Propagate(InitialUnits())) return Outcome::kUnsat;
+    if (steps > max_steps) return Outcome::kBudget;
+    return Backtrack();
+  }
+
+  Outcome Backtrack() {
+    if (steps > max_steps) return Outcome::kBudget;
+    // Pick the unassigned variable with the smallest domain.
+    std::size_t best = vars.size();
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      if (assigned[v] >= 0) continue;
+      if (best == vars.size() || domain_size[v] < domain_size[best]) {
+        best = v;
+      }
+    }
+    if (best == vars.size()) return Outcome::kSat;
+
+    // Value order: hint first, then ascending.
+    std::vector<int> values;
+    values.reserve(domain_size[best]);
+    const auto hint = hints.find(vars[best]);
+    if (hint != hints.end() && domain[best][hint->second]) {
+      values.push_back(hint->second);
+    }
+    for (int value = 0; value < 256; ++value) {
+      if (!domain[best][value]) continue;
+      if (hint != hints.end() && value == hint->second) continue;
+      values.push_back(value);
+    }
+
+    for (const int value : values) {
+      ++steps;
+      if (steps > max_steps) return Outcome::kBudget;
+      const Checkpoint cp = Mark();
+      std::deque<std::size_t> queue;
+      bool ok = Assign(best, value);
+      if (ok) {
+        for (const std::size_t c : var_constraints[best]) {
+          if (unassigned_count[c] == 1) queue.push_back(c);
+        }
+        ok = Propagate(std::move(queue));
+      }
+      if (ok && steps > max_steps) return Outcome::kBudget;
+      if (ok) {
+        const Outcome sub = Backtrack();
+        if (sub != Outcome::kUnsat) return sub;
+      }
+      Rollback(cp);
+    }
+    return Outcome::kUnsat;
+  }
+};
+
+}  // namespace
+
+SolveResult ByteSolver::Solve() const { return SolveWith({}); }
+
+SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
+  std::vector<ExprRef> all = constraints_;
+  bool poisoned = false;
+  for (const ExprRef& e : extra) {
+    if (e->IsConst()) {
+      if (e->value == 0) poisoned = true;
+      continue;
+    }
+    all.push_back(e);
+  }
+  // Propagation pre-pass: decompose concat equalities into byte pins so
+  // unit propagation starts from singleton domains for multi-byte
+  // fields.
+  {
+    std::vector<ExprRef> derived;
+    for (const ExprRef& e : all) DecomposeConcatEquality(e, &derived);
+    all.insert(all.end(), derived.begin(), derived.end());
+  }
+  SolveResult result;
+  if (poisoned) {
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+  for (const ExprRef& e : all) {
+    if (e->IsConst() && e->value == 0) {
+      result.status = SolveStatus::kUnsat;
+      return result;
+    }
+  }
+  Search search{all, options_.hints, options_.max_steps};
+  const Search::Outcome outcome = search.Run();
+  result.steps = search.steps;
+  switch (outcome) {
+    case Search::Outcome::kSat:
+      result.status = SolveStatus::kSat;
+      result.model = std::move(search.assignment);
+      break;
+    case Search::Outcome::kUnsat:
+      result.status = SolveStatus::kUnsat;
+      break;
+    case Search::Outcome::kBudget:
+      result.status = SolveStatus::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace octopocs::symex

@@ -1,0 +1,75 @@
+// Constraint solver over symbolic input bytes (the SMT-solver substitute).
+//
+// Every variable is one byte of the symbolic PoC file (domain 0..255),
+// and a constraint is an expression that must evaluate nonzero. That
+// restriction — inherited from the MiniVM's byte-level file model — lets
+// a classic CSP search be *complete*: domain filtering on constraints
+// with a single unassigned variable, most-constrained-variable-first
+// branching, and chronological backtracking. The solver reports:
+//
+//   kSat      — a model (byte assignment) satisfying every constraint;
+//   kUnsat    — exhaustive search proved no model exists (this verdict
+//               is what turns into the paper's Type-III "vulnerability
+//               not triggerable" result, so completeness matters);
+//   kUnknown  — the step budget ran out (surfaced as a tooling Failure,
+//               like an SMT timeout would be).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "symex/expr.h"
+
+namespace octopocs::symex {
+
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  /// Total model over the constrained variables (unconstrained bytes are
+  /// absent and default to 0). Valid when status == kSat.
+  Model model;
+  /// Search effort (diagnostics; feeds the Table IV cost columns).
+  std::uint64_t steps = 0;
+};
+
+struct SolverOptions {
+  /// Backtracking-step budget before giving up with kUnknown.
+  std::uint64_t max_steps = 2'000'000;
+  /// Value-ordering hints: when a variable has a hinted value inside its
+  /// filtered domain, that value is tried first. OCTOPOCS hints with the
+  /// original PoC's bytes so the reformed PoC stays as close to the
+  /// original as the constraints allow (Type-I guiding inputs survive
+  /// verbatim).
+  Model hints;
+};
+
+class ByteSolver {
+ public:
+  explicit ByteSolver(SolverOptions options = {}) : options_(options) {}
+
+  /// Adds a constraint: `expr` must evaluate nonzero.
+  void Add(ExprRef expr);
+
+  /// Adds `expr == value` (sugar for the dominant bunch-pinning form).
+  void AddEq(ExprRef expr, std::uint64_t value);
+
+  /// Pre-assigns a variable (pinned byte). Conflicting pins make the
+  /// system unsatisfiable.
+  void Pin(std::uint32_t offset, std::uint8_t value);
+
+  std::size_t constraint_count() const { return constraints_.size(); }
+
+  /// Complete search. Stateless w.r.t. previous Solve calls.
+  SolveResult Solve() const;
+
+  /// Convenience: satisfiability of (current constraints + extra).
+  SolveResult SolveWith(const std::vector<ExprRef>& extra) const;
+
+ private:
+  SolverOptions options_;
+  std::vector<ExprRef> constraints_;
+  Model pins_;
+};
+
+}  // namespace octopocs::symex

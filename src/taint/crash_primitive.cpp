@@ -1,0 +1,155 @@
+#include "taint/crash_primitive.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace octopocs::taint {
+
+namespace {
+
+/// Observer implementing the context bookkeeping of Algorithm 1: detects
+/// entries into ℓ (any frame at or below an ep frame counts as "inside"),
+/// and while inside marks every tainted source operand's file offsets
+/// into the current bunch.
+class Extractor : public vm::ExecutionObserver {
+ public:
+  Extractor(ByteView poc, vm::FuncId ep, const TaintEngine* engine,
+            bool context_aware)
+      : poc_(poc), ep_(ep), engine_(engine), context_aware_(context_aware) {}
+
+  /// The interpreter is constructed after the extractor; wire it in so
+  /// ep entries can sample the file-position indicator.
+  void set_interpreter(const vm::Interpreter* interp) { interp_ = interp; }
+
+  void OnCallEnter(vm::FuncId callee, std::span<const std::uint64_t> args,
+                   const vm::Instr*) override {
+    if (depth_inside_ > 0) {
+      ++depth_inside_;
+      return;
+    }
+    if (callee == ep_) {
+      depth_inside_ = 1;
+      ++encounters_;
+      auto& bunch = CurrentBunch();
+      if (bunch.ep_args.empty()) {
+        bunch.ep_args.assign(args.begin(), args.end());
+        bunch.file_pos_at_ep = interp_ != nullptr ? interp_->file_pos() : 0;
+      }
+    }
+  }
+
+  void OnCallExit(vm::FuncId, std::uint64_t, bool, vm::Reg,
+                  vm::Reg) override {
+    if (depth_inside_ > 0) --depth_inside_;
+  }
+
+  void OnInstr(vm::FuncId, vm::BlockId, std::size_t, const vm::Instr& instr,
+               std::uint64_t eff_addr, std::uint64_t) override {
+    if (depth_inside_ == 0) return;
+    const TaintSet used = engine_->SourceTaint(instr, eff_addr);
+    if (used.empty()) return;
+    auto& offsets = CurrentOffsets();
+    for (const std::uint32_t off : used) {
+      if (off < poc_.size()) offsets.Insert(off);
+    }
+  }
+
+  void OnFileRead(std::uint64_t, std::uint64_t file_off,
+                  std::uint64_t count) override {
+    // Bytes that ℓ itself consumes from the file are crash primitives
+    // even before any explicit load touches them: the read stores them
+    // into ℓ's memory (and an overflowing read *is* several of the
+    // corpus vulnerabilities).
+    if (depth_inside_ == 0) return;
+    auto& offsets = CurrentOffsets();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (file_off + i < poc_.size()) {
+        offsets.Insert(static_cast<std::uint32_t>(file_off + i));
+      }
+    }
+  }
+
+  std::vector<Bunch> TakeBunches() {
+    std::vector<Bunch> out;
+    out.reserve(bunches_.size());
+    for (std::size_t i = 0; i < bunches_.size(); ++i) {
+      Bunch b = std::move(bunches_[i]);
+      b.bytes.reserve(offsets_[i].size());
+      for (const std::uint32_t off : offsets_[i]) {
+        b.bytes.emplace_back(off, poc_[off]);
+      }
+      out.push_back(std::move(b));
+    }
+    return out;
+  }
+
+  std::uint32_t encounters() const { return encounters_; }
+
+ private:
+  Bunch& CurrentBunch() {
+    const std::size_t idx = context_aware_ ? encounters_ - 1 : 0;
+    if (bunches_.size() <= idx) {
+      bunches_.resize(idx + 1);
+      offsets_.resize(idx + 1);
+    }
+    return bunches_[idx];
+  }
+
+  SortedSmallSet<std::uint32_t>& CurrentOffsets() {
+    const std::size_t idx =
+        context_aware_ ? (encounters_ == 0 ? 0 : encounters_ - 1) : 0;
+    if (offsets_.size() <= idx) {
+      bunches_.resize(idx + 1);
+      offsets_.resize(idx + 1);
+    }
+    return offsets_[idx];
+  }
+
+  ByteView poc_;
+  vm::FuncId ep_;
+  const TaintEngine* engine_;
+  const vm::Interpreter* interp_ = nullptr;
+  bool context_aware_;
+
+  std::uint32_t depth_inside_ = 0;  // frames at or below the active ep frame
+  std::uint32_t encounters_ = 0;
+  std::vector<Bunch> bunches_;
+  std::vector<SortedSmallSet<std::uint32_t>> offsets_;
+};
+
+}  // namespace
+
+ExtractionResult ExtractCrashPrimitives(const vm::Program& s, ByteView poc,
+                                        vm::FuncId ep,
+                                        const ExtractionOptions& options) {
+  if (ep >= s.functions.size()) {
+    throw std::invalid_argument("ep is not a function of S");
+  }
+  if (auto err = Validate(s)) {
+    throw std::invalid_argument("invalid program S: " + *err);
+  }
+
+  TaintEngine engine(s);
+  Extractor extractor(poc, ep, &engine, options.context_aware);
+  vm::Interpreter interp(s, poc, options.exec);
+  extractor.set_interpreter(&interp);
+  // Order matters: the engine must propagate taint for an instruction
+  // *after* the extractor sampled source taints for the same instruction?
+  // No — both consume the pre-update state for sources, but the engine
+  // overwrites destination taint in OnInstr. The extractor reads source
+  // operands only, and the engine updates destinations only, so having
+  // the extractor observe first keeps the sampled sets pre-update.
+  interp.AddObserver(&extractor);
+  interp.AddObserver(&engine);
+  const vm::ExecResult run = interp.Run();
+
+  ExtractionResult result;
+  result.trap = run.trap;
+  result.instructions = run.instructions;
+  result.ep_encounters = extractor.encounters();
+  result.bunches = extractor.TakeBunches();
+  return result;
+}
+
+}  // namespace octopocs::taint

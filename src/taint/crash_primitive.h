@@ -1,0 +1,70 @@
+// Phase P1: context-aware crash-primitive extraction (Algorithm 1).
+//
+// Runs S concretely on the original PoC with the taint engine attached
+// and records, for every encounter of the shared-area entry point `ep`,
+// which PoC bytes were consumed while execution was inside ℓ. Each
+// encounter produces one *bunch* — the byte offsets/values plus the
+// concrete arguments ep was called with. P3 later replays bunch k when
+// the directed execution of T reaches ep for the k-th time.
+//
+// "Context-aware" is the paper's Table III ablation knob: with context
+// disabled the extractor still collects the same offsets but merges them
+// into a single bunch, losing the per-encounter grouping (and the ep
+// argument contexts beyond the first), which is exactly why the ablation
+// fails on multi-encounter targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+#include "taint/taint_engine.h"
+#include "vm/interp.h"
+
+namespace octopocs::taint {
+
+/// One crash primitive: the PoC bytes used inside ℓ during a single
+/// encounter of ep, with the context needed to replay it.
+struct Bunch {
+  /// (poc offset, poc byte value), sorted by offset, deduplicated.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> bytes;
+  /// Concrete arguments ep received at this encounter. P3 requires T to
+  /// execute ep "with the same parameters as those used in S".
+  std::vector<std::uint64_t> ep_args;
+  /// S's file-position indicator when this encounter began. P3 places
+  /// each bunch byte at (offset - file_pos_at_ep) relative to T's file
+  /// position at the matching encounter; bytes consumed inside ℓ but
+  /// read *before* ep keep their absolute offsets (best effort).
+  std::uint64_t file_pos_at_ep = 0;
+
+  /// Number of primitive bytes in this bunch.
+  std::size_t size() const { return bytes.size(); }
+};
+
+struct ExtractionResult {
+  /// bunches[k] belongs to the (k+1)-th encounter of ep.
+  std::vector<Bunch> bunches;
+  /// Trap S died with. P1 is only meaningful when this is a crash — the
+  /// PoC must actually trigger the vulnerability in S.
+  vm::TrapKind trap = vm::TrapKind::kNone;
+  /// Total times execution entered ℓ through ep.
+  std::uint32_t ep_encounters = 0;
+  /// Instructions executed (diagnostics; Table IV-style costs).
+  std::uint64_t instructions = 0;
+
+  bool Crashed() const { return vm::IsCrash(trap); }
+};
+
+struct ExtractionOptions {
+  /// Table III knob: false collapses every encounter into bunch 0.
+  bool context_aware = true;
+  vm::ExecOptions exec;
+};
+
+/// Runs S on `poc` and extracts crash primitives relative to `ep`.
+/// Throws std::invalid_argument if `ep` is not a function of S.
+ExtractionResult ExtractCrashPrimitives(const vm::Program& s, ByteView poc,
+                                        vm::FuncId ep,
+                                        const ExtractionOptions& options = {});
+
+}  // namespace octopocs::taint

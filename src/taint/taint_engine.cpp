@@ -1,0 +1,166 @@
+#include "taint/taint_engine.h"
+
+namespace octopocs::taint {
+
+const TaintSet TaintEngine::kEmpty{};
+
+TaintEngine::TaintEngine(const vm::Program& program) : program_(program) {}
+
+const TaintSet& TaintEngine::RegTaint(vm::Reg r) const {
+  if (frames_.empty() || r >= frames_.back().size()) return kEmpty;
+  return frames_.back()[r];
+}
+
+TaintSet TaintEngine::MemTaint(std::uint64_t addr, std::uint64_t width) const {
+  TaintSet out;
+  // The file mapping is an implicit taint source: byte i of the mapping
+  // *is* PoC byte i (the "memory-mapping function" input channel the
+  // paper hooks alongside file reads).
+  if (addr + width > vm::kMmapBase) {
+    for (std::uint64_t i = 0; i < width; ++i) {
+      if (addr + i >= vm::kMmapBase) {
+        out.Insert(static_cast<std::uint32_t>(addr + i - vm::kMmapBase));
+      }
+    }
+    return out;
+  }
+  // Range scan over the per-byte map: widths are tiny (<= 8 for register
+  // accesses), but kRead can cover whole buffers, so iterate the map
+  // range rather than probing byte by byte.
+  auto it = mem_.lower_bound(addr);
+  while (it != mem_.end() && it->first < addr + width) {
+    out.UnionWith(it->second);
+    ++it;
+  }
+  return out;
+}
+
+TaintSet TaintEngine::SourceTaint(const vm::Instr& instr,
+                                  std::uint64_t eff_addr) const {
+  using vm::Op;
+  TaintSet out;
+  switch (instr.op) {
+    case Op::kMov:
+    case Op::kNot:
+    case Op::kAddImm:
+      out.UnionWith(RegTaint(instr.b));
+      break;
+    case Op::kLoad:
+      out.UnionWith(MemTaint(eff_addr, instr.width));
+      out.UnionWith(RegTaint(instr.b));  // the pointer itself
+      break;
+    case Op::kStore:
+      out.UnionWith(RegTaint(instr.a));
+      out.UnionWith(RegTaint(instr.b));
+      break;
+    case Op::kAssert:
+    case Op::kFree:
+      out.UnionWith(RegTaint(instr.a));
+      break;
+    case Op::kAlloc:
+    case Op::kSeek:
+      out.UnionWith(RegTaint(instr.b));
+      break;
+    case Op::kRead:
+      // A file read *uses* its destination pointer and count — a
+      // tainted length driving an overflowing read is a crash
+      // primitive (several corpus CVEs have exactly this shape).
+      out.UnionWith(RegTaint(instr.b));
+      out.UnionWith(RegTaint(instr.c));
+      break;
+    default:
+      if (vm::IsBinaryAlu(instr.op)) {
+        out.UnionWith(RegTaint(instr.b));
+        out.UnionWith(RegTaint(instr.c));
+      }
+      break;
+  }
+  return out;
+}
+
+void TaintEngine::OnInstr(vm::FuncId, vm::BlockId, std::size_t,
+                          const vm::Instr& instr, std::uint64_t eff_addr,
+                          std::uint64_t) {
+  using vm::Op;
+  if (frames_.empty()) return;
+  auto& regs = Top();
+  switch (instr.op) {
+    case Op::kMovImm:
+    case Op::kAlloc:     // fresh pointer: clean by policy
+    case Op::kMMap:      // the mapping base is a clean pointer too
+    case Op::kTell:
+    case Op::kFileSize:
+    case Op::kFnAddr:
+      regs[instr.a].Clear();
+      break;
+    case Op::kMov:
+    case Op::kNot:
+    case Op::kAddImm:
+      regs[instr.a] = regs[instr.b];
+      break;
+    case Op::kLoad:
+      regs[instr.a] = MemTaint(eff_addr, instr.width);
+      break;
+    case Op::kStore: {
+      // Strong update per written byte: tainted source propagates, clean
+      // source erases (Algorithm 1 lines 8-11).
+      const TaintSet& src = regs[instr.a];
+      for (std::uint64_t i = 0; i < instr.width; ++i) {
+        if (src.empty()) {
+          mem_.erase(eff_addr + i);
+        } else {
+          mem_[eff_addr + i] = src;
+        }
+      }
+      break;
+    }
+    case Op::kRead:
+      // The count of bytes read is a length, not content.
+      regs[instr.a].Clear();
+      break;
+    default:
+      if (vm::IsBinaryAlu(instr.op)) {
+        TaintSet t = regs[instr.b];
+        t.UnionWith(regs[instr.c]);
+        regs[instr.a] = std::move(t);
+      }
+      break;
+  }
+}
+
+void TaintEngine::OnCallEnter(vm::FuncId callee,
+                              std::span<const std::uint64_t> args,
+                              const vm::Instr* call_site) {
+  std::vector<TaintSet> next(program_.Fn(callee).num_regs);
+  if (call_site != nullptr && !frames_.empty()) {
+    const auto& caller = frames_.back();
+    for (std::size_t i = 0; i < call_site->args.size(); ++i) {
+      next[i] = caller[call_site->args[i]];
+    }
+  }
+  (void)args;
+  frames_.push_back(std::move(next));
+}
+
+void TaintEngine::OnCallExit(vm::FuncId, std::uint64_t, bool returns_value,
+                             vm::Reg callee_value_reg,
+                             vm::Reg caller_dest_reg) {
+  TaintSet ret_taint;
+  if (returns_value && !frames_.empty()) {
+    ret_taint = frames_.back()[callee_value_reg];
+  }
+  frames_.pop_back();
+  if (!frames_.empty()) {
+    frames_.back()[caller_dest_reg] = std::move(ret_taint);
+  }
+}
+
+void TaintEngine::OnFileRead(std::uint64_t dst_addr, std::uint64_t file_off,
+                             std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem_[dst_addr + i] =
+        TaintSet::Single(static_cast<std::uint32_t>(file_off + i));
+  }
+}
+
+}  // namespace octopocs::taint

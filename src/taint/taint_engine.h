@@ -1,0 +1,70 @@
+// Byte-level dynamic taint engine (the PIN-tool substitute).
+//
+// Labels are input-file offsets: after the run, a register or memory byte
+// is tainted with exactly the set of PoC byte offsets that flowed into it
+// through data dependencies. The engine mirrors the MiniVM's dataflow as
+// an ExecutionObserver — the same architecture as a PIN analysis tool,
+// which re-derives dataflow from the instruction stream.
+//
+// Policy (standard explicit-flow taint, byte granularity in memory):
+//  - kRead seeds mem[dst+i] with {file_off+i} (the "specified memory
+//    area" of the paper, tracked per byte with its originating offset);
+//  - ALU ops union source-register taints into the destination;
+//  - loads union the accessed memory bytes' taints; stores write the
+//    source register's taint to every written byte (strong update: an
+//    untainted store clears taint, mirroring Algorithm 1 line 11);
+//  - calls copy argument-register taints into the callee frame and the
+//    return-register taint back to the caller;
+//  - pointers produced by kAlloc, counts, and file positions are clean.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/small_set.h"
+#include "vm/interp.h"
+
+namespace octopocs::taint {
+
+using TaintSet = SortedSmallSet<std::uint32_t>;
+
+class TaintEngine : public vm::ExecutionObserver {
+ public:
+  explicit TaintEngine(const vm::Program& program);
+
+  // -- Queries (valid during and after a run) ------------------------------
+
+  /// Taint of register `r` in the innermost frame.
+  const TaintSet& RegTaint(vm::Reg r) const;
+
+  /// Union of the per-byte taints of [addr, addr+width).
+  TaintSet MemTaint(std::uint64_t addr, std::uint64_t width) const;
+
+  /// Union of the taints of every *source* operand of `instr` as it
+  /// executed (registers read, memory bytes loaded or stored over).
+  /// This is what "the specified memory area is referenced" means in
+  /// Algorithm 1 — crash-primitive extraction marks these offsets.
+  TaintSet SourceTaint(const vm::Instr& instr, std::uint64_t eff_addr) const;
+
+  // -- ExecutionObserver ----------------------------------------------------
+  void OnInstr(vm::FuncId fn, vm::BlockId block, std::size_t ip,
+               const vm::Instr& instr, std::uint64_t eff_addr,
+               std::uint64_t value) override;
+  void OnCallEnter(vm::FuncId callee, std::span<const std::uint64_t> args,
+                   const vm::Instr* call_site) override;
+  void OnCallExit(vm::FuncId callee, std::uint64_t ret, bool returns_value,
+                  vm::Reg callee_value_reg, vm::Reg caller_dest_reg) override;
+  void OnFileRead(std::uint64_t dst_addr, std::uint64_t file_off,
+                  std::uint64_t count) override;
+
+ private:
+  std::vector<TaintSet>& Top() { return frames_.back(); }
+
+  const vm::Program& program_;
+  std::vector<std::vector<TaintSet>> frames_;  // register taint per frame
+  std::map<std::uint64_t, TaintSet> mem_;      // per-byte memory taint
+  static const TaintSet kEmpty;
+};
+
+}  // namespace octopocs::taint

@@ -1,0 +1,794 @@
+#include "vm/asm.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/hex.h"
+
+namespace octopocs::vm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line-level tokenizer: a cursor over one statement.
+// ---------------------------------------------------------------------------
+class Cursor {
+ public:
+  Cursor(std::string_view text, std::size_t line) : text_(text), line_(line) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string Ident() {
+    SkipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string QuotedString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') Fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: Fail("unknown string escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  std::string RegName() {
+    Expect('%');
+    return Ident();
+  }
+
+  /// Immediate forms: decimal (negatives wrap to two's complement), 0x hex,
+  /// 'c' char literal, @symbol (resolved by the caller).
+  struct Imm {
+    std::uint64_t value = 0;
+    std::string symbol;  // non-empty for @symbol
+  };
+
+  Imm ParseImm() {
+    SkipWs();
+    Imm imm;
+    if (pos_ >= text_.size()) Fail("expected immediate");
+    if (text_[pos_] == '@') {
+      ++pos_;
+      imm.symbol = Ident();
+      return imm;
+    }
+    if (text_[pos_] == '\'') {
+      ++pos_;
+      if (pos_ >= text_.size()) Fail("unterminated char literal");
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          default: Fail("unknown char escape");
+        }
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '\'') {
+        Fail("unterminated char literal");
+      }
+      ++pos_;
+      imm.value = static_cast<std::uint8_t>(c);
+      return imm;
+    }
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      const std::size_t start = pos_;
+      std::uint64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+        const char c = text_[pos_++];
+        v = v * 16 + static_cast<std::uint64_t>(
+                         c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+      }
+      if (pos_ == start) Fail("expected hex digits");
+      imm.value = negative ? ~v + 1 : v;
+      return imm;
+    }
+    const std::size_t start = pos_;
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    }
+    if (pos_ == start) Fail("expected immediate");
+    imm.value = negative ? ~v + 1 : v;
+    return imm;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) {
+    throw AsmError(line_, message + " in '" + std::string(text_) + "'");
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+struct PendingCall {
+  FuncId fn;          // function containing the call / fnaddr
+  BlockId block;
+  std::size_t ip;
+  std::string callee;
+  std::size_t line;
+};
+
+struct PendingImm {
+  FuncId fn;
+  BlockId block;
+  std::size_t ip;
+  std::string symbol;
+  std::size_t line;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) {
+    std::size_t start = 0;
+    std::size_t line_no = 1;
+    while (start <= source.size()) {
+      std::size_t end = source.find('\n', start);
+      if (end == std::string_view::npos) end = source.size();
+      std::string_view line = source.substr(start, end - start);
+      if (const std::size_t comment = line.find(';');
+          comment != std::string_view::npos) {
+        line = line.substr(0, comment);
+      }
+      // Trim trailing whitespace only; leading is handled by Cursor.
+      while (!line.empty() &&
+             std::isspace(static_cast<unsigned char>(line.back()))) {
+        line.remove_suffix(1);
+      }
+      bool blank = true;
+      for (const char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+      }
+      if (!blank) lines_.push_back({line, line_no});
+      start = end + 1;
+      ++line_no;
+      if (end == source.size()) break;
+    }
+  }
+
+  Program Build() {
+    DeclarationPass();
+    BodyPass();
+    ResolveRefs();
+    FinishProgram();
+    return std::move(program_);
+  }
+
+ private:
+  struct Line {
+    std::string_view text;
+    std::size_t line_no;
+  };
+
+  enum class Section { kNone, kData, kFunc };
+
+  static std::string FirstWord(std::string_view text) {
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[i])) ||
+            text[i] == '_' || text[i] == '.')) {
+      ++i;
+    }
+    return std::string(text.substr(start, i - start));
+  }
+
+  // Pass 1: register every function signature and fully parse data
+  // sections (symbol offsets must be known before bodies reference them).
+  void DeclarationPass() {
+    Section section = Section::kNone;
+    for (const Line& line : lines_) {
+      const std::string word = FirstWord(line.text);
+      if (word == "program") {
+        Cursor cur(line.text, line.line_no);
+        cur.Ident();
+        program_.name = cur.QuotedString();
+        section = Section::kNone;
+      } else if (word == "data") {
+        Cursor cur(line.text, line.line_no);
+        cur.Ident();
+        const std::string name = cur.Ident();
+        cur.Expect(':');
+        if (data_symbols_.count(name) != 0) {
+          throw AsmError(line.line_no, "duplicate data symbol " + name);
+        }
+        RodataSymbol sym;
+        sym.name = name;
+        sym.offset = program_.rodata.size();
+        program_.rodata_symbols.push_back(sym);
+        data_symbols_[name] = program_.rodata_symbols.size() - 1;
+        section = Section::kData;
+      } else if (word == "func") {
+        ParseFuncHeader(line);
+        section = Section::kFunc;
+      } else if (section == Section::kData) {
+        ParseDataDirective(line);
+      } else if (section != Section::kFunc) {
+        throw AsmError(line.line_no, "statement outside any section");
+      }
+    }
+    // Fix symbol sizes now that all data is appended.
+    for (std::size_t i = 0; i < program_.rodata_symbols.size(); ++i) {
+      auto& sym = program_.rodata_symbols[i];
+      const std::uint64_t next = i + 1 < program_.rodata_symbols.size()
+                                     ? program_.rodata_symbols[i + 1].offset
+                                     : program_.rodata.size();
+      sym.size = next - sym.offset;
+    }
+  }
+
+  void ParseFuncHeader(const Line& line) {
+    Cursor cur(line.text, line.line_no);
+    cur.Ident();  // "func"
+    const std::string name = cur.Ident();
+    if (func_ids_.count(name) != 0) {
+      throw AsmError(line.line_no, "duplicate function " + name);
+    }
+    Function fn;
+    fn.name = name;
+    cur.Expect('(');
+    std::vector<std::string> params;
+    if (!cur.TryConsume(')')) {
+      do {
+        params.push_back(cur.Ident());
+      } while (cur.TryConsume(','));
+      cur.Expect(')');
+    }
+    fn.num_params = static_cast<std::uint8_t>(params.size());
+    func_ids_[name] = static_cast<FuncId>(program_.functions.size());
+    func_params_.push_back(std::move(params));
+    program_.functions.push_back(std::move(fn));
+  }
+
+  void ParseDataDirective(const Line& line) {
+    Cursor cur(line.text, line.line_no);
+    const std::string directive = cur.Ident();
+    auto& rodata = program_.rodata;
+    if (directive == ".u8" || directive == ".u16" || directive == ".u32" ||
+        directive == ".u64") {
+      const unsigned width = directive == ".u8"    ? 1
+                             : directive == ".u16" ? 2
+                             : directive == ".u32" ? 4
+                                                   : 8;
+      while (!cur.AtEnd()) {
+        const auto imm = cur.ParseImm();
+        if (!imm.symbol.empty()) {
+          throw AsmError(line.line_no, "@symbol not allowed in data");
+        }
+        AppendLe(rodata, imm.value, width);
+      }
+    } else if (directive == ".bytes") {
+      // Everything after the directive is whitespace-separated hex pairs.
+      const std::size_t at = line.text.find(".bytes");
+      const std::string_view rest = line.text.substr(at + 6);
+      try {
+        const Bytes parsed = FromHex(rest);
+        rodata.insert(rodata.end(), parsed.begin(), parsed.end());
+      } catch (const std::invalid_argument& e) {
+        throw AsmError(line.line_no, std::string(".bytes: ") + e.what());
+      }
+    } else if (directive == ".str") {
+      const std::string s = cur.QuotedString();
+      rodata.insert(rodata.end(), s.begin(), s.end());
+    } else if (directive == ".zero") {
+      const auto imm = cur.ParseImm();
+      rodata.insert(rodata.end(), imm.value, 0);
+    } else {
+      throw AsmError(line.line_no, "unknown data directive " + directive);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Pass 2: function bodies.
+  // ---------------------------------------------------------------------
+  struct FuncCtx {
+    Function* fn = nullptr;
+    FuncId id = 0;
+    std::map<std::string, Reg> regs;
+    std::map<std::string, BlockId> labels;
+    std::map<BlockId, bool> block_defined;
+    std::optional<BlockId> current;
+    std::size_t header_line = 0;
+  };
+
+  Reg GetReg(FuncCtx& ctx, const std::string& name, std::size_t line) {
+    auto it = ctx.regs.find(name);
+    if (it != ctx.regs.end()) return it->second;
+    if (ctx.regs.size() >= kMaxRegs) {
+      throw AsmError(line, "register file exhausted in " + ctx.fn->name);
+    }
+    const Reg r = static_cast<Reg>(ctx.regs.size());
+    ctx.regs[name] = r;
+    return r;
+  }
+
+  BlockId GetBlock(FuncCtx& ctx, const std::string& label) {
+    auto it = ctx.labels.find(label);
+    if (it != ctx.labels.end()) return it->second;
+    const BlockId id = static_cast<BlockId>(ctx.fn->blocks.size());
+    ctx.fn->blocks.emplace_back();
+    ctx.labels[label] = id;
+    ctx.block_defined[id] = false;
+    return id;
+  }
+
+  Block& CurrentBlock(FuncCtx& ctx, std::size_t line) {
+    if (!ctx.current) {
+      if (!ctx.fn->blocks.empty() && !ctx.labels.empty()) {
+        throw AsmError(line, "unreachable code after terminator");
+      }
+      if (ctx.fn->blocks.empty()) {
+        ctx.fn->blocks.emplace_back();  // anonymous entry block
+        ctx.block_defined[0] = true;
+      }
+      ctx.current = 0;
+    }
+    return ctx.fn->blocks[*ctx.current];
+  }
+
+  void BodyPass() {
+    FuncCtx ctx;
+    bool in_data = false;
+    for (const Line& line : lines_) {
+      const std::string word = FirstWord(line.text);
+      if (word == "program") continue;
+      if (word == "data") {
+        FinishFunction(ctx);
+        in_data = true;
+        continue;
+      }
+      if (word == "func") {
+        FinishFunction(ctx);
+        in_data = false;
+        StartFunction(ctx, line);
+        continue;
+      }
+      if (in_data) continue;  // data directives handled in pass 1
+      if (ctx.fn == nullptr) {
+        throw AsmError(line.line_no, "statement outside any function");
+      }
+      ParseStatement(ctx, line);
+    }
+    FinishFunction(ctx);
+  }
+
+  void StartFunction(FuncCtx& ctx, const Line& line) {
+    Cursor cur(line.text, line.line_no);
+    cur.Ident();
+    const std::string name = cur.Ident();
+    const FuncId id = func_ids_.at(name);
+    ctx = FuncCtx{};
+    ctx.fn = &program_.functions[id];
+    ctx.id = id;
+    ctx.header_line = line.line_no;
+    for (const std::string& param : func_params_[id]) {
+      GetReg(ctx, param, line.line_no);
+    }
+  }
+
+  void FinishFunction(FuncCtx& ctx) {
+    if (ctx.fn == nullptr) return;
+    if (ctx.fn->blocks.empty()) {
+      throw AsmError(ctx.header_line, ctx.fn->name + ": empty function");
+    }
+    if (ctx.current) {
+      throw AsmError(ctx.header_line,
+                     ctx.fn->name + ": last block lacks a terminator");
+    }
+    for (const auto& [label, id] : ctx.labels) {
+      if (!ctx.block_defined[id]) {
+        throw AsmError(ctx.header_line,
+                       ctx.fn->name + ": undefined label " + label);
+      }
+    }
+    ctx.fn->num_regs = static_cast<std::uint8_t>(
+        std::max<std::size_t>(ctx.regs.size(), 1));
+    ctx.fn = nullptr;
+  }
+
+  void Terminate(FuncCtx& ctx, std::size_t line, Terminator term) {
+    CurrentBlock(ctx, line).term = term;
+    ctx.current.reset();
+  }
+
+  void ParseStatement(FuncCtx& ctx, const Line& line) {
+    // Label?
+    {
+      Cursor probe(line.text, line.line_no);
+      const char first = probe.Peek();
+      if (first != '%' && first != '\0') {
+        Cursor cur(line.text, line.line_no);
+        const std::string ident = cur.Ident();
+        if (cur.TryConsume(':') && cur.AtEnd()) {
+          const BlockId id = GetBlock(ctx, ident);
+          if (ctx.block_defined[id]) {
+            throw AsmError(line.line_no, "duplicate label " + ident);
+          }
+          ctx.block_defined[id] = true;
+          // Implicit fallthrough from the open block.
+          if (ctx.current) {
+            ctx.fn->blocks[*ctx.current].term = Terminator::Jump(id);
+          } else if (ctx.fn->blocks.size() == 1 &&
+                     ctx.fn->blocks[0].instrs.empty() &&
+                     ctx.labels.size() == 1) {
+            // First label of the function names the entry block. Nothing
+            // to do: GetBlock already created block 0.
+          }
+          ctx.current = id;
+          return;
+        }
+      }
+    }
+    Cursor cur(line.text, line.line_no);
+    const std::string op = cur.Ident();
+    EmitInstr(ctx, line.line_no, op, cur);
+  }
+
+  void EmitInstr(FuncCtx& ctx, std::size_t line, const std::string& op,
+                 Cursor& cur) {
+    auto reg = [&] { return GetReg(ctx, cur.RegName(), line); };
+    auto comma = [&] { cur.Expect(','); };
+    auto imm_field = [&](Instr& ins) {
+      const auto imm = cur.ParseImm();
+      if (!imm.symbol.empty()) {
+        // Block/ip are patched inside push() once the instr is placed.
+        pending_imms_.push_back({ctx.id, 0, 0, imm.symbol, line});
+        ins.imm = 0;
+        return true;
+      }
+      ins.imm = imm.value;
+      return false;
+    };
+
+    Instr ins;
+    bool pending_symbol = false;
+
+    auto push = [&] {
+      Block& block = CurrentBlock(ctx, line);
+      block.instrs.push_back(std::move(ins));
+      if (pending_symbol) {
+        pending_imms_.back().block = *ctx.current;
+        pending_imms_.back().ip = block.instrs.size() - 1;
+      }
+    };
+
+    // Terminators first.
+    if (op == "jmp") {
+      const std::string label = cur.Ident();
+      CurrentBlock(ctx, line);  // ensure open block exists
+      Terminate(ctx, line, Terminator::Jump(GetBlock(ctx, label)));
+      return;
+    }
+    if (op == "br") {
+      const Reg cond = reg();
+      comma();
+      const std::string taken = cur.Ident();
+      comma();
+      const std::string not_taken = cur.Ident();
+      CurrentBlock(ctx, line);
+      // Sequence the GetBlock calls: argument evaluation order is
+      // unspecified and block ids should follow source order.
+      const BlockId taken_id = GetBlock(ctx, taken);
+      const BlockId not_taken_id = GetBlock(ctx, not_taken);
+      Terminate(ctx, line, Terminator::Branch(cond, taken_id, not_taken_id));
+      return;
+    }
+    if (op == "ret") {
+      CurrentBlock(ctx, line);
+      if (cur.AtEnd()) {
+        Terminate(ctx, line, Terminator::Ret());
+      } else {
+        Terminate(ctx, line, Terminator::Ret(reg()));
+      }
+      return;
+    }
+
+    static const std::map<std::string, Op> kBinary = {
+        {"add", Op::kAdd},       {"sub", Op::kSub},
+        {"mul", Op::kMul},       {"divu", Op::kDivU},
+        {"remu", Op::kRemU},     {"and", Op::kAnd},
+        {"or", Op::kOr},         {"xor", Op::kXor},
+        {"shl", Op::kShl},       {"shr", Op::kShr},
+        {"cmpeq", Op::kCmpEq},   {"cmpne", Op::kCmpNe},
+        {"cmpltu", Op::kCmpLtU}, {"cmpleu", Op::kCmpLeU},
+        {"cmpgtu", Op::kCmpGtU}, {"cmpgeu", Op::kCmpGeU},
+    };
+
+    if (auto it = kBinary.find(op); it != kBinary.end()) {
+      ins.op = it->second;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      comma();
+      ins.c = reg();
+      push();
+      return;
+    }
+
+    if (op == "movi") {
+      ins.op = Op::kMovImm;
+      ins.a = reg();
+      comma();
+      pending_symbol = imm_field(ins);
+      push();
+      return;
+    }
+    if (op == "mov") {
+      ins.op = Op::kMov;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      push();
+      return;
+    }
+    if (op == "not") {
+      ins.op = Op::kNot;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      push();
+      return;
+    }
+    if (op == "addi") {
+      ins.op = Op::kAddImm;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      comma();
+      pending_symbol = imm_field(ins);
+      push();
+      return;
+    }
+    if (op.rfind("load.", 0) == 0 || op.rfind("store.", 0) == 0) {
+      const bool is_load = op[0] == 'l';
+      const std::string suffix = op.substr(op.find('.') + 1);
+      if (suffix != "1" && suffix != "2" && suffix != "4" && suffix != "8") {
+        throw AsmError(line, "bad width suffix in " + op);
+      }
+      ins.op = is_load ? Op::kLoad : Op::kStore;
+      ins.width = static_cast<std::uint8_t>(suffix[0] - '0');
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      comma();
+      pending_symbol = imm_field(ins);
+      push();
+      return;
+    }
+    if (op == "alloc") {
+      ins.op = Op::kAlloc;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      push();
+      return;
+    }
+    if (op == "free") {
+      ins.op = Op::kFree;
+      ins.a = reg();
+      push();
+      return;
+    }
+    if (op == "read") {
+      ins.op = Op::kRead;
+      ins.a = reg();
+      comma();
+      ins.b = reg();
+      comma();
+      ins.c = reg();
+      push();
+      return;
+    }
+    if (op == "seek") {
+      ins.op = Op::kSeek;
+      ins.b = reg();
+      push();
+      return;
+    }
+    if (op == "mmap") {
+      ins.op = Op::kMMap;
+      ins.a = reg();
+      push();
+      return;
+    }
+    if (op == "tell") {
+      ins.op = Op::kTell;
+      ins.a = reg();
+      push();
+      return;
+    }
+    if (op == "fsize") {
+      ins.op = Op::kFileSize;
+      ins.a = reg();
+      push();
+      return;
+    }
+    if (op == "call" || op == "icall") {
+      ins.op = op == "call" ? Op::kCall : Op::kICall;
+      ins.a = reg();
+      comma();
+      if (ins.op == Op::kCall) {
+        const std::string callee = cur.Ident();
+        pending_calls_.push_back({ctx.id, 0, 0, callee, line});
+      } else {
+        ins.b = reg();
+      }
+      cur.Expect('(');
+      if (!cur.TryConsume(')')) {
+        do {
+          ins.args.push_back(reg());
+        } while (cur.TryConsume(','));
+        cur.Expect(')');
+      }
+      push();
+      if (ins.op == Op::kCall) {
+        Block& block = ctx.fn->blocks[*ctx.current];
+        pending_calls_.back().block = *ctx.current;
+        pending_calls_.back().ip = block.instrs.size() - 1;
+      }
+      return;
+    }
+    if (op == "fnaddr") {
+      ins.op = Op::kFnAddr;
+      ins.a = reg();
+      comma();
+      const std::string callee = cur.Ident();
+      pending_calls_.push_back({ctx.id, 0, 0, callee, line});
+      push();
+      Block& block = ctx.fn->blocks[*ctx.current];
+      pending_calls_.back().block = *ctx.current;
+      pending_calls_.back().ip = block.instrs.size() - 1;
+      return;
+    }
+    if (op == "assert") {
+      ins.op = Op::kAssert;
+      ins.a = reg();
+      push();
+      return;
+    }
+    if (op == "trap") {
+      // `trap` both emits the instruction and terminates the block: no
+      // fallthrough exists after an unconditional abort.
+      CurrentBlock(ctx, line).instrs.push_back({Op::kTrap, 0, 0, 0, 8, 0, {}});
+      Terminate(ctx, line, Terminator::Ret());
+      return;
+    }
+    if (op == "nop") {
+      ins.op = Op::kNop;
+      push();
+      return;
+    }
+    throw AsmError(line, "unknown mnemonic " + op);
+  }
+
+  void ResolveRefs() {
+    for (const PendingCall& pc : pending_calls_) {
+      auto it = func_ids_.find(pc.callee);
+      if (it == func_ids_.end()) {
+        throw AsmError(pc.line, "call to unknown function " + pc.callee);
+      }
+      program_.functions[pc.fn].blocks[pc.block].instrs[pc.ip].imm =
+          it->second;
+    }
+    for (const PendingImm& pi : pending_imms_) {
+      auto it = data_symbols_.find(pi.symbol);
+      if (it == data_symbols_.end()) {
+        throw AsmError(pi.line, "unknown data symbol @" + pi.symbol);
+      }
+      program_.functions[pi.fn].blocks[pi.block].instrs[pi.ip].imm =
+          kRodataBase + program_.rodata_symbols[it->second].offset;
+    }
+  }
+
+  void FinishProgram() {
+    const FuncId entry = program_.FindFunction("main");
+    if (entry == kInvalidFunc) {
+      throw AsmError(1, "program has no 'main' function");
+    }
+    program_.entry = entry;
+    if (auto err = Validate(program_)) {
+      throw AsmError(1, "validation failed: " + *err);
+    }
+  }
+
+  std::vector<Line> lines_;
+  Program program_;
+  std::map<std::string, FuncId> func_ids_;
+  std::vector<std::vector<std::string>> func_params_;
+  std::map<std::string, std::size_t> data_symbols_;
+  std::vector<PendingCall> pending_calls_;
+  std::vector<PendingImm> pending_imms_;
+};
+
+}  // namespace
+
+Program Assemble(std::string_view source) {
+  return Assembler(source).Build();
+}
+
+Program AssembleParts(std::initializer_list<std::string_view> sources) {
+  std::string merged;
+  for (const auto part : sources) {
+    merged.append(part);
+    merged.push_back('\n');
+  }
+  return Assemble(merged);
+}
+
+}  // namespace octopocs::vm

@@ -1,0 +1,73 @@
+// MiniVM text assembler.
+//
+// Corpus programs (the 15 S/T pairs) are authored as assembly text and
+// assembled into vm::Program values. Keeping them textual makes the shared
+// vulnerable area ℓ literally shared: the same function source is spliced
+// into both S and T.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   program "mupdf"            ; optional program name
+//
+//   data tag_table:            ; rodata blob with a named symbol
+//     .u16 0x100 0x101         ; little-endian fields
+//     .u32 640
+//     .bytes de ad be ef       ; raw hex bytes
+//     .str "GIF87a"            ; raw characters
+//
+//   func main()                ; entry point is the function named "main"
+//     movi %n, 4
+//     call %hdr, read_header(%n)
+//     br %hdr, ok, bad         ; condition, taken-label, fallthrough-label
+//   ok:
+//     ret %hdr
+//   bad:
+//     trap
+//
+//   func read_header(count)    ; parameters bind %count to r0, ...
+//     ...
+//     ret
+//
+// Registers are named (%x) and allocated per function on first use;
+// parameters occupy r0..rN-1. Immediates: decimal (negatives wrap),
+// 0x hex, 'c' char, or @symbol for the absolute address of a data symbol.
+// Instruction mnemonics match vm::OpName; loads/stores carry a width
+// suffix: load.1/.2/.4/.8 %dst, %base, offset.
+//
+// A label starts a new basic block; falling off a block into a label
+// inserts an implicit jump. Every function must end each block with a
+// terminator (jmp/br/ret/trap).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "vm/ir.h"
+
+namespace octopocs::vm {
+
+/// Raised on any syntax or semantic error; the message includes the
+/// 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles `source` into a validated Program. Throws AsmError.
+Program Assemble(std::string_view source);
+
+/// Assembles the concatenation of several sources (e.g. a shared-ℓ
+/// library plus a program-specific harness). Sources are concatenated in
+/// order, so later functions may reference earlier ones and vice versa —
+/// call resolution is a second pass over the whole unit.
+Program AssembleParts(std::initializer_list<std::string_view> sources);
+
+}  // namespace octopocs::vm

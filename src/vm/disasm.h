@@ -1,0 +1,20 @@
+// MiniVM disassembler: Program → assembler-compatible text.
+//
+// Primarily a debugging aid, but also the round-trip oracle for the
+// assembler tests: Assemble(Disassemble(p)) must reproduce p.
+#pragma once
+
+#include <string>
+
+#include "vm/ir.h"
+
+namespace octopocs::vm {
+
+/// Renders a single function.
+std::string DisassembleFunction(const Program& program, FuncId fn);
+
+/// Renders the whole program (data sections first, then functions) in a
+/// form Assemble() accepts.
+std::string Disassemble(const Program& program);
+
+}  // namespace octopocs::vm

@@ -1,0 +1,422 @@
+#include "vm/interp.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace octopocs::vm {
+
+std::string_view TrapName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kOutOfBounds: return "out-of-bounds";
+    case TrapKind::kNullDeref: return "null-deref";
+    case TrapKind::kUseAfterFree: return "use-after-free";
+    case TrapKind::kDoubleFree: return "double-free";
+    case TrapKind::kDivByZero: return "div-by-zero";
+    case TrapKind::kAbort: return "abort";
+    case TrapKind::kFuelExhausted: return "fuel-exhausted";
+    case TrapKind::kStackOverflow: return "stack-overflow";
+    case TrapKind::kOutOfMemory: return "out-of-memory";
+    case TrapKind::kBadIndirectCall: return "bad-indirect-call";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const Program& program, ByteView input,
+                         ExecOptions opts)
+    : program_(program), input_(input.begin(), input.end()), opts_(opts) {
+  Frame entry;
+  entry.fn = program_.entry;
+  entry.regs.assign(program_.Fn(program_.entry).num_regs, 0);
+  frames_.push_back(std::move(entry));
+}
+
+void Interpreter::AddObserver(ExecutionObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Interpreter::SetTrap(TrapKind kind, std::uint64_t fault_addr,
+                          std::string message) {
+  result_.trap = kind;
+  result_.fault_addr = fault_addr;
+  result_.trap_message = std::move(message);
+  CaptureBacktrace();
+  done_ = true;
+}
+
+void Interpreter::CaptureBacktrace() {
+  result_.backtrace.clear();
+  result_.backtrace.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    result_.backtrace.push_back({f.fn, f.block, f.ip});
+  }
+}
+
+std::uint8_t* Interpreter::BytePtr(std::uint64_t addr, bool for_write) {
+  // Input-file mapping (read-only).
+  if (addr >= kMmapBase && addr < kMmapBase + input_.size()) {
+    if (for_write) return nullptr;
+    return &input_[addr - kMmapBase];
+  }
+  // Rodata segment.
+  if (addr >= kRodataBase && addr < kRodataBase + program_.rodata.size()) {
+    if (for_write) return nullptr;
+    // const_cast is safe: callers never write through a read resolution.
+    return const_cast<std::uint8_t*>(&program_.rodata[addr - kRodataBase]);
+  }
+  // Heap: find the allocation whose base is the greatest <= addr.
+  auto it = heap_.upper_bound(addr);
+  if (it == heap_.begin()) return nullptr;
+  --it;
+  Allocation& alloc = it->second;
+  const std::uint64_t off = addr - it->first;
+  if (off >= alloc.data.size()) return nullptr;
+  if (!alloc.alive) return nullptr;
+  return &alloc.data[off];
+}
+
+// Checks that [addr, addr+width) lies in one live region (rodata allowed;
+// store paths reject rodata before calling this). Records a trap otherwise.
+bool Interpreter::ResolveAccess(std::uint64_t addr, std::uint64_t width) {
+  if (width == 0) return true;
+  if (addr < kNullGuard || addr + width < addr) {
+    SetTrap(TrapKind::kNullDeref, addr, "access inside null guard page");
+    return false;
+  }
+  if (addr >= kRodataBase && addr < kHeapBase) {
+    if (addr + width <= kRodataBase + program_.rodata.size()) return true;
+    SetTrap(TrapKind::kOutOfBounds, addr, "access beyond rodata segment");
+    return false;
+  }
+  if (addr >= kMmapBase) {
+    if (addr + width <= kMmapBase + input_.size()) return true;
+    SetTrap(TrapKind::kOutOfBounds, addr, "access beyond the file mapping");
+    return false;
+  }
+  auto it = heap_.upper_bound(addr);
+  if (it != heap_.begin()) {
+    --it;
+    const Allocation& alloc = it->second;
+    const std::uint64_t off = addr - it->first;
+    if (off < alloc.data.size() && off + width <= alloc.data.size()) {
+      if (!alloc.alive) {
+        SetTrap(TrapKind::kUseAfterFree, addr, "access to freed allocation");
+        return false;
+      }
+      return true;
+    }
+  }
+  SetTrap(TrapKind::kOutOfBounds, addr, "access to unmapped address");
+  return false;
+}
+
+std::uint64_t Interpreter::LoadMem(std::uint64_t addr, std::uint64_t width) {
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(*BytePtr(addr + i, false)) << (8 * i);
+  }
+  return v;
+}
+
+void Interpreter::StoreMem(std::uint64_t addr, std::uint64_t width,
+                           std::uint64_t value) {
+  for (std::uint64_t i = 0; i < width; ++i) {
+    *BytePtr(addr + i, true) = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+bool Interpreter::Step() {
+  Frame& frame = frames_.back();
+  const Function& fn = program_.Fn(frame.fn);
+  const Block& block = fn.blocks[frame.block];
+
+  if (result_.instructions >= opts_.fuel) {
+    SetTrap(TrapKind::kFuelExhausted, 0, "instruction budget exhausted");
+    return false;
+  }
+  ++result_.instructions;
+
+  // Terminator?
+  if (frame.ip >= block.instrs.size()) {
+    const Terminator& t = block.term;
+    switch (t.kind) {
+      case TermKind::kJump: {
+        const BlockId from = frame.block;
+        frame.block = t.target;
+        frame.ip = 0;
+        for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, t.target);
+        return true;
+      }
+      case TermKind::kBranch: {
+        const BlockId from = frame.block;
+        const BlockId to =
+            frame.regs[t.cond] != 0 ? t.target : t.fallthrough;
+        frame.block = to;
+        frame.ip = 0;
+        for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, to);
+        return true;
+      }
+      case TermKind::kReturn: {
+        const std::uint64_t ret =
+            t.returns_value ? frame.regs[t.cond] : 0;
+        const FuncId callee = frame.fn;
+        const Reg ret_reg = frame.ret_reg;
+        frames_.pop_back();
+        for (auto* o : observers_) {
+          o->OnCallExit(callee, ret, t.returns_value, t.cond, ret_reg);
+        }
+        if (frames_.empty()) {
+          result_.return_value = ret;
+          done_ = true;
+          return false;
+        }
+        frames_.back().regs[ret_reg] = ret;
+        return true;
+      }
+    }
+    return true;
+  }
+
+  const Instr& ins = block.instrs[frame.ip];
+  const std::size_t ip = frame.ip;
+  ++frame.ip;
+  auto& regs = frame.regs;
+  std::uint64_t eff_addr = 0;
+  std::uint64_t value = 0;
+
+  switch (ins.op) {
+    case Op::kMovImm:
+      value = regs[ins.a] = ins.imm;
+      break;
+    case Op::kMov:
+      value = regs[ins.a] = regs[ins.b];
+      break;
+    case Op::kAdd:
+      value = regs[ins.a] = regs[ins.b] + regs[ins.c];
+      break;
+    case Op::kSub:
+      value = regs[ins.a] = regs[ins.b] - regs[ins.c];
+      break;
+    case Op::kMul:
+      value = regs[ins.a] = regs[ins.b] * regs[ins.c];
+      break;
+    case Op::kDivU:
+      if (regs[ins.c] == 0) {
+        SetTrap(TrapKind::kDivByZero, 0, "division by zero");
+        return false;
+      }
+      value = regs[ins.a] = regs[ins.b] / regs[ins.c];
+      break;
+    case Op::kRemU:
+      if (regs[ins.c] == 0) {
+        SetTrap(TrapKind::kDivByZero, 0, "remainder by zero");
+        return false;
+      }
+      value = regs[ins.a] = regs[ins.b] % regs[ins.c];
+      break;
+    case Op::kAnd:
+      value = regs[ins.a] = regs[ins.b] & regs[ins.c];
+      break;
+    case Op::kOr:
+      value = regs[ins.a] = regs[ins.b] | regs[ins.c];
+      break;
+    case Op::kXor:
+      value = regs[ins.a] = regs[ins.b] ^ regs[ins.c];
+      break;
+    case Op::kShl:
+      value = regs[ins.a] = regs[ins.b] << (regs[ins.c] & 63);
+      break;
+    case Op::kShr:
+      value = regs[ins.a] = regs[ins.b] >> (regs[ins.c] & 63);
+      break;
+    case Op::kNot:
+      value = regs[ins.a] = ~regs[ins.b];
+      break;
+    case Op::kAddImm:
+      value = regs[ins.a] = regs[ins.b] + ins.imm;
+      break;
+    case Op::kCmpEq:
+      value = regs[ins.a] = regs[ins.b] == regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kCmpNe:
+      value = regs[ins.a] = regs[ins.b] != regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kCmpLtU:
+      value = regs[ins.a] = regs[ins.b] < regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kCmpLeU:
+      value = regs[ins.a] = regs[ins.b] <= regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kCmpGtU:
+      value = regs[ins.a] = regs[ins.b] > regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kCmpGeU:
+      value = regs[ins.a] = regs[ins.b] >= regs[ins.c] ? 1 : 0;
+      break;
+    case Op::kLoad: {
+      eff_addr = regs[ins.b] + ins.imm;
+      if (!ResolveAccess(eff_addr, ins.width)) return false;
+      value = regs[ins.a] = LoadMem(eff_addr, ins.width);
+      break;
+    }
+    case Op::kStore: {
+      eff_addr = regs[ins.b] + ins.imm;
+      // A store must hit writable memory: reject the read-only segments.
+      if (eff_addr >= kRodataBase && eff_addr < kHeapBase) {
+        SetTrap(TrapKind::kOutOfBounds, eff_addr, "write to rodata");
+        return false;
+      }
+      if (eff_addr >= kMmapBase) {
+        SetTrap(TrapKind::kOutOfBounds, eff_addr,
+                "write to the read-only file mapping");
+        return false;
+      }
+      if (!ResolveAccess(eff_addr, ins.width)) return false;
+      value = regs[ins.a];
+      StoreMem(eff_addr, ins.width, value);
+      break;
+    }
+    case Op::kAlloc: {
+      const std::uint64_t size = regs[ins.b];
+      if (live_heap_bytes_ + size > opts_.heap_limit) {
+        SetTrap(TrapKind::kOutOfMemory, 0, "heap limit exceeded");
+        return false;
+      }
+      const std::uint64_t base = cursor_.Take(size);
+      heap_[base] = Allocation{std::vector<std::uint8_t>(size), true};
+      live_heap_bytes_ += size;
+      value = regs[ins.a] = base;
+      break;
+    }
+    case Op::kFree: {
+      auto it = heap_.find(regs[ins.a]);
+      if (it == heap_.end() || !it->second.alive) {
+        SetTrap(TrapKind::kDoubleFree, regs[ins.a],
+                "free of invalid or already-freed pointer");
+        return false;
+      }
+      it->second.alive = false;
+      live_heap_bytes_ -= it->second.data.size();
+      break;
+    }
+    case Op::kRead: {
+      const std::uint64_t dst = regs[ins.b];
+      const std::uint64_t want = regs[ins.c];
+      const std::uint64_t avail =
+          file_pos_ < input_.size() ? input_.size() - file_pos_ : 0;
+      const std::uint64_t n = want < avail ? want : avail;
+      if (n > 0) {
+        if (!ResolveAccess(dst, n)) return false;
+        if (dst >= kRodataBase && dst < kHeapBase) {
+          SetTrap(TrapKind::kOutOfBounds, dst, "read(2) into rodata");
+          return false;
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+          *BytePtr(dst + i, true) = input_[file_pos_ + i];
+        }
+        const std::uint64_t off = file_pos_;
+        file_pos_ += n;
+        for (auto* o : observers_) o->OnFileRead(dst, off, n);
+      }
+      value = regs[ins.a] = n;
+      break;
+    }
+    case Op::kMMap:
+      value = regs[ins.a] = kMmapBase;
+      break;
+    case Op::kSeek:
+      file_pos_ = regs[ins.b];
+      break;
+    case Op::kTell:
+      value = regs[ins.a] = file_pos_;
+      break;
+    case Op::kFileSize:
+      value = regs[ins.a] = input_.size();
+      break;
+    case Op::kCall:
+    case Op::kICall: {
+      FuncId callee;
+      if (ins.op == Op::kCall) {
+        callee = static_cast<FuncId>(ins.imm);
+      } else {
+        const std::uint64_t target = regs[ins.b];
+        if (target >= program_.functions.size()) {
+          SetTrap(TrapKind::kBadIndirectCall, target,
+                  "indirect call to invalid function id");
+          return false;
+        }
+        callee = static_cast<FuncId>(target);
+        for (auto* o : observers_) {
+          o->OnIndirectCall(frame.fn, frame.block, ip, callee);
+        }
+      }
+      const Function& callee_fn = program_.Fn(callee);
+      if (ins.args.size() != callee_fn.num_params) {
+        SetTrap(TrapKind::kBadIndirectCall, callee,
+                "argument count mismatch calling " + callee_fn.name);
+        return false;
+      }
+      if (frames_.size() >= opts_.max_call_depth) {
+        SetTrap(TrapKind::kStackOverflow, 0, "call depth limit");
+        return false;
+      }
+      Frame next;
+      next.fn = callee;
+      next.ret_reg = ins.a;
+      next.regs.assign(callee_fn.num_regs, 0);
+      std::vector<std::uint64_t> args(ins.args.size());
+      for (std::size_t i = 0; i < ins.args.size(); ++i) {
+        args[i] = regs[ins.args[i]];
+        next.regs[i] = args[i];
+      }
+      frames_.push_back(std::move(next));
+      for (auto* o : observers_) {
+        o->OnCallEnter(callee, std::span<const std::uint64_t>(args), &ins);
+      }
+      return true;  // no OnInstr for calls; enter/exit events cover them
+    }
+    case Op::kFnAddr:
+      value = regs[ins.a] = ins.imm;
+      break;
+    case Op::kAssert:
+      if (regs[ins.a] == 0) {
+        SetTrap(TrapKind::kAbort, 0, "assertion failed");
+        return false;
+      }
+      break;
+    case Op::kTrap:
+      SetTrap(TrapKind::kAbort, 0, "explicit trap");
+      return false;
+    case Op::kNop:
+      break;
+  }
+
+  // `frame` may have been invalidated by frames_ growth only on call paths,
+  // which returned above; safe to use captured locations here.
+  for (auto* o : observers_) {
+    o->OnInstr(frames_.back().fn, frames_.back().block, ip, ins, eff_addr,
+               value);
+  }
+  return true;
+}
+
+ExecResult Interpreter::Run() {
+  for (auto* o : observers_) {
+    // The entry frame behaves like a call with no arguments.
+    o->OnCallEnter(program_.entry, {}, nullptr);
+  }
+  while (!done_ && Step()) {
+  }
+  return result_;
+}
+
+ExecResult RunProgram(const Program& program, ByteView input,
+                      ExecOptions opts) {
+  if (auto err = Validate(program)) {
+    throw std::invalid_argument("invalid program: " + *err);
+  }
+  Interpreter interp(program, input, opts);
+  return interp.Run();
+}
+
+}  // namespace octopocs::vm

@@ -1,0 +1,185 @@
+// MiniVM concrete interpreter with instrumentation hooks.
+//
+// The hook interface (ExecutionObserver) plays the role Intel PIN plays in
+// the paper's implementation: a dynamic-binary-instrumentation event
+// source. The taint engine (P1), the dynamic CFG builder, the fuzzing
+// harness's coverage map, and the crash verifier (P4) are all observers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "vm/ir.h"
+#include "vm/memory.h"
+
+namespace octopocs::vm {
+
+enum class TrapKind : std::uint8_t {
+  kNone,           // normal termination
+  kOutOfBounds,    // access outside any live region (CWE-119 class)
+  kNullDeref,      // access below kNullGuard
+  kUseAfterFree,   // access to a freed allocation
+  kDoubleFree,     // kFree on a non-live allocation
+  kDivByZero,
+  kAbort,          // kAssert failure or kTrap
+  kFuelExhausted,  // instruction budget hit (how CWE-835 hangs surface)
+  kStackOverflow,  // call depth limit
+  kOutOfMemory,    // heap limit
+  kBadIndirectCall,// kICall to an out-of-range function id
+};
+
+std::string_view TrapName(TrapKind kind);
+
+/// True for any abnormal termination.
+inline bool IsCrash(TrapKind kind) { return kind != TrapKind::kNone; }
+
+/// True for trap kinds that demonstrate a *vulnerability* (memory
+/// corruption, hangs, ...). kAbort is excluded: assert-failures model a
+/// program cleanly rejecting its input (exit(1)), which P4 must not
+/// count as verification. Fuel exhaustion counts as a hang-crash for
+/// infinite-loop (CWE-835) vulnerabilities.
+inline bool IsVulnerabilityCrash(TrapKind kind) {
+  return kind != TrapKind::kNone && kind != TrapKind::kAbort;
+}
+
+struct ExecOptions {
+  std::uint64_t fuel = 10'000'000;      // max instructions
+  std::uint32_t max_call_depth = 200;
+  std::uint64_t heap_limit = 1ULL << 26;  // bytes of live allocations
+};
+
+/// One entry of the crash callstack (the backtrace(3) substitute used by
+/// OCTOPOCS preprocessing to locate ep).
+struct BacktraceEntry {
+  FuncId fn = kInvalidFunc;
+  BlockId block = 0;
+  std::size_t ip = 0;
+};
+
+struct ExecResult {
+  TrapKind trap = TrapKind::kNone;
+  std::uint64_t return_value = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t fault_addr = 0;      // faulting address for memory traps
+  std::string trap_message;
+  /// Callstack at the trap site, outermost frame first (empty when the
+  /// program terminated normally).
+  std::vector<BacktraceEntry> backtrace;
+};
+
+/// Fired around interpretation. All addresses are MiniVM virtual
+/// addresses; `file_off` values are offsets into the input (the PoC).
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  /// After each non-call instruction retires. `eff_addr` is the resolved
+  /// effective address for kLoad/kStore (0 otherwise); `value` is the
+  /// value produced (loads, ALU) or stored.
+  virtual void OnInstr(FuncId fn, BlockId block, std::size_t ip,
+                       const Instr& instr, std::uint64_t eff_addr,
+                       std::uint64_t value) {
+    (void)fn; (void)block; (void)ip; (void)instr; (void)eff_addr; (void)value;
+  }
+  /// After the callee frame is set up, before its first instruction.
+  /// `call_site` is the kCall/kICall instruction (nullptr for the entry
+  /// frame) — taint engines read the caller argument registers off it.
+  virtual void OnCallEnter(FuncId callee, std::span<const std::uint64_t> args,
+                           const Instr* call_site) {
+    (void)callee; (void)args; (void)call_site;
+  }
+  /// After the callee frame is popped. `returns_value`/`callee_value_reg`
+  /// describe the callee-side return register; `caller_dest_reg` is where
+  /// the value landed in the caller (meaningless when the program exits).
+  virtual void OnCallExit(FuncId callee, std::uint64_t ret,
+                          bool returns_value, Reg callee_value_reg,
+                          Reg caller_dest_reg) {
+    (void)callee; (void)ret; (void)returns_value; (void)callee_value_reg;
+    (void)caller_dest_reg;
+  }
+  /// After a kRead copied `count` bytes of the input starting at
+  /// `file_off` to memory at `dst_addr`.
+  virtual void OnFileRead(std::uint64_t dst_addr, std::uint64_t file_off,
+                          std::uint64_t count) {
+    (void)dst_addr; (void)file_off; (void)count;
+  }
+  /// On every control transfer between blocks of the same function.
+  virtual void OnBlockTransfer(FuncId fn, BlockId from, BlockId to) {
+    (void)fn; (void)from; (void)to;
+  }
+  /// When an indirect call resolved its target (dynamic CFG edge source).
+  virtual void OnIndirectCall(FuncId caller, BlockId block, std::size_t ip,
+                              FuncId resolved_target) {
+    (void)caller; (void)block; (void)ip; (void)resolved_target;
+  }
+};
+
+/// Executes `program` against the byte input `input` (the PoC file).
+/// Instances are single-shot: construct, attach observers, Run().
+class Interpreter {
+ public:
+  /// `input` is copied: the interpreter owns its input so callers may
+  /// pass temporaries (PoC files are small; dangling views are not).
+  Interpreter(const Program& program, ByteView input, ExecOptions opts = {});
+
+  /// Observers are not owned and must outlive Run().
+  void AddObserver(ExecutionObserver* observer);
+
+  ExecResult Run();
+
+  /// Current file-position indicator. Observers may sample this during
+  /// callbacks — P1 records it at each ep entry so P3 can key bunch
+  /// placements on T's file position.
+  std::uint64_t file_pos() const { return file_pos_; }
+
+ private:
+  struct Allocation {
+    std::vector<std::uint8_t> data;
+    bool alive = true;
+  };
+
+  struct Frame {
+    FuncId fn = 0;
+    BlockId block = 0;
+    std::size_t ip = 0;
+    Reg ret_reg = 0;  // caller register receiving the return value
+    std::vector<std::uint64_t> regs;
+  };
+
+  // Memory access resolution. Returns false after recording a trap.
+  bool ResolveAccess(std::uint64_t addr, std::uint64_t width);
+  std::uint64_t LoadMem(std::uint64_t addr, std::uint64_t width);
+  void StoreMem(std::uint64_t addr, std::uint64_t width, std::uint64_t value);
+  std::uint8_t* BytePtr(std::uint64_t addr, bool for_write);
+
+  void SetTrap(TrapKind kind, std::uint64_t fault_addr, std::string message);
+  void CaptureBacktrace();
+
+  bool Step();  // one instruction or terminator; false = stop execution
+
+  const Program& program_;
+  Bytes input_;  // owned copy of the PoC file
+  ExecOptions opts_;
+  std::vector<ExecutionObserver*> observers_;
+
+  std::vector<Frame> frames_;
+  std::map<std::uint64_t, Allocation> heap_;  // keyed by base address
+  AllocCursor cursor_;
+  std::uint64_t live_heap_bytes_ = 0;
+  std::uint64_t file_pos_ = 0;
+
+  ExecResult result_;
+  bool done_ = false;
+};
+
+/// Convenience wrapper: validate (throws std::invalid_argument on a
+/// malformed program), run, return the result.
+ExecResult RunProgram(const Program& program, ByteView input,
+                      ExecOptions opts = {});
+
+}  // namespace octopocs::vm

@@ -1,0 +1,189 @@
+#include "vm/ir.h"
+
+#include <stdexcept>
+
+namespace octopocs::vm {
+
+bool IsBinaryAlu(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivU:
+    case Op::kRemU:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+    case Op::kCmpLtU:
+    case Op::kCmpLeU:
+    case Op::kCmpGtU:
+    case Op::kCmpGeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FuncId Program::FindFunction(std::string_view fn_name) const {
+  for (FuncId i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == fn_name) return i;
+  }
+  return kInvalidFunc;
+}
+
+std::uint64_t Program::RodataAddress(std::string_view symbol) const {
+  for (const auto& sym : rodata_symbols) {
+    if (sym.name == symbol) return kRodataBase + sym.offset;
+  }
+  throw std::out_of_range("unknown rodata symbol: " + std::string(symbol));
+}
+
+namespace {
+
+std::string Where(const Function& fn, BlockId b, std::size_t ip) {
+  return fn.name + ":b" + std::to_string(b) + ":i" + std::to_string(ip);
+}
+
+std::optional<std::string> CheckInstr(const Program& prog, const Function& fn,
+                                      BlockId b, std::size_t ip,
+                                      const Instr& ins) {
+  auto reg_ok = [&](Reg r) { return r < fn.num_regs; };
+  auto bad = [&](const std::string& msg) {
+    return std::optional<std::string>(Where(fn, b, ip) + ": " + msg);
+  };
+  if (!reg_ok(ins.a) || !reg_ok(ins.b) || !reg_ok(ins.c)) {
+    return bad("register index out of range");
+  }
+  switch (ins.op) {
+    case Op::kLoad:
+    case Op::kStore:
+      if (ins.width != 1 && ins.width != 2 && ins.width != 4 &&
+          ins.width != 8) {
+        return bad("illegal access width");
+      }
+      break;
+    case Op::kCall:
+    case Op::kFnAddr:
+      if (ins.imm >= prog.functions.size()) {
+        return bad("direct call/fnaddr to unknown function id");
+      }
+      if (ins.op == Op::kCall &&
+          ins.args.size() !=
+              prog.functions[static_cast<FuncId>(ins.imm)].num_params) {
+        return bad("argument count mismatch calling " +
+                   prog.functions[static_cast<FuncId>(ins.imm)].name);
+      }
+      [[fallthrough]];
+    case Op::kICall:
+      for (Reg r : ins.args) {
+        if (!reg_ok(r)) return bad("call argument register out of range");
+      }
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> Validate(const Program& program) {
+  if (program.functions.empty()) return "program has no functions";
+  if (program.entry >= program.functions.size()) {
+    return "entry function id out of range";
+  }
+  for (const auto& fn : program.functions) {
+    if (fn.blocks.empty()) {
+      return fn.name + ": function has no blocks";
+    }
+    if (fn.num_regs > kMaxRegs || fn.num_params > fn.num_regs) {
+      return fn.name + ": bad register file configuration";
+    }
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const Block& block = fn.blocks[b];
+      for (std::size_t ip = 0; ip < block.instrs.size(); ++ip) {
+        if (auto err = CheckInstr(program, fn, b, ip, block.instrs[ip])) {
+          return err;
+        }
+      }
+      const Terminator& t = block.term;
+      auto block_ok = [&](BlockId id) { return id < fn.blocks.size(); };
+      switch (t.kind) {
+        case TermKind::kJump:
+          if (!block_ok(t.target)) return Where(fn, b, block.instrs.size()) +
+                                          ": jump target out of range";
+          break;
+        case TermKind::kBranch:
+          if (!block_ok(t.target) || !block_ok(t.fallthrough)) {
+            return Where(fn, b, block.instrs.size()) +
+                   ": branch target out of range";
+          }
+          if (t.cond >= fn.num_regs) {
+            return Where(fn, b, block.instrs.size()) +
+                   ": branch condition register out of range";
+          }
+          break;
+        case TermKind::kReturn:
+          if (t.returns_value && t.cond >= fn.num_regs) {
+            return Where(fn, b, block.instrs.size()) +
+                   ": return value register out of range";
+          }
+          break;
+      }
+    }
+  }
+  // rodata symbol table must describe the rodata blob.
+  for (const auto& sym : program.rodata_symbols) {
+    if (sym.offset + sym.size > program.rodata.size()) {
+      return "rodata symbol '" + sym.name + "' exceeds segment";
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kMovImm: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivU: return "divu";
+    case Op::kRemU: return "remu";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kNot: return "not";
+    case Op::kAddImm: return "addi";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpNe: return "cmpne";
+    case Op::kCmpLtU: return "cmpltu";
+    case Op::kCmpLeU: return "cmpleu";
+    case Op::kCmpGtU: return "cmpgtu";
+    case Op::kCmpGeU: return "cmpgeu";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kAlloc: return "alloc";
+    case Op::kFree: return "free";
+    case Op::kRead: return "read";
+    case Op::kMMap: return "mmap";
+    case Op::kSeek: return "seek";
+    case Op::kTell: return "tell";
+    case Op::kFileSize: return "fsize";
+    case Op::kCall: return "call";
+    case Op::kICall: return "icall";
+    case Op::kFnAddr: return "fnaddr";
+    case Op::kAssert: return "assert";
+    case Op::kTrap: return "trap";
+    case Op::kNop: return "nop";
+  }
+  return "?";
+}
+
+}  // namespace octopocs::vm

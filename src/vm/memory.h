@@ -1,0 +1,34 @@
+// Heap address-assignment policy shared by the concrete interpreter and
+// the symbolic executor.
+//
+// Both executions of a program must agree on the addresses kAlloc hands
+// out — otherwise pointers observed during P1 (taint over S) and P2/P3
+// (symbolic execution of T) would be incomparable. Allocation addresses
+// are therefore a pure function of the allocation *sequence*: bases start
+// at kHeapBase and advance by the rounded size plus a guard gap. The gap
+// guarantees that small overflows land in unmapped space and trap, which
+// is how CWE-119-style corpus vulnerabilities manifest.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/ir.h"
+
+namespace octopocs::vm {
+
+inline constexpr std::uint64_t kGuardGap = 64;
+
+struct AllocCursor {
+  std::uint64_t next = kHeapBase;
+
+  /// Reserves a region for `size` bytes and returns its base address.
+  std::uint64_t Take(std::uint64_t size) {
+    const std::uint64_t base = next;
+    // Round the footprint to 16 bytes and add the guard gap.
+    const std::uint64_t footprint = (size + 15) / 16 * 16 + kGuardGap;
+    next += footprint;
+    return base;
+  }
+};
+
+}  // namespace octopocs::vm

@@ -1,0 +1,114 @@
+// Adaptive loop cap (the paper's §III-D future-work item, implemented
+// as PipelineOptions::adaptive_theta).
+#include <gtest/gtest.h>
+
+#include "core/octopocs.h"
+#include "vm/asm.h"
+
+namespace octopocs::core {
+namespace {
+
+// Shared ℓ whose crash needs a long symbolic ramp in T: T only calls ep
+// after consuming `depth` input bytes, each of which must equal 0xAA
+// (every iteration is a symbolic loop state).
+constexpr const char* kShared = R"(
+  func vuln(mode)
+    movi %one, 1
+    alloc %rec, %one
+    read %got, %rec, %one
+    load.1 %c, %rec, 0
+    movi %lim, 4
+    alloc %tbl, %lim
+    add %p, %tbl, %c
+    store.1 %one, %p, 0      ; OOB when c >= 4
+    ret %c
+)";
+
+constexpr const char* kSMain = R"(
+  func main()
+    movi %zero, 0
+    call %v, vuln(%zero)
+    ret %v
+)";
+
+// T demands 40 magic bytes before reaching ep — beyond a small θ.
+constexpr const char* kTMain = R"(
+  func main()
+    movi %one, 1
+    alloc %buf, %one
+    movi %i, 0
+    movi %goal, 40
+  ramp:
+    cmpltu %more, %i, %goal
+    br %more, body, go
+  body:
+    read %got, %buf, %one
+    load.1 %c, %buf, 0
+    movi %aa, 0xaa
+    cmpeq %ok, %c, %aa
+    assert %ok
+    addi %i, %i, 1
+    jmp ramp
+  go:
+    movi %zero, 0
+    call %v, vuln(%zero)
+    ret %v
+)";
+
+TEST(AdaptiveTheta, SmallCapAloneCannotDecide) {
+  const vm::Program s = vm::AssembleParts({kShared, kSMain});
+  const vm::Program t = vm::AssembleParts({kShared, kTMain});
+  const Bytes poc{0xF7};
+
+  PipelineOptions opts;
+  opts.symex.theta = 8;  // far below the 40 iterations T demands
+  Octopocs fixed(s, t, {"vuln"}, poc, opts);
+  const auto fixed_report = fixed.Verify();
+  // Without adaptation this is the paper's dangerous wrong verdict.
+  EXPECT_EQ(fixed_report.verdict, Verdict::kNotTriggerable);
+}
+
+TEST(AdaptiveTheta, RetriesUntilTheRampFits) {
+  const vm::Program s = vm::AssembleParts({kShared, kSMain});
+  const vm::Program t = vm::AssembleParts({kShared, kTMain});
+  const Bytes poc{0xF7};
+
+  PipelineOptions opts;
+  opts.symex.theta = 8;
+  opts.adaptive_theta = true;  // 8 → 16 → 32 → 64 fits the 40-ramp
+  Octopocs adaptive(s, t, {"vuln"}, poc, opts);
+  const auto report = adaptive.Verify();
+  EXPECT_EQ(report.verdict, Verdict::kTriggered) << report.detail;
+  // The generated PoC carries the 40-byte magic ramp + the primitive.
+  ASSERT_EQ(report.reformed_poc.size(), 41u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(report.reformed_poc[i], 0xAA);
+  EXPECT_EQ(report.reformed_poc[40], 0xF7);
+}
+
+TEST(AdaptiveTheta, CeilingDegradesToFailureNotWrongVerdict) {
+  const vm::Program s = vm::AssembleParts({kShared, kSMain});
+  const vm::Program t = vm::AssembleParts({kShared, kTMain});
+  const Bytes poc{0xF7};
+
+  PipelineOptions opts;
+  opts.symex.theta = 2;
+  opts.adaptive_theta = true;
+  opts.adaptive_theta_max = 16;  // ceiling below the 40-ramp
+  Octopocs capped(s, t, {"vuln"}, poc, opts);
+  const auto report = capped.Verify();
+  EXPECT_EQ(report.verdict, Verdict::kFailure);
+  EXPECT_NE(report.detail.find("loop cap"), std::string::npos);
+}
+
+TEST(AdaptiveTheta, DoesNotDisturbGenuineTypeIII) {
+  // A genuinely untriggerable pair must stay NotTriggerable with
+  // adaptation on (no loop-dead states are involved in its proof).
+  const corpus::Pair pair = corpus::BuildPair(10);
+  PipelineOptions opts;
+  opts.adaptive_theta = true;
+  const auto report = VerifyPair(pair, opts);
+  EXPECT_EQ(report.verdict, Verdict::kNotTriggerable);
+}
+
+}  // namespace
+}  // namespace octopocs::core

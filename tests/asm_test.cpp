@@ -1,0 +1,277 @@
+// Assembler and disassembler: syntax coverage, error reporting,
+// round-trip stability.
+#include <gtest/gtest.h>
+
+#include "vm/asm.h"
+#include "vm/disasm.h"
+#include "vm/interp.h"
+
+namespace octopocs::vm {
+namespace {
+
+TEST(Asm, ParsesProgramNameAndEntry) {
+  const Program p = Assemble(R"(
+    program "demo"
+    func helper()
+      ret
+    func main()
+      ret
+  )");
+  EXPECT_EQ(p.name, "demo");
+  EXPECT_EQ(p.entry, p.FindFunction("main"));
+  EXPECT_EQ(p.functions.size(), 2u);
+}
+
+TEST(Asm, RequiresMain) {
+  EXPECT_THROW(Assemble("func helper()\n  ret\n"), AsmError);
+}
+
+TEST(Asm, ImmediateForms) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %a, 100
+      movi %b, 0x1F
+      movi %c, 'A'
+      movi %d, -1
+      ret %a
+  )");
+  const auto& instrs = p.functions[0].blocks[0].instrs;
+  EXPECT_EQ(instrs[0].imm, 100u);
+  EXPECT_EQ(instrs[1].imm, 0x1Fu);
+  EXPECT_EQ(instrs[2].imm, 65u);
+  EXPECT_EQ(instrs[3].imm, ~0ULL);
+}
+
+TEST(Asm, CharEscapes) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %a, '\n'
+      movi %b, '\0'
+      movi %c, '\\'
+      ret %a
+  )");
+  const auto& instrs = p.functions[0].blocks[0].instrs;
+  EXPECT_EQ(instrs[0].imm, 10u);
+  EXPECT_EQ(instrs[1].imm, 0u);
+  EXPECT_EQ(instrs[2].imm, 92u);
+}
+
+TEST(Asm, DataDirectives) {
+  const Program p = Assemble(R"(
+    data table:
+      .u16 0x13d 0x100
+      .u32 7
+    data magic:
+      .str "GIF87a"
+      .bytes de ad
+      .zero 3
+    func main()
+      movi %p, @table
+      movi %q, @magic
+      ret %p
+  )");
+  ASSERT_EQ(p.rodata_symbols.size(), 2u);
+  EXPECT_EQ(p.rodata_symbols[0].name, "table");
+  EXPECT_EQ(p.rodata_symbols[0].offset, 0u);
+  EXPECT_EQ(p.rodata_symbols[0].size, 8u);  // 2*u16 + u32
+  EXPECT_EQ(p.rodata_symbols[1].size, 6u + 2u + 3u);
+  // table contents little-endian
+  EXPECT_EQ(p.rodata[0], 0x3D);
+  EXPECT_EQ(p.rodata[1], 0x01);
+  // magic string then raw bytes then zeros
+  EXPECT_EQ(p.rodata[8], 'G');
+  EXPECT_EQ(p.rodata[14], 0xDE);
+  EXPECT_EQ(p.rodata[16], 0x00);
+  // @table resolves to absolute rodata address
+  EXPECT_EQ(p.functions[0].blocks[0].instrs[0].imm, kRodataBase);
+  EXPECT_EQ(p.functions[0].blocks[0].instrs[1].imm, kRodataBase + 8);
+}
+
+TEST(Asm, LabelsAndFallthrough) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %x, 1
+      br %x, a, b
+    a:
+      movi %y, 2
+    b:
+      ret %x
+  )");
+  const Function& f = p.functions[0];
+  ASSERT_EQ(f.blocks.size(), 3u);
+  // Block "a" falls through to "b" with an implicit jump.
+  EXPECT_EQ(f.blocks[1].term.kind, TermKind::kJump);
+  EXPECT_EQ(f.blocks[1].term.target, 2u);
+}
+
+TEST(Asm, LabelFirstNamesEntryBlock) {
+  const Program p = Assemble(R"(
+    func main()
+    start:
+      movi %x, 5
+      jmp done
+    done:
+      ret %x
+  )");
+  EXPECT_EQ(p.functions[0].blocks[0].instrs.size(), 1u);
+  const auto r = RunProgram(p, {});
+  EXPECT_EQ(r.return_value, 5u);
+}
+
+TEST(Asm, ForwardLabelReferences) {
+  const auto r = RunProgram(Assemble(R"(
+    func main()
+      movi %x, 0
+      jmp later
+    later:
+      movi %x, 9
+      ret %x
+  )"), {});
+  EXPECT_EQ(r.return_value, 9u);
+}
+
+TEST(Asm, ErrorsCarryLineNumbers) {
+  try {
+    Assemble("func main()\n  movi %x, 1\n  bogus %x\n  ret %x\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Asm, RejectsUndefinedLabel) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      jmp nowhere
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsDuplicateLabel) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+    a:
+      nop
+      jmp a
+    a:
+      ret
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsUnterminatedFunction) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      movi %x, 1
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsUnknownCallTarget) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      call %v, ghost()
+      ret %v
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsArgCountMismatch) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      movi %x, 1
+      call %v, f(%x)
+      ret %v
+    func f(a, b)
+      ret %a
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsUnknownDataSymbol) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      movi %p, @ghost
+      ret %p
+  )"), AsmError);
+}
+
+TEST(Asm, RejectsUnreachableCode) {
+  EXPECT_THROW(Assemble(R"(
+    func main()
+      ret
+      movi %x, 1
+  )"), AsmError);
+}
+
+TEST(Asm, TrapTerminatesBlock) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %x, 1
+      br %x, bad, ok
+    bad:
+      trap
+    ok:
+      ret %x
+  )");
+  const auto r = RunProgram(p, {});
+  EXPECT_EQ(r.trap, TrapKind::kAbort);
+}
+
+TEST(Asm, AssembleParts) {
+  const char* lib = R"(
+    func twice(a)
+      add %r, %a, %a
+      ret %r
+  )";
+  const char* harness = R"(
+    func main()
+      movi %x, 21
+      call %v, twice(%x)
+      ret %v
+  )";
+  const Program p = AssembleParts({lib, harness});
+  EXPECT_EQ(RunProgram(p, {}).return_value, 42u);
+}
+
+// Round-trip: disassembling and reassembling must preserve behaviour and
+// the disassembly must be a fixed point after one round.
+TEST(Disasm, RoundTripStable) {
+  const Program p = Assemble(R"(
+    program "rt"
+    data magic:
+      .str "MJPG"
+    func main()
+      movi %n, 8
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %c, %buf, 0
+      movi %m, @magic
+      load.1 %g, %m, 0
+      cmpeq %ok, %c, %g
+      br %ok, yes, no
+    yes:
+      fnaddr %f, helper
+      icall %v, %f(%c)
+      ret %v
+    no:
+      trap
+    func helper(a)
+      addi %r, %a, 1
+      ret %r
+  )");
+  const std::string d1 = Disassemble(p);
+  const Program p2 = Assemble(d1);
+  const std::string d2 = Disassemble(p2);
+  const Program p3 = Assemble(d2);
+  EXPECT_EQ(d2, Disassemble(p3));
+
+  // Behavioural equivalence on both branch directions.
+  const Bytes hit{'M', 'J', 'P', 'G', 0, 0, 0, 0};
+  const Bytes miss{'X', 0, 0, 0, 0, 0, 0, 0};
+  for (const auto& input : {hit, miss}) {
+    const auto r1 = RunProgram(p, input);
+    const auto r2 = RunProgram(p2, input);
+    EXPECT_EQ(r1.trap, r2.trap);
+    EXPECT_EQ(r1.return_value, r2.return_value);
+  }
+}
+
+}  // namespace
+}  // namespace octopocs::vm

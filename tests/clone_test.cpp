@@ -1,0 +1,153 @@
+// Clone detector (VUDDY substitute): fingerprinting semantics and
+// end-to-end ℓ recovery across the corpus.
+#include <gtest/gtest.h>
+
+#include "clone/detector.h"
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+#include "vm/asm.h"
+
+namespace octopocs::clone {
+namespace {
+
+using vm::Assemble;
+using vm::Program;
+
+TEST(Fingerprint, StableAcrossPrograms) {
+  // The same function body embedded in two different programs (with
+  // different function-table layouts) must fingerprint identically.
+  const char* shared = R"(
+    func helper(a)
+      addi %r, %a, 7
+      ret %r
+  )";
+  const Program p1 = vm::AssembleParts({shared, R"(
+    func main()
+      movi %x, 1
+      call %v, helper(%x)
+      ret %v
+  )"});
+  const Program p2 = vm::AssembleParts({R"(
+    func pad1()
+      ret
+    func pad2()
+      ret
+  )", shared, R"(
+    func main()
+      movi %x, 2
+      call %v, helper(%x)
+      ret %v
+  )"});
+  EXPECT_EQ(Fingerprint(p1, p1.FindFunction("helper")),
+            Fingerprint(p2, p2.FindFunction("helper")));
+  // While the two mains differ (different immediate).
+  EXPECT_NE(Fingerprint(p1, p1.FindFunction("main")),
+            Fingerprint(p2, p2.FindFunction("main")));
+}
+
+TEST(Fingerprint, CalleeRenameChangesFingerprint) {
+  const Program a = Assemble(R"(
+    func main()
+      movi %x, 1
+      call %v, alpha(%x)
+      ret %v
+    func alpha(a)
+      ret %a
+  )");
+  const Program b = Assemble(R"(
+    func main()
+      movi %x, 1
+      call %v, beta(%x)
+      ret %v
+    func beta(a)
+      ret %a
+  )");
+  // alpha/beta bodies are clones...
+  EXPECT_EQ(Fingerprint(a, a.FindFunction("alpha")),
+            Fingerprint(b, b.FindFunction("beta")));
+  // ...but the mains call differently-named functions.
+  EXPECT_NE(Fingerprint(a, a.FindFunction("main")),
+            Fingerprint(b, b.FindFunction("main")));
+}
+
+TEST(Fingerprint, AbstractionMasksImmediates) {
+  const Program a = Assemble(R"(
+    func main()
+      ret
+    func check(x)
+      movi %lim, 64
+      cmpltu %ok, %x, %lim
+      ret %ok
+  )");
+  const Program b = Assemble(R"(
+    func main()
+      ret
+    func check(x)
+      movi %lim, 128
+      cmpltu %ok, %x, %lim
+      ret %ok
+  )");
+  EXPECT_NE(Fingerprint(a, a.FindFunction("check")),
+            Fingerprint(b, b.FindFunction("check")));
+  EXPECT_EQ(Fingerprint(a, a.FindFunction("check"), Abstraction::kAbstract),
+            Fingerprint(b, b.FindFunction("check"), Abstraction::kAbstract));
+}
+
+TEST(Detector, RecoversRenamedClone) {
+  const Program s = Assemble(R"(
+    func main()
+      movi %x, 1
+      call %v, decode(%x)
+      ret %v
+    func decode(a)
+      addi %r, %a, 1
+      ret %r
+  )");
+  const Program t = Assemble(R"(
+    func main()
+      movi %x, 2
+      movi %y, 3
+      add %x, %x, %y
+      call %v, decode_v2(%x)
+      ret %v
+    func decode_v2(a)
+      addi %r, %a, 1
+      ret %r
+  )");
+  const auto matches = DetectClones(s, t);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].name_in_s, "decode");
+  EXPECT_EQ(matches[0].name_in_t, "decode_v2");
+}
+
+class CorpusCloneRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusCloneRecovery, DetectsDeclaredSharedFunctions) {
+  const corpus::Pair pair = corpus::BuildPair(GetParam());
+  const auto detected = DetectSharedFunctions(pair.s, pair.t);
+  for (const std::string& fn : pair.shared_functions) {
+    EXPECT_NE(std::find(detected.begin(), detected.end(), fn),
+              detected.end())
+        << "pair " << pair.idx << ": ℓ member '" << fn << "' not detected";
+  }
+  // The harness mains must never be reported as clones.
+  EXPECT_EQ(std::find(detected.begin(), detected.end(), "main"),
+            detected.end())
+      << "pair " << pair.idx;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CorpusCloneRecovery,
+                         ::testing::Range(1, 16));
+
+TEST(Detector, DrivesThePipelineWithoutManualL) {
+  // End-to-end: detect ℓ automatically, then verify the motivating pair.
+  const corpus::Pair pair = corpus::BuildPair(8);
+  const auto detected = DetectSharedFunctions(pair.s, pair.t);
+  core::Octopocs pipeline(pair.s, pair.t, detected, pair.poc);
+  const auto report = pipeline.Verify();
+  EXPECT_EQ(report.verdict, core::Verdict::kTriggered) << report.detail;
+  EXPECT_EQ(report.ep_name, "mj2k_decode");
+}
+
+}  // namespace
+}  // namespace octopocs::clone

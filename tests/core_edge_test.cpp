@@ -1,0 +1,107 @@
+// Core pipeline edge cases and cross-cutting invariants that the Table
+// suites exercise only implicitly.
+#include <gtest/gtest.h>
+
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+#include "vm/asm.h"
+#include "vm/disasm.h"
+
+namespace octopocs::core {
+namespace {
+
+TEST(CoreEdge, EpAbsentFromTIsTriviallyNotTriggerable) {
+  // T does not even contain the shared function: the clone never
+  // propagated into this build (e.g. compiled out) — NotTriggerable
+  // without running P1 at all... P1 runs, then the name lookup fails.
+  const vm::Program s = vm::Assemble(R"(
+    func main()
+      movi %zero, 0
+      call %v, vuln(%zero)
+      ret %v
+    func vuln(mode)
+      movi %one, 1
+      alloc %b, %one
+      read %got, %b, %one
+      load.1 %c, %b, 0
+      movi %lim, 4
+      alloc %tbl, %lim
+      add %p, %tbl, %c
+      store.1 %one, %p, 0
+      ret %c
+  )");
+  const vm::Program t = vm::Assemble(R"(
+    func main()
+      movi %x, 1
+      ret %x
+  )");
+  Octopocs pipeline(s, t, {"vuln"}, Bytes{0xF0});
+  const auto report = pipeline.Verify();
+  EXPECT_EQ(report.verdict, Verdict::kNotTriggerable);
+  EXPECT_NE(report.detail.find("does not exist"), std::string::npos);
+}
+
+TEST(CoreEdge, UnknownSharedNamesFailPreprocessing) {
+  const corpus::Pair pair = corpus::BuildPair(1);
+  Octopocs pipeline(pair.s, pair.t, {"no_such_function"}, pair.poc);
+  const auto report = pipeline.Verify();
+  EXPECT_EQ(report.verdict, Verdict::kFailure);
+}
+
+TEST(CoreEdge, AdaptiveThetaDoesNotDisturbTypeI) {
+  const corpus::Pair pair = corpus::BuildPair(5);
+  PipelineOptions opts;
+  opts.adaptive_theta = true;
+  const auto report = VerifyPair(pair, opts);
+  EXPECT_EQ(report.verdict, Verdict::kTriggered);
+  EXPECT_EQ(report.type, ResultType::kTypeI);
+}
+
+TEST(CoreEdge, ReportAccountsEveryPhase) {
+  const auto report = VerifyPair(corpus::BuildPair(8));
+  EXPECT_GT(report.timings.total_seconds, 0.0);
+  EXPECT_GE(report.timings.total_seconds,
+            report.timings.preprocess_seconds + report.timings.p1_seconds +
+                report.timings.p23_seconds + report.timings.p4_seconds -
+                1e-9);
+  EXPECT_NE(report.ep_in_s, vm::kInvalidFunc);
+  EXPECT_NE(report.ep_in_t, vm::kInvalidFunc);
+  EXPECT_FALSE(report.bunch_offsets.empty());
+}
+
+TEST(CoreEdge, VerdictNamesAreStable) {
+  EXPECT_EQ(VerdictName(Verdict::kTriggered), "Triggered");
+  EXPECT_EQ(VerdictName(Verdict::kNotTriggerable), "NotTriggerable");
+  EXPECT_EQ(VerdictName(Verdict::kFailure), "Failure");
+  EXPECT_EQ(ResultTypeName(ResultType::kTypeI), "Type-I");
+  EXPECT_EQ(ResultTypeName(ResultType::kTypeIII), "Type-III");
+}
+
+// Disassemble → reassemble a *corpus* program (with data sections,
+// indirect calls, every instruction family) and re-verify: the text
+// round trip must preserve pipeline behaviour, not just semantics.
+TEST(CoreEdge, CorpusRoundTripThroughAssemblerStillVerifies) {
+  const corpus::Pair pair = corpus::BuildPair(8);
+  const vm::Program s2 = vm::Assemble(vm::Disassemble(pair.s));
+  const vm::Program t2 = vm::Assemble(vm::Disassemble(pair.t));
+  Octopocs pipeline(s2, t2, pair.shared_functions, pair.poc);
+  const auto report = pipeline.Verify();
+  EXPECT_EQ(report.verdict, Verdict::kTriggered) << report.detail;
+  EXPECT_EQ(vm::RunProgram(t2, report.reformed_poc).trap,
+            vm::TrapKind::kNullDeref);
+}
+
+TEST(CoreEdge, ContextFreeStillExposesEncountersCount) {
+  const corpus::Pair pair = corpus::BuildPair(4);
+  PipelineOptions opts;
+  opts.taint.context_aware = false;
+  Octopocs pipeline(pair.s, pair.t, pair.shared_functions, pair.poc, opts);
+  const auto ep = pipeline.DiscoverEp();
+  ASSERT_TRUE(ep.has_value());
+  const auto p1 = pipeline.ExtractPrimitives(*ep);
+  EXPECT_EQ(p1.ep_encounters, 2u);   // encounters are still counted
+  EXPECT_EQ(p1.bunches.size(), 1u);  // ...but collapsed into one bunch
+}
+
+}  // namespace
+}  // namespace octopocs::core

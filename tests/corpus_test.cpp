@@ -1,0 +1,153 @@
+// Corpus ground truth: every pair's S actually crashes on its PoC with
+// the documented trap class, ℓ is present in both S and T, and the
+// original PoC behaves as each result type requires.
+#include <gtest/gtest.h>
+
+#include "corpus/pairs.h"
+#include "formats/formats.h"
+#include "vm/interp.h"
+
+namespace octopocs::corpus {
+namespace {
+
+class CorpusGroundTruth : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusGroundTruth, SValidatesAndCrashesOnPoc) {
+  const Pair pair = BuildPair(GetParam());
+  ASSERT_FALSE(vm::Validate(pair.s).has_value());
+  ASSERT_FALSE(vm::Validate(pair.t).has_value());
+
+  vm::ExecOptions opts;
+  opts.fuel = 200'000;  // CWE-835 hangs must exhaust quickly in tests
+  const auto run = vm::RunProgram(pair.s, pair.poc, opts);
+  EXPECT_EQ(run.trap, pair.expected_trap)
+      << "S=" << pair.s_name << " trap=" << vm::TrapName(run.trap)
+      << " msg=" << run.trap_message;
+}
+
+TEST_P(CorpusGroundTruth, SharedFunctionsExistInBoth) {
+  const Pair pair = BuildPair(GetParam());
+  ASSERT_FALSE(pair.shared_functions.empty());
+  for (const std::string& fn : pair.shared_functions) {
+    EXPECT_NE(pair.s.FindFunction(fn), vm::kInvalidFunc)
+        << fn << " missing from S";
+    EXPECT_NE(pair.t.FindFunction(fn), vm::kInvalidFunc)
+        << fn << " missing from T";
+  }
+}
+
+TEST_P(CorpusGroundTruth, SharedFunctionsAreIdenticalClones) {
+  // ℓ must be a verbatim clone: same block structure and instruction
+  // stream in S and T (the repo's analog of "propagated code").
+  const Pair pair = BuildPair(GetParam());
+  for (const std::string& name : pair.shared_functions) {
+    const vm::Function& fs = pair.s.Fn(pair.s.FindFunction(name));
+    const vm::Function& ft = pair.t.Fn(pair.t.FindFunction(name));
+    ASSERT_EQ(fs.blocks.size(), ft.blocks.size()) << name;
+    for (std::size_t b = 0; b < fs.blocks.size(); ++b) {
+      ASSERT_EQ(fs.blocks[b].instrs.size(), ft.blocks[b].instrs.size())
+          << name << " block " << b;
+      for (std::size_t i = 0; i < fs.blocks[b].instrs.size(); ++i) {
+        const vm::Instr& a = fs.blocks[b].instrs[i];
+        const vm::Instr& c = ft.blocks[b].instrs[i];
+        EXPECT_EQ(a.op, c.op) << name;
+        EXPECT_EQ(a.a, c.a);
+        EXPECT_EQ(a.b, c.b);
+        EXPECT_EQ(a.width, c.width);
+        // Call immediates are FuncIds and may legitimately differ
+        // between programs; everything else must match.
+        if (a.op != vm::Op::kCall && a.op != vm::Op::kFnAddr &&
+            a.op != vm::Op::kICall) {
+          EXPECT_EQ(a.imm, c.imm) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CorpusGroundTruth, OriginalPocBehavesPerResultType) {
+  const Pair pair = BuildPair(GetParam());
+  vm::ExecOptions opts;
+  opts.fuel = 200'000;
+  const auto t_run = vm::RunProgram(pair.t, pair.poc, opts);
+  switch (pair.expected) {
+    case ExpectedResult::kTypeI:
+      // The original PoC may or may not crash T directly; nothing to
+      // assert beyond T not accepting it as a *different* trap class.
+      if (vm::IsCrash(t_run.trap)) {
+        EXPECT_EQ(t_run.trap, pair.expected_trap);
+      }
+      break;
+    case ExpectedResult::kTypeII:
+      // Reforming must be *necessary*: the original PoC does not
+      // reproduce the vulnerability trap in T.
+      EXPECT_NE(t_run.trap, pair.expected_trap)
+          << "pair " << pair.idx << ": poc already crashes T, "
+          << "reforming would be pointless";
+      break;
+    case ExpectedResult::kTypeIII:
+    case ExpectedResult::kFailure:
+      EXPECT_NE(t_run.trap, pair.expected_trap);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CorpusGroundTruth,
+                         ::testing::Range(1, 16));
+
+TEST(Corpus, BuildCorpusReturnsAll15InOrder) {
+  const auto pairs = BuildCorpus();
+  ASSERT_EQ(pairs.size(), 15u);
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(pairs[i].idx, i + 1);
+}
+
+TEST(Corpus, RejectsBadIndex) {
+  EXPECT_THROW(BuildPair(0), std::out_of_range);
+  EXPECT_THROW(BuildPair(16), std::out_of_range);
+}
+
+TEST(Corpus, ExpectedDistributionMatchesTable2) {
+  const auto pairs = BuildCorpus();
+  int type1 = 0, type2 = 0, type3 = 0, failure = 0;
+  for (const Pair& p : pairs) {
+    switch (p.expected) {
+      case ExpectedResult::kTypeI: ++type1; break;
+      case ExpectedResult::kTypeII: ++type2; break;
+      case ExpectedResult::kTypeIII: ++type3; break;
+      case ExpectedResult::kFailure: ++failure; break;
+    }
+  }
+  EXPECT_EQ(type1, 6);
+  EXPECT_EQ(type2, 3);
+  EXPECT_EQ(type3, 5);
+  EXPECT_EQ(failure, 1);
+}
+
+// Valid (non-PoC) files must parse cleanly in the S binaries that accept
+// the respective formats — the decoders are real parsers, not oracles.
+TEST(Corpus, ValidFilesParseWithoutCrashing) {
+  EXPECT_EQ(vm::RunProgram(BuildPair(1).s, formats::MjpgValidFile()).trap,
+            vm::TrapKind::kNone);
+  EXPECT_EQ(vm::RunProgram(BuildPair(8).s, formats::Mj2kValidFile()).trap,
+            vm::TrapKind::kNone);
+  EXPECT_EQ(vm::RunProgram(BuildPair(9).s, formats::MgifValidFile()).trap,
+            vm::TrapKind::kNone);
+  EXPECT_EQ(vm::RunProgram(BuildPair(10).s, formats::MtifValidFile()).trap,
+            vm::TrapKind::kNone);
+  EXPECT_EQ(vm::RunProgram(BuildPair(6).s, formats::MpdfValidFile()).trap,
+            vm::TrapKind::kNone);
+}
+
+// Type-III targets are safe even on their own inputs: the hardcoded-tag
+// harnesses never deliver the vulnerable context.
+TEST(Corpus, HardcodedTagTargetsAreSafeOnPoc) {
+  for (int idx : {10, 11, 12}) {
+    const Pair pair = BuildPair(idx);
+    const auto run = vm::RunProgram(pair.t, pair.poc);
+    EXPECT_FALSE(vm::IsCrash(run.trap))
+        << "pair " << idx << " trap " << vm::TrapName(run.trap);
+  }
+}
+
+}  // namespace
+}  // namespace octopocs::corpus

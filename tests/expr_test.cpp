@@ -1,0 +1,125 @@
+// Symbolic expression construction, folding, and evaluation.
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "symex/expr.h"
+
+namespace octopocs::symex {
+namespace {
+
+using vm::Op;
+
+TEST(Expr, ConstantFolding) {
+  const auto e = MakeBinOp(Op::kAdd, MakeConst(40), MakeConst(2));
+  ASSERT_TRUE(e->IsConst());
+  EXPECT_EQ(e->value, 42u);
+}
+
+TEST(Expr, IdentitySimplifications) {
+  const auto x = MakeInput(0);
+  EXPECT_EQ(MakeBinOp(Op::kAdd, x, MakeConst(0)).get(), x.get());
+  EXPECT_EQ(MakeBinOp(Op::kMul, x, MakeConst(1)).get(), x.get());
+  EXPECT_TRUE(MakeBinOp(Op::kMul, x, MakeConst(0))->IsConst());
+  EXPECT_EQ(MakeBinOp(Op::kXor, x, x)->value, 0u);
+  EXPECT_EQ(MakeBinOp(Op::kCmpEq, x, x)->value, 1u);
+  EXPECT_EQ(MakeBinOp(Op::kCmpNe, x, x)->value, 0u);
+}
+
+TEST(Expr, EvalMatchesSemantics) {
+  // (in[0] + in[1]) * 3 under {in[0]=5, in[1]=7} == 36.
+  const auto e = MakeBinOp(
+      Op::kMul, MakeBinOp(Op::kAdd, MakeInput(0), MakeInput(1)),
+      MakeConst(3));
+  const Model m{{0, 5}, {1, 7}};
+  EXPECT_EQ(Eval(e, m), 36u);
+}
+
+TEST(Expr, EvalAbsentInputReadsZero) {
+  EXPECT_EQ(Eval(MakeInput(9), {}), 0u);
+}
+
+TEST(Expr, EvalPartialDetectsUnknowns) {
+  const auto e = MakeBinOp(Op::kAdd, MakeInput(0), MakeInput(1));
+  EXPECT_FALSE(EvalPartial(e, Model{{0, 1}}).has_value());
+  EXPECT_EQ(EvalPartial(e, Model{{0, 1}, {1, 2}}), 3u);
+}
+
+TEST(Expr, ExtractLanes) {
+  const auto wide = MakeBinOp(
+      Op::kOr, MakeInput(0),
+      MakeBinOp(Op::kShl, MakeInput(1), MakeConst(8)));
+  const Model m{{0, 0x34}, {1, 0x12}};
+  EXPECT_EQ(Eval(MakeExtract(wide, 0), m), 0x34u);
+  EXPECT_EQ(Eval(MakeExtract(wide, 1), m), 0x12u);
+  EXPECT_EQ(Eval(MakeExtract(wide, 2), m), 0u);
+}
+
+TEST(Expr, ExtractOfInputFolds) {
+  const auto in = MakeInput(4);
+  EXPECT_EQ(MakeExtract(in, 0).get(), in.get());
+  EXPECT_TRUE(MakeExtract(in, 1)->IsConst());  // zero-extended high lanes
+  EXPECT_EQ(MakeExtract(in, 1)->value, 0u);
+}
+
+TEST(Expr, CollectInputs) {
+  const auto e = MakeBinOp(
+      Op::kAdd, MakeInput(3),
+      MakeBinOp(Op::kMul, MakeInput(7), MakeInput(3)));
+  SortedSmallSet<std::uint32_t> vars;
+  CollectInputs(e, vars);
+  EXPECT_EQ(vars.items(), (std::vector<std::uint32_t>{3, 7}));
+}
+
+TEST(Expr, ToStringReadable) {
+  const auto e = MakeBinOp(Op::kAdd, MakeInput(3), MakeConst(2));
+  EXPECT_EQ(ToString(e), "(in[3] add 0x2)");
+}
+
+// Property: ApplyBinOp agrees with native 64-bit arithmetic on random
+// operands for every opcode — the fold path and Eval path can't diverge.
+class ApplyBinOpProperty : public ::testing::TestWithParam<vm::Op> {};
+
+TEST_P(ApplyBinOpProperty, MatchesNativeSemantics) {
+  const vm::Op op = GetParam();
+  Rng rng(0xBEEF ^ static_cast<std::uint64_t>(op));
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.Next();
+    std::uint64_t b = rng.Next();
+    if ((op == Op::kDivU || op == Op::kRemU) && b == 0) b = 1;
+    std::uint64_t expect = 0;
+    switch (op) {
+      case Op::kAdd: expect = a + b; break;
+      case Op::kSub: expect = a - b; break;
+      case Op::kMul: expect = a * b; break;
+      case Op::kDivU: expect = a / b; break;
+      case Op::kRemU: expect = a % b; break;
+      case Op::kAnd: expect = a & b; break;
+      case Op::kOr: expect = a | b; break;
+      case Op::kXor: expect = a ^ b; break;
+      case Op::kShl: expect = a << (b & 63); break;
+      case Op::kShr: expect = a >> (b & 63); break;
+      case Op::kCmpEq: expect = a == b; break;
+      case Op::kCmpNe: expect = a != b; break;
+      case Op::kCmpLtU: expect = a < b; break;
+      case Op::kCmpLeU: expect = a <= b; break;
+      case Op::kCmpGtU: expect = a > b; break;
+      case Op::kCmpGeU: expect = a >= b; break;
+      default: break;
+    }
+    EXPECT_EQ(ApplyBinOp(op, a, b), expect);
+    // Folding path must agree with ApplyBinOp.
+    const auto folded = MakeBinOp(op, MakeConst(a), MakeConst(b));
+    ASSERT_TRUE(folded->IsConst());
+    EXPECT_EQ(folded->value, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ApplyBinOpProperty,
+    ::testing::Values(Op::kAdd, Op::kSub, Op::kMul, Op::kDivU, Op::kRemU,
+                      Op::kAnd, Op::kOr, Op::kXor, Op::kShl, Op::kShr,
+                      Op::kCmpEq, Op::kCmpNe, Op::kCmpLtU, Op::kCmpLeU,
+                      Op::kCmpGtU, Op::kCmpGeU));
+
+}  // namespace
+}  // namespace octopocs::symex

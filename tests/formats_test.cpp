@@ -1,0 +1,97 @@
+// Format writers: structural invariants of the miniature file formats.
+#include <gtest/gtest.h>
+
+#include "formats/formats.h"
+
+namespace octopocs::formats {
+namespace {
+
+TEST(Mjpg, WriterLayout) {
+  const Bytes f = WriteMjpg({{kMjpgQuantTable, {0, 1, 2}}, {kMjpgEnd, {}}});
+  ASSERT_GE(f.size(), 4u + 3u + 3u + 3u);
+  EXPECT_EQ(f[0], 'M');
+  EXPECT_EQ(f[3], 'G');
+  EXPECT_EQ(f[4], kMjpgQuantTable);
+  EXPECT_EQ(ReadLe(f, 5, 2), 3u);  // payload length
+  EXPECT_EQ(f[10], kMjpgEnd);
+}
+
+TEST(Mjpg, PocsHaveExpectedTriggers) {
+  const Bytes quant = MjpgQuantIndexPoc();
+  // The scan segment's quant index byte must exceed the 4-slot table.
+  // Layout: magic(4) quant-seg(3+5) scan-hdr(3) then qidx.
+  EXPECT_EQ(quant[4 + 3 + 5 + 3], 9);
+
+  const Bytes dims = MjpgDimsOverflowPoc();
+  EXPECT_EQ(ReadLe(dims, 7, 2) * ReadLe(dims, 9, 2), 0x10000u);
+}
+
+TEST(Mj2k, ZeroComponentPoc) {
+  const Bytes f = Mj2kZeroComponentPoc();
+  EXPECT_EQ(f[0], 'M');
+  EXPECT_EQ(f[4], kMj2kHeader);
+  EXPECT_EQ(f[7], 0);  // ncomp
+}
+
+TEST(Mgif, WriterAndPoc) {
+  const Bytes valid = MgifValidFile();
+  EXPECT_EQ(valid[3], '8');
+  EXPECT_EQ(valid[5], 'a');
+  EXPECT_EQ(valid.back(), kMgifTrailer);
+
+  const Bytes poc = MgifCodeSizePoc();
+  EXPECT_EQ(poc[5], 'x');  // the invalid version byte
+  // Two image blocks before the trailer.
+  int image_blocks = 0;
+  for (std::size_t i = 10; i < poc.size(); ++i) {
+    if (poc[i] == kMgifImage) ++image_blocks;
+  }
+  EXPECT_GE(image_blocks, 2);
+}
+
+TEST(Mtif, EntriesLittleEndian) {
+  const Bytes f = WriteMtif({{kTifTagPageName, 24, 0x11223344}});
+  EXPECT_EQ(ReadLe(f, 0, 4), 0x002A4949u);  // "II*\0"
+  EXPECT_EQ(ReadLe(f, 4, 2), 1u);           // one entry
+  EXPECT_EQ(ReadLe(f, 6, 2), 0x013Du);
+  EXPECT_EQ(ReadLe(f, 8, 2), 24u);
+  EXPECT_EQ(ReadLe(f, 10, 4), 0x11223344u);
+}
+
+TEST(Mpdf, ObjectContainer) {
+  const Bytes f = WriteMpdf({{7, kPdfObjMeta, {1, 2, 3}}});
+  EXPECT_EQ(ReadLe(f, 0, 4), 0x46445025u);  // "%PDF"
+  EXPECT_EQ(f[4], 1);                        // nobj
+  EXPECT_EQ(f[5], 7);                        // id
+  EXPECT_EQ(f[6], kPdfObjMeta);
+  EXPECT_EQ(ReadLe(f, 7, 2), 3u);
+}
+
+TEST(Mpdf, PageTableHasFlagAndBase6) {
+  const Bytes f = MpdfCyclePoc();
+  EXPECT_EQ(f[4], 2);           // npages
+  EXPECT_EQ(f[5], 1);           // render flag
+  EXPECT_EQ(f[6], kPdfObjPage); // rec 0 at offset 6
+  EXPECT_EQ(f[7], 1);           // rec 0 → rec 1
+  EXPECT_EQ(f[10], kPdfObjPage);
+  EXPECT_EQ(f[11], 0);          // rec 1 → rec 0: the cycle
+}
+
+TEST(Mpdf, EmbeddedJ2kNests) {
+  const Bytes f = MpdfEmbeddedJ2kPoc();
+  const Bytes j2k = Mj2kZeroComponentPoc();
+  // The embedded stream starts right after the first object header.
+  ASSERT_GE(f.size(), 9 + j2k.size());
+  for (std::size_t i = 0; i < j2k.size(); ++i) {
+    EXPECT_EQ(f[9 + i], j2k[i]) << "offset " << i;
+  }
+}
+
+TEST(Mpdf, MetaWrapLength) {
+  const Bytes f = MpdfMetaWrapPoc();
+  EXPECT_EQ(ReadLe(f, 7, 2), 0x8001u);
+  EXPECT_EQ((0x8001 * 2) & 0xFFFF, 2);  // the wrap that drives CWE-190
+}
+
+}  // namespace
+}  // namespace octopocs::formats

@@ -1,0 +1,104 @@
+// PoC minimizer: delta debugging over MiniVM inputs.
+#include <gtest/gtest.h>
+
+#include "core/minimize.h"
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+#include "vm/asm.h"
+
+namespace octopocs::core {
+namespace {
+
+TEST(Minimize, DropsIrrelevantTail) {
+  // Crash depends only on byte 0 being >= 0x80; 63 bytes of tail noise.
+  const vm::Program p = vm::Assemble(R"(
+    func main()
+      movi %n, 64
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %c, %buf, 0
+      movi %lim, 4
+      alloc %tbl, %lim
+      add %ptr, %tbl, %c
+      movi %one, 1
+      store.1 %one, %ptr, 0     ; OOB when c >= 4+guard... c large
+      ret %c
+  )");
+  Bytes poc(64, 0x11);
+  poc[0] = 0xF0;
+  ASSERT_TRUE(vm::IsVulnerabilityCrash(vm::RunProgram(p, poc).trap));
+
+  const MinimizeResult r = MinimizePoc(p, poc);
+  EXPECT_LE(r.poc.size(), 1u);
+  EXPECT_EQ(r.original_size, 64u);
+  EXPECT_TRUE(vm::IsVulnerabilityCrash(vm::RunProgram(p, r.poc).trap));
+}
+
+TEST(Minimize, PreservesTrapSignature) {
+  const corpus::Pair pair = corpus::BuildPair(1);
+  MinimizeOptions opts;
+  const MinimizeResult r = MinimizePoc(pair.s, pair.poc, opts);
+  EXPECT_LE(r.poc.size(), pair.poc.size());
+  const auto run = vm::RunProgram(pair.s, r.poc);
+  EXPECT_EQ(run.trap, pair.expected_trap);
+}
+
+TEST(Minimize, ZeroesIrrelevantBytesInPlace) {
+  // Byte 1 is load-bearing (the crash index); byte 0 is a magic that
+  // must stay; bytes 2..7 are noise the minimizer can zero or drop.
+  const vm::Program p = vm::Assemble(R"(
+    func main()
+      movi %n, 8
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %m, %buf, 0
+      movi %want, 0x4d
+      cmpeq %ok, %m, %want
+      br %ok, go, out
+    go:
+      load.1 %c, %buf, 1
+      movi %lim, 4
+      alloc %tbl, %lim
+      add %ptr, %tbl, %c
+      movi %one, 1
+      store.1 %one, %ptr, 0
+      ret %c
+    out:
+      ret %m
+  )");
+  Bytes poc{0x4D, 0xF0, 9, 9, 9, 9, 9, 9};
+  const MinimizeResult r = MinimizePoc(p, poc);
+  ASSERT_GE(r.poc.size(), 2u);
+  EXPECT_EQ(r.poc[0], 0x4D);  // magic kept
+  EXPECT_EQ(r.poc[1], 0xF0);  // crash byte kept
+  EXPECT_LE(r.poc.size(), 2u);
+}
+
+TEST(Minimize, RejectsNonCrashingInput) {
+  const corpus::Pair pair = corpus::BuildPair(1);
+  EXPECT_THROW(MinimizePoc(pair.s, Bytes{'M', 'J', 'P', 'G'}),
+               std::invalid_argument);
+}
+
+TEST(Minimize, MinimizesReformedPocs) {
+  // The reformed PoC from the motivating pair can be minimized further
+  // while preserving the null dereference.
+  const corpus::Pair pair = corpus::BuildPair(8);
+  const auto report = VerifyPair(pair);
+  ASSERT_TRUE(report.poc_generated);
+  const MinimizeResult r = MinimizePoc(pair.t, report.reformed_poc);
+  EXPECT_LE(r.poc.size(), report.reformed_poc.size());
+  EXPECT_EQ(vm::RunProgram(pair.t, r.poc).trap, vm::TrapKind::kNullDeref);
+}
+
+TEST(Minimize, RespectsRunBudget) {
+  const corpus::Pair pair = corpus::BuildPair(6);
+  MinimizeOptions opts;
+  opts.max_runs = 8;  // almost no budget: must still return a crasher
+  const MinimizeResult r = MinimizePoc(pair.s, pair.poc, opts);
+  EXPECT_LE(r.runs, 8u + 1u);
+  EXPECT_TRUE(vm::IsVulnerabilityCrash(vm::RunProgram(pair.s, r.poc).trap));
+}
+
+}  // namespace
+}  // namespace octopocs::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "support/bytes.h"
+#include "support/hex.h"
+#include "support/rng.h"
+#include "support/small_set.h"
+
+namespace octopocs {
+namespace {
+
+TEST(Bytes, AppendLeLittleEndian) {
+  Bytes b;
+  AppendLe(b, 0x11223344, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x44);
+  EXPECT_EQ(b[1], 0x33);
+  EXPECT_EQ(b[2], 0x22);
+  EXPECT_EQ(b[3], 0x11);
+}
+
+TEST(Bytes, ReadLeRoundTrips) {
+  Bytes b;
+  AppendLe(b, 0xDEADBEEFCAFEF00DULL, 8);
+  EXPECT_EQ(ReadLe(b, 0, 8), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(ReadLe(b, 0, 4), 0xCAFEF00DULL);
+  EXPECT_EQ(ReadLe(b, 4, 4), 0xDEADBEEFULL);
+}
+
+TEST(Bytes, ReadLeShortDataZeroFills) {
+  Bytes b{0xAB};
+  EXPECT_EQ(ReadLe(b, 0, 4), 0xABu);
+  EXPECT_EQ(ReadLe(b, 5, 2), 0u);
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(ToHex(data), "de ad be ef");
+  EXPECT_EQ(FromHex("de ad be ef"), data);
+  EXPECT_EQ(FromHex("DEADBEEF"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(FromHex("xz"), std::invalid_argument);
+  EXPECT_THROW(FromHex("abc"), std::invalid_argument);
+  EXPECT_THROW(FromHex("a bc"), std::invalid_argument);
+}
+
+TEST(Hex, DumpHasAsciiGutter) {
+  Bytes data;
+  AppendStr(data, "GIF87a");
+  const std::string dump = HexDump(data);
+  EXPECT_NE(dump.find("|GIF87a|"), std::string::npos);
+  EXPECT_NE(dump.find("47 49 46"), std::string::npos);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    const auto v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(SmallSet, InsertKeepsSortedUnique) {
+  SortedSmallSet<std::uint32_t> s;
+  s.Insert(5);
+  s.Insert(1);
+  s.Insert(5);
+  s.Insert(3);
+  EXPECT_EQ(s.items(), (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(SmallSet, UnionMerges) {
+  SortedSmallSet<std::uint32_t> a{1, 3, 5};
+  SortedSmallSet<std::uint32_t> b{2, 3, 6};
+  a.UnionWith(b);
+  EXPECT_EQ(a.items(), (std::vector<std::uint32_t>{1, 2, 3, 5, 6}));
+}
+
+TEST(SmallSet, UnionWithEmptyIsIdentity) {
+  SortedSmallSet<std::uint32_t> a{4, 7};
+  SortedSmallSet<std::uint32_t> empty;
+  a.UnionWith(empty);
+  EXPECT_EQ(a.size(), 2u);
+  empty.UnionWith(a);
+  EXPECT_EQ(empty, a);
+}
+
+}  // namespace
+}  // namespace octopocs

@@ -1,0 +1,332 @@
+// Taint engine propagation rules and P1 crash-primitive extraction.
+#include <gtest/gtest.h>
+
+#include "taint/crash_primitive.h"
+#include "taint/taint_engine.h"
+#include "vm/asm.h"
+
+namespace octopocs::taint {
+namespace {
+
+using vm::Assemble;
+using vm::Program;
+
+/// Runs `src` with a taint engine attached and hands the engine to `fn`
+/// after the run finishes.
+struct TaintRun {
+  Program program;
+  TaintEngine engine;
+  vm::ExecResult result;
+
+  TaintRun(std::string_view src, ByteView input)
+      : program(Assemble(src)), engine(program) {
+    vm::Interpreter interp(program, input);
+    interp.AddObserver(&engine);
+    result = interp.Run();
+  }
+};
+
+TEST(TaintEngine, FileReadSeedsPerByteOffsets) {
+  TaintRun run(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %a, %buf, 2
+      ret %a
+  )", Bytes{10, 20, 30, 40});
+  // After the load, %a must carry exactly offset 2.
+  // The engine's final frame is main's (program exited; frame popped).
+  // Inspect memory instead: buffer base is kHeapBase.
+  const TaintSet t = run.engine.MemTaint(vm::kHeapBase + 2, 1);
+  EXPECT_EQ(t.items(), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(run.engine.MemTaint(vm::kHeapBase, 4).size(), 4u);
+}
+
+TEST(TaintEngine, AluUnionsSources) {
+  // %sum = buf[0] + buf[3]; store it; memory byte must carry {0, 3}.
+  TaintRun run(R"(
+    func main()
+      movi %n, 8
+      alloc %buf, %n
+      movi %four, 4
+      read %got, %buf, %four
+      load.1 %a, %buf, 0
+      load.1 %b, %buf, 3
+      add %sum, %a, %b
+      store.1 %sum, %buf, 6
+      ret %sum
+  )", Bytes{1, 2, 3, 4});
+  const TaintSet t = run.engine.MemTaint(vm::kHeapBase + 6, 1);
+  EXPECT_EQ(t.items(), (std::vector<std::uint32_t>{0, 3}));
+}
+
+TEST(TaintEngine, UntaintedStoreClearsTaint) {
+  TaintRun run(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      read %got, %buf, %n
+      movi %zero, 0
+      store.1 %zero, %buf, 1   ; overwrite tainted byte with constant
+      ret %got
+  )", Bytes{9, 9, 9, 9});
+  EXPECT_TRUE(run.engine.MemTaint(vm::kHeapBase + 1, 1).empty());
+  EXPECT_FALSE(run.engine.MemTaint(vm::kHeapBase + 0, 1).empty());
+}
+
+TEST(TaintEngine, TaintFlowsThroughCalls) {
+  // Callee doubles a tainted value and returns it; caller stores it.
+  TaintRun run(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      movi %one, 1
+      read %got, %buf, %one
+      load.1 %v, %buf, 0
+      call %d, double(%v)
+      store.1 %d, %buf, 2
+      ret %d
+    func double(x)
+      add %r, %x, %x
+      ret %r
+  )", Bytes{21});
+  const TaintSet t = run.engine.MemTaint(vm::kHeapBase + 2, 1);
+  EXPECT_EQ(t.items(), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(TaintEngine, WideLoadCollectsAllBytes) {
+  TaintRun run(R"(
+    func main()
+      movi %n, 8
+      alloc %buf, %n
+      movi %four, 4
+      read %got, %buf, %four
+      load.4 %v, %buf, 0       ; 4-byte field: offsets {0,1,2,3}
+      store.4 %v, %buf, 4
+      ret %v
+  )", Bytes{1, 2, 3, 4});
+  const TaintSet t = run.engine.MemTaint(vm::kHeapBase + 4, 1);
+  EXPECT_EQ(t.items(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(TaintEngine, MovImmCleansRegister) {
+  // Tainted value overwritten by a constant, then stored: clean.
+  TaintRun run(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      movi %one, 1
+      read %got, %buf, %one
+      load.1 %v, %buf, 0
+      movi %v, 7
+      store.1 %v, %buf, 2
+      ret %v
+  )", Bytes{5});
+  EXPECT_TRUE(run.engine.MemTaint(vm::kHeapBase + 2, 1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// P1: crash-primitive extraction.
+// ---------------------------------------------------------------------------
+
+// S: reads a 2-byte header outside ℓ, then for each record calls the
+// shared decoder `dec` (ep) which reads 2 bytes and crashes when the
+// byte pair sums above 0xFF (via an OOB index).
+constexpr const char* kMultiBunchS = R"(
+  func main()
+    movi %n, 64
+    alloc %buf, %n
+    movi %two, 2
+    read %got, %buf, %two      ; header: record count at offset 1
+    load.1 %cnt, %buf, 1
+    movi %i, 0
+  loop:
+    cmpltu %more, %i, %cnt
+    br %more, body, done
+  body:
+    call %v, dec(%buf)
+    addi %i, %i, 1
+    jmp loop
+  done:
+    ret %i
+  func dec(buf)
+    movi %two, 2
+    read %got, %buf, %two      ; record: two bytes
+    load.1 %a, %buf, 0
+    load.1 %b, %buf, 1
+    add %idx, %a, %b
+    movi %lim, 16
+    alloc %tbl, %lim
+    cmpltu %ok, %idx, %lim
+    br %ok, fine, boom
+  fine:
+    ret %a
+  boom:
+    movi %z, 1
+    add %p, %tbl, %idx
+    store.1 %z, %p, 0          ; OOB write when idx >= 16
+    ret %z
+)";
+
+TEST(CrashPrimitive, ExtractsOneBunchPerEpEncounter) {
+  const Program s = Assemble(kMultiBunchS);
+  // Header: magic 0xAA, count 3. Records: (1,2), (3,4), (0x80,0x90) —
+  // the third record crashes (0x80+0x90 = 0x110 >= 16).
+  const Bytes poc{0xAA, 3, 1, 2, 3, 4, 0x80, 0x90};
+  const auto r =
+      ExtractCrashPrimitives(s, poc, s.FindFunction("dec"));
+  EXPECT_TRUE(r.Crashed());
+  EXPECT_EQ(r.trap, vm::TrapKind::kOutOfBounds);
+  EXPECT_EQ(r.ep_encounters, 3u);
+  ASSERT_EQ(r.bunches.size(), 3u);
+  // Bunch k holds exactly the record bytes consumed at encounter k.
+  auto offsets = [](const Bunch& b) {
+    std::vector<std::uint32_t> out;
+    for (auto& [off, val] : b.bytes) out.push_back(off);
+    return out;
+  };
+  EXPECT_EQ(offsets(r.bunches[0]), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(offsets(r.bunches[1]), (std::vector<std::uint32_t>{4, 5}));
+  EXPECT_EQ(offsets(r.bunches[2]), (std::vector<std::uint32_t>{6, 7}));
+  // Values captured from the PoC.
+  EXPECT_EQ(r.bunches[2].bytes[0].second, 0x80);
+  EXPECT_EQ(r.bunches[2].bytes[1].second, 0x90);
+}
+
+TEST(CrashPrimitive, ContextFreeMergesBunches) {
+  const Program s = Assemble(kMultiBunchS);
+  const Bytes poc{0xAA, 3, 1, 2, 3, 4, 0x80, 0x90};
+  ExtractionOptions opts;
+  opts.context_aware = false;
+  const auto r =
+      ExtractCrashPrimitives(s, poc, s.FindFunction("dec"), opts);
+  EXPECT_EQ(r.ep_encounters, 3u);
+  ASSERT_EQ(r.bunches.size(), 1u);  // everything collapsed
+  EXPECT_EQ(r.bunches[0].size(), 6u);
+}
+
+TEST(CrashPrimitive, CapturesEpArguments) {
+  // ep receives a file-derived tag; the bunch must record it.
+  const char* src = R"(
+    func main()
+      movi %n, 8
+      alloc %buf, %n
+      movi %one, 1
+      read %got, %buf, %one
+      load.1 %tag, %buf, 0
+      call %v, vuln(%tag)
+      ret %v
+    func vuln(tag)
+      movi %bad, 0x3d
+      cmpeq %boom, %tag, %bad
+      br %boom, crash, fine
+    crash:
+      trap
+    fine:
+      ret %tag
+  )";
+  const Program s = Assemble(src);
+  const Bytes poc{0x3D};
+  const auto r = ExtractCrashPrimitives(s, poc, s.FindFunction("vuln"));
+  EXPECT_TRUE(r.Crashed());
+  ASSERT_EQ(r.bunches.size(), 1u);
+  ASSERT_EQ(r.bunches[0].ep_args.size(), 1u);
+  EXPECT_EQ(r.bunches[0].ep_args[0], 0x3Du);
+}
+
+TEST(CrashPrimitive, IndirectUseBeforeEpIsCaptured) {
+  // A byte read *before* entering ℓ, stashed in memory, and only used
+  // inside ℓ must still be marked (the "candidate address" rule).
+  const char* src = R"(
+    func main()
+      movi %n, 8
+      alloc %stash, %n
+      alloc %buf, %n
+      movi %one, 1
+      read %got, %buf, %one
+      load.1 %v, %buf, 0
+      store.1 %v, %stash, 0   ; stashed outside ℓ
+      call %r, vuln(%stash)
+      ret %r
+    func vuln(stash)
+      load.1 %v, %stash, 0    ; indirect use inside ℓ
+      movi %lim, 4
+      alloc %tbl, %lim
+      add %p, %tbl, %v
+      movi %one, 1
+      store.1 %one, %p, 0     ; OOB when v >= 4
+      ret %v
+  )";
+  const Program s = Assemble(src);
+  const Bytes poc{0xF0};
+  const auto r = ExtractCrashPrimitives(s, poc, s.FindFunction("vuln"));
+  EXPECT_TRUE(r.Crashed());
+  ASSERT_EQ(r.bunches.size(), 1u);
+  ASSERT_EQ(r.bunches[0].bytes.size(), 1u);
+  EXPECT_EQ(r.bunches[0].bytes[0].first, 0u);
+  EXPECT_EQ(r.bunches[0].bytes[0].second, 0xF0);
+}
+
+TEST(CrashPrimitive, NonCrashingRunReportsNoCrash) {
+  const Program s = Assemble(kMultiBunchS);
+  const Bytes benign{0xAA, 1, 1, 2};  // single small record
+  const auto r = ExtractCrashPrimitives(s, benign, s.FindFunction("dec"));
+  EXPECT_FALSE(r.Crashed());
+  EXPECT_EQ(r.ep_encounters, 1u);
+}
+
+TEST(CrashPrimitive, RejectsBadEp) {
+  const Program s = Assemble(kMultiBunchS);
+  EXPECT_THROW(ExtractCrashPrimitives(s, Bytes{}, 99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace octopocs::taint
+
+namespace octopocs::taint {
+namespace {
+
+TEST(TaintEngine, MmapLoadsCarryFileOffsets) {
+  // Loading through the file mapping taints with the exact offsets, and
+  // storing the loaded value propagates them — no read(2) involved.
+  TaintRun run(R"(
+    func main()
+      mmap %base
+      load.2 %v, %base, 3
+      movi %n, 8
+      alloc %buf, %n
+      store.2 %v, %buf, 0
+      ret %v
+  )", Bytes{10, 11, 12, 13, 14, 15});
+  const TaintSet t = run.engine.MemTaint(vm::kHeapBase, 1);
+  EXPECT_EQ(t.items(), (std::vector<std::uint32_t>{3, 4}));
+}
+
+TEST(CrashPrimitive, MmapConsumptionInsideLIsMarked) {
+  const char* src = R"(
+    func main()
+      mmap %base
+      call %v, vuln(%base)
+      ret %v
+    func vuln(base)
+      load.1 %idx, %base, 1
+      movi %lim, 4
+      alloc %tbl, %lim
+      add %p, %tbl, %idx
+      movi %one, 1
+      store.1 %one, %p, 0
+      ret %idx
+  )";
+  const vm::Program s = vm::Assemble(src);
+  const Bytes poc{0xAA, 0xF0};
+  const auto r = ExtractCrashPrimitives(s, poc, s.FindFunction("vuln"));
+  ASSERT_TRUE(r.Crashed());
+  ASSERT_EQ(r.bunches.size(), 1u);
+  ASSERT_EQ(r.bunches[0].bytes.size(), 1u);
+  EXPECT_EQ(r.bunches[0].bytes[0].first, 1u);
+  EXPECT_EQ(r.bunches[0].bytes[0].second, 0xF0);
+}
+
+}  // namespace
+}  // namespace octopocs::taint

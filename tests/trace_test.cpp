@@ -1,0 +1,84 @@
+// Execution tracer output.
+#include <gtest/gtest.h>
+
+#include "vm/asm.h"
+#include "vm/trace.h"
+
+namespace octopocs::vm {
+namespace {
+
+TEST(Tracer, RecordsCallsReadsAndMemory) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %c, %buf, 0
+      call %v, work(%c)
+      ret %v
+    func work(c)
+      addi %r, %c, 1
+      ret %r
+  )");
+  ExecutionTracer tracer;
+  tracer.BindProgram(&p);
+  Interpreter interp(p, Bytes{7, 8, 9, 10});
+  interp.AddObserver(&tracer);
+  const auto r = interp.Run();
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  const std::string& t = tracer.text();
+  EXPECT_NE(t.find("call main()"), std::string::npos);
+  EXPECT_NE(t.find("call work(0x7)"), std::string::npos);
+  EXPECT_NE(t.find("read file[0..4)"), std::string::npos);
+  EXPECT_NE(t.find("ret work = 0x8"), std::string::npos);
+  EXPECT_NE(t.find("load.1"), std::string::npos);
+  EXPECT_FALSE(tracer.truncated());
+}
+
+TEST(Tracer, TruncatesAtLineBudget) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %i, 0
+      movi %n, 1000
+    loop:
+      cmpltu %more, %i, %n
+      br %more, body, done
+    body:
+      addi %i, %i, 1
+      jmp loop
+    done:
+      ret %i
+  )");
+  ExecutionTracer tracer(/*max_lines=*/20);
+  tracer.BindProgram(&p);
+  Interpreter interp(p, {});
+  interp.AddObserver(&tracer);
+  interp.Run();
+  EXPECT_TRUE(tracer.truncated());
+  EXPECT_EQ(tracer.lines(), 20u);
+  EXPECT_NE(tracer.text().find("trace truncated"), std::string::npos);
+}
+
+TEST(Tracer, IndentsByCallDepth) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %x, 1
+      call %v, outer(%x)
+      ret %v
+    func outer(a)
+      call %v, inner(%a)
+      ret %v
+    func inner(a)
+      ret %a
+  )");
+  ExecutionTracer tracer;
+  tracer.BindProgram(&p);
+  Interpreter interp(p, {});
+  interp.AddObserver(&tracer);
+  interp.Run();
+  // inner's call line is indented two levels (main + outer).
+  EXPECT_NE(tracer.text().find("    call inner(0x1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace octopocs::vm

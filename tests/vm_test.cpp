@@ -1,0 +1,489 @@
+// Interpreter semantics: arithmetic, memory/trap model, file I/O,
+// calls, observers.
+#include <gtest/gtest.h>
+
+#include "vm/asm.h"
+#include "vm/interp.h"
+
+namespace octopocs::vm {
+namespace {
+
+ExecResult RunSrc(std::string_view src, ByteView input = {},
+               ExecOptions opts = {}) {
+  return RunProgram(Assemble(src), input, opts);
+}
+
+TEST(Interp, ReturnsValueFromMain) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %x, 41
+      addi %x, %x, 1
+      ret %x
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, 42u);
+}
+
+TEST(Interp, ArithmeticWrapsAndCompares) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %a, 0xffffffffffffffff
+      movi %b, 3
+      add %s, %a, %b          ; wraps to 2
+      movi %two, 2
+      cmpeq %ok, %s, %two
+      assert %ok
+      sub %d, %b, %a          ; 3 - (2^64-1) = 4
+      movi %four, 4
+      cmpeq %ok2, %d, %four
+      assert %ok2
+      mul %m, %b, %four       ; 12
+      shl %sh, %ok, %b        ; 1 << 3 = 8
+      or %o, %m, %sh          ; 12
+      movi %twelve, 12
+      cmpeq %ok3, %o, %twelve
+      assert %ok3
+      cmpltu %lt, %two, %four
+      assert %lt
+      ret %o
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, 12u);
+}
+
+TEST(Interp, DivByZeroTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %a, 10
+      movi %z, 0
+      divu %q, %a, %z
+      ret %q
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kDivByZero);
+}
+
+TEST(Interp, HeapStoreLoadRoundTrip) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 16
+      alloc %p, %n
+      movi %v, 0xcafe
+      store.2 %v, %p, 4
+      load.2 %w, %p, 4
+      ret %w
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, 0xCAFEu);
+}
+
+TEST(Interp, LoadZeroExtends) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 8
+      alloc %p, %n
+      movi %v, 0xffffffffffffffff
+      store.8 %v, %p, 0
+      load.1 %w, %p, 3
+      ret %w
+  )");
+  EXPECT_EQ(r.return_value, 0xFFu);
+}
+
+TEST(Interp, HeapOverflowTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 8
+      alloc %p, %n
+      movi %v, 1
+      store.1 %v, %p, 8     ; one past the end
+      ret %v
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kOutOfBounds);
+  EXPECT_GE(r.fault_addr, kHeapBase);
+}
+
+TEST(Interp, NullDerefTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %p, 0
+      load.4 %v, %p, 16
+      ret %v
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kNullDeref);
+}
+
+TEST(Interp, UseAfterFreeTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 8
+      alloc %p, %n
+      free %p
+      load.1 %v, %p, 0
+      ret %v
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kUseAfterFree);
+}
+
+TEST(Interp, DoubleFreeTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 8
+      alloc %p, %n
+      free %p
+      free %p
+      ret %n
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kDoubleFree);
+}
+
+TEST(Interp, RodataReadableNotWritable) {
+  const auto ok = RunSrc(R"(
+    data magic:
+      .str "MJPG"
+    func main()
+      movi %p, @magic
+      load.1 %v, %p, 0
+      ret %v
+  )");
+  EXPECT_EQ(ok.trap, TrapKind::kNone);
+  EXPECT_EQ(ok.return_value, static_cast<std::uint64_t>('M'));
+
+  const auto bad = RunSrc(R"(
+    data magic:
+      .str "MJPG"
+    func main()
+      movi %p, @magic
+      movi %v, 0
+      store.1 %v, %p, 0
+      ret %v
+  )");
+  EXPECT_EQ(bad.trap, TrapKind::kOutOfBounds);
+}
+
+TEST(Interp, FileReadAdvancesPosition) {
+  const Bytes input{'A', 'B', 'C', 'D', 'E'};
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 16
+      alloc %buf, %n
+      movi %two, 2
+      read %got1, %buf, %two
+      tell %pos
+      read %got2, %buf, %two
+      load.1 %c, %buf, 0     ; 'C' after second read
+      ret %c
+  )", input);
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, static_cast<std::uint64_t>('C'));
+}
+
+TEST(Interp, FileReadShortAtEof) {
+  const Bytes input{'X'};
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 16
+      alloc %buf, %n
+      movi %want, 8
+      read %got, %buf, %want
+      ret %got
+  )", input);
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+TEST(Interp, SeekRepositionsReads) {
+  const Bytes input{'A', 'B', 'C', 'D'};
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      movi %three, 3
+      seek %three
+      movi %one, 1
+      read %got, %buf, %one
+      load.1 %c, %buf, 0
+      ret %c
+  )", input);
+  EXPECT_EQ(r.return_value, static_cast<std::uint64_t>('D'));
+}
+
+TEST(Interp, FileSizeVisible) {
+  const Bytes input(123, 0);
+  const auto r = RunSrc(R"(
+    func main()
+      fsize %n
+      ret %n
+  )", input);
+  EXPECT_EQ(r.return_value, 123u);
+}
+
+TEST(Interp, CallPassesArgsAndReturns) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %x, 20
+      movi %y, 22
+      call %s, addup(%x, %y)
+      ret %s
+    func addup(a, b)
+      add %r, %a, %b
+      ret %r
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, 42u);
+}
+
+TEST(Interp, IndirectCallViaFnAddr) {
+  const auto r = RunSrc(R"(
+    func main()
+      fnaddr %f, square
+      movi %x, 7
+      icall %v, %f(%x)
+      ret %v
+    func square(a)
+      mul %r, %a, %a
+      ret %r
+  )");
+  EXPECT_EQ(r.return_value, 49u);
+}
+
+TEST(Interp, IndirectCallBadTargetTraps) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %f, 999
+      icall %v, %f()
+      ret %v
+  )");
+  EXPECT_EQ(r.trap, TrapKind::kBadIndirectCall);
+}
+
+TEST(Interp, RecursionHitsStackLimit) {
+  ExecOptions opts;
+  opts.max_call_depth = 32;
+  const auto r = RunSrc(R"(
+    func main()
+      movi %x, 0
+      call %v, rec(%x)
+      ret %v
+    func rec(a)
+      call %v, rec(%a)
+      ret %v
+  )", {}, opts);
+  EXPECT_EQ(r.trap, TrapKind::kStackOverflow);
+}
+
+TEST(Interp, InfiniteLoopExhaustsFuel) {
+  ExecOptions opts;
+  opts.fuel = 10'000;
+  const auto r = RunSrc(R"(
+    func main()
+    spin:
+      nop
+      jmp spin
+  )", {}, opts);
+  EXPECT_EQ(r.trap, TrapKind::kFuelExhausted);
+}
+
+TEST(Interp, AssertFailureCapturesBacktrace) {
+  const auto r = RunSrc(R"(
+    func main()
+      movi %x, 1
+      call %v, outer(%x)
+      ret %v
+    func outer(a)
+      call %v, inner(%a)
+      ret %v
+    func inner(a)
+      movi %z, 0
+      assert %z
+      ret %a
+  )");
+  ASSERT_EQ(r.trap, TrapKind::kAbort);
+  ASSERT_EQ(r.backtrace.size(), 3u);
+  // Outermost first: main, outer, inner.
+  const Program p = Assemble(R"(
+    func main()
+      ret
+  )");
+  (void)p;
+  EXPECT_EQ(r.backtrace[0].fn, 0u);
+  EXPECT_EQ(r.backtrace[1].fn, 1u);
+  EXPECT_EQ(r.backtrace[2].fn, 2u);
+}
+
+TEST(Interp, HeapLimitTraps) {
+  ExecOptions opts;
+  opts.heap_limit = 1024;
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 4096
+      alloc %p, %n
+      ret %p
+  )", {}, opts);
+  EXPECT_EQ(r.trap, TrapKind::kOutOfMemory);
+}
+
+TEST(Interp, BranchTakesBothDirections) {
+  const char* src = R"(
+    func main()
+      movi %n, 1
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %c, %buf, 0
+      movi %k, 65
+      cmpeq %isa, %c, %k
+      br %isa, yes, no
+    yes:
+      movi %r, 100
+      ret %r
+    no:
+      movi %r, 200
+      ret %r
+  )";
+  EXPECT_EQ(RunSrc(src, Bytes{'A'}).return_value, 100u);
+  EXPECT_EQ(RunSrc(src, Bytes{'B'}).return_value, 200u);
+}
+
+// Observer coverage: file reads, calls, block transfers, indirect calls.
+class RecordingObserver : public ExecutionObserver {
+ public:
+  void OnCallEnter(FuncId callee, std::span<const std::uint64_t>,
+                   const Instr*) override {
+    calls.push_back(callee);
+  }
+  void OnFileRead(std::uint64_t, std::uint64_t off, std::uint64_t n) override {
+    reads.emplace_back(off, n);
+  }
+  void OnBlockTransfer(FuncId, BlockId from, BlockId to) override {
+    edges.emplace_back(from, to);
+  }
+  void OnIndirectCall(FuncId, BlockId, std::size_t, FuncId target) override {
+    icall_targets.push_back(target);
+  }
+  std::vector<FuncId> calls;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reads;
+  std::vector<std::pair<BlockId, BlockId>> edges;
+  std::vector<FuncId> icall_targets;
+};
+
+TEST(Interp, ObserverSeesEvents) {
+  const Program p = Assemble(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      read %got, %buf, %n
+      read %got2, %buf, %n
+      fnaddr %f, helper
+      icall %v, %f()
+      br %v, yes, no
+    yes:
+      ret %v
+    no:
+      ret
+    func helper()
+      movi %r, 1
+      ret %r
+  )");
+  const Bytes input{1, 2, 3, 4, 5, 6};
+  RecordingObserver obs;
+  Interpreter interp(p, input);
+  interp.AddObserver(&obs);
+  const auto r = interp.Run();
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  // main enter + helper enter.
+  ASSERT_EQ(obs.calls.size(), 2u);
+  EXPECT_EQ(obs.calls[1], p.FindFunction("helper"));
+  ASSERT_EQ(obs.reads.size(), 2u);
+  EXPECT_EQ(obs.reads[0], (std::pair<std::uint64_t, std::uint64_t>{0, 4}));
+  EXPECT_EQ(obs.reads[1], (std::pair<std::uint64_t, std::uint64_t>{4, 2}));
+  ASSERT_EQ(obs.icall_targets.size(), 1u);
+  EXPECT_FALSE(obs.edges.empty());
+}
+
+TEST(Interp, ValidateRejectsBadPrograms) {
+  Program p;
+  EXPECT_TRUE(Validate(p).has_value());  // no functions
+
+  p.name = "x";
+  Function f;
+  f.name = "main";
+  Block b;
+  b.term = Terminator::Jump(7);  // out of range target
+  f.blocks.push_back(b);
+  p.functions.push_back(f);
+  p.entry = 0;
+  EXPECT_TRUE(Validate(p).has_value());
+
+  p.functions[0].blocks[0].term = Terminator::Ret();
+  EXPECT_FALSE(Validate(p).has_value());
+}
+
+TEST(Interp, AllocationsGetGuardGaps) {
+  // Consecutive allocations must not be adjacent; the guard gap is what
+  // turns small overflows into traps instead of silent corruption.
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 16
+      alloc %a, %n
+      alloc %b, %n
+      sub %gap, %b, %a
+      ret %gap
+  )");
+  EXPECT_GE(r.return_value, 16u + kGuardGap);
+}
+
+}  // namespace
+}  // namespace octopocs::vm
+
+namespace octopocs::vm {
+namespace {
+
+TEST(Interp, MmapExposesInputReadOnly) {
+  const Bytes input{'E', 'X', 'I', 'F', 9};
+  const auto ok = RunSrc(R"(
+    func main()
+      mmap %base
+      load.4 %m, %base, 0
+      load.1 %n, %base, 4
+      add %sum, %m, %n
+      ret %n
+  )", input);
+  EXPECT_EQ(ok.trap, TrapKind::kNone);
+  EXPECT_EQ(ok.return_value, 9u);
+
+  const auto oob = RunSrc(R"(
+    func main()
+      mmap %base
+      load.1 %v, %base, 100      ; beyond the 5-byte file
+      ret %v
+  )", input);
+  EXPECT_EQ(oob.trap, TrapKind::kOutOfBounds);
+
+  const auto wr = RunSrc(R"(
+    func main()
+      mmap %base
+      movi %v, 1
+      store.1 %v, %base, 0       ; the mapping is read-only
+      ret %v
+  )", input);
+  EXPECT_EQ(wr.trap, TrapKind::kOutOfBounds);
+}
+
+TEST(Interp, MmapAndReadShareTheSameBytes) {
+  const Bytes input{1, 2, 3, 4};
+  const auto r = RunSrc(R"(
+    func main()
+      movi %n, 4
+      alloc %buf, %n
+      read %got, %buf, %n
+      mmap %base
+      load.1 %a, %buf, 2
+      load.1 %b, %base, 2
+      cmpeq %same, %a, %b
+      assert %same
+      ret %same
+  )", input);
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.return_value, 1u);
+}
+
+}  // namespace
+}  // namespace octopocs::vm

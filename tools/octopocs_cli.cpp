@@ -1,0 +1,296 @@
+// octopocs — command-line driver for the pipeline.
+//
+// Subcommands:
+//   verify <s.asm> <t.asm> <poc.bin> [options]
+//       Run the full pipeline. ℓ defaults to the clone detector's
+//       output; --shared overrides it. Writes the reformed PoC with
+//       --out. Options:
+//         --shared f1,f2,...   use these ℓ names instead of detecting
+//         --out FILE           write poc' to FILE when generated
+//         --context-free       Table III mode (no per-encounter bunches)
+//         --theta N            loop cap (default 120)
+//         --adaptive-theta     retry with growing θ on loop-dead verdicts
+//         --static-cfg         no dynamic CFG edges
+//         --fix-angr           resolve obfuscated indirect calls
+//   detect <s.asm> <t.asm>
+//       Print the function-level clones between two programs.
+//   run <prog.asm> <input.bin> [--trace]
+//       Execute a program on an input; print the exit/trap state.
+//   minimize <prog.asm> <poc.bin> [--out FILE]
+//       Delta-debug a crashing input down to its essential bytes.
+//   disasm <prog.asm>
+//       Assemble and disassemble (normalizes and validates a program).
+//   export <pair-index> <dir>
+//       Materialize a corpus pair (1-21) as s.asm / t.asm / poc.bin /
+//       shared.txt so the other subcommands can chew on it.
+//
+// Exit code 0 on success; verify exits 0 only for a decisive verdict
+// (Triggered or NotTriggerable).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clone/detector.h"
+#include "core/minimize.h"
+#include "core/octopocs.h"
+#include "corpus/extended.h"
+#include "support/hex.h"
+#include "vm/asm.h"
+#include "vm/disasm.h"
+#include "vm/trace.h"
+
+using namespace octopocs;
+
+namespace {
+
+std::string ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Bytes ReadBinaryFile(const std::string& path) {
+  const std::string text = ReadTextFile(path);
+  return Bytes(text.begin(), text.end());
+}
+
+void WriteFile(const std::string& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  WriteFile(path, ByteView(reinterpret_cast<const std::uint8_t*>(
+                               text.data()),
+                           text.size()));
+}
+
+std::vector<std::string> SplitCommas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+corpus::Pair LoadPair(int idx) {
+  return idx <= 15 ? corpus::BuildPair(idx) : corpus::BuildExtendedPair(idx);
+}
+
+int CmdVerify(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: octopocs verify <s.asm> <t.asm> <poc.bin> "
+                         "[--shared f1,f2] [--out FILE] [--context-free] "
+                         "[--theta N] [--adaptive-theta] [--static-cfg] "
+                         "[--fix-angr]\n");
+    return 2;
+  }
+  const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
+  const vm::Program t = vm::Assemble(ReadTextFile(argv[1]));
+  const Bytes poc = ReadBinaryFile(argv[2]);
+
+  std::vector<std::string> shared;
+  std::map<std::string, std::string> name_map;
+  std::string out_path;
+  core::PipelineOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shared" && i + 1 < argc) {
+      shared = SplitCommas(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--context-free") {
+      opts.taint.context_aware = false;
+    } else if (arg == "--theta" && i + 1 < argc) {
+      opts.symex.theta = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--adaptive-theta") {
+      opts.adaptive_theta = true;
+    } else if (arg == "--static-cfg") {
+      opts.cfg.use_dynamic = false;
+    } else if (arg == "--fix-angr") {
+      opts.cfg.resolve_obfuscated_icalls = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (shared.empty()) {
+    for (const auto& m : clone::DetectClones(s, t)) {
+      shared.push_back(m.name_in_s);
+      if (m.name_in_s != m.name_in_t) name_map[m.name_in_s] = m.name_in_t;
+    }
+    std::printf("detected ℓ (%zu function%s):", shared.size(),
+                shared.size() == 1 ? "" : "s");
+    for (const auto& fn : shared) std::printf(" %s", fn.c_str());
+    std::printf("\n");
+    if (shared.empty()) {
+      std::fprintf(stderr, "no clones detected; pass --shared\n");
+      return 2;
+    }
+  }
+
+  core::Octopocs pipeline(s, t, shared, poc, opts, name_map);
+  const core::VerificationReport r = pipeline.Verify();
+
+  std::printf("verdict:   %s (%s)\n", core::VerdictName(r.verdict).data(),
+              core::ResultTypeName(r.type).data());
+  std::printf("ep:        %s | encounters in S: %u | primitives: %zu bytes "
+              "in %zu bunch(es)\n",
+              r.ep_name.c_str(), r.ep_encounters_in_s,
+              r.crash_primitive_bytes, r.bunch_count);
+  std::printf("symex:     %s | %llu states | %llu instructions\n",
+              symex::SymexStatusName(r.symex_status).data(),
+              static_cast<unsigned long long>(r.symex_stats.states_created),
+              static_cast<unsigned long long>(r.symex_stats.instructions));
+  std::printf("detail:    %s\n", r.detail.c_str());
+  std::printf("time:      %.3f ms\n", r.timings.total_seconds * 1e3);
+  if (r.poc_generated) {
+    std::printf("poc' (%zu bytes): %s\n", r.reformed_poc.size(),
+                ToHex(r.reformed_poc).c_str());
+    if (!out_path.empty()) {
+      WriteFile(out_path, ByteView(r.reformed_poc));
+      std::printf("written to %s\n", out_path.c_str());
+    }
+  }
+  return r.verdict == core::Verdict::kFailure ? 1 : 0;
+}
+
+int CmdDetect(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: octopocs detect <s.asm> <t.asm>\n");
+    return 2;
+  }
+  const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
+  const vm::Program t = vm::Assemble(ReadTextFile(argv[1]));
+  const auto matches = clone::DetectClones(s, t);
+  for (const auto& m : matches) {
+    if (m.name_in_s == m.name_in_t) {
+      std::printf("%s\n", m.name_in_s.c_str());
+    } else {
+      std::printf("%s -> %s (renamed)\n", m.name_in_s.c_str(),
+                  m.name_in_t.c_str());
+    }
+  }
+  std::printf("%zu clone(s)\n", matches.size());
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: octopocs run <prog.asm> <input.bin> "
+                         "[--trace]\n");
+    return 2;
+  }
+  const vm::Program p = vm::Assemble(ReadTextFile(argv[0]));
+  const Bytes input = ReadBinaryFile(argv[1]);
+  const bool trace = argc > 2 && std::strcmp(argv[2], "--trace") == 0;
+
+  vm::ExecutionTracer tracer(400);
+  tracer.BindProgram(&p);
+  vm::Interpreter interp(p, input);
+  if (trace) interp.AddObserver(&tracer);
+  const vm::ExecResult r = interp.Run();
+  if (trace) std::printf("%s\n", tracer.text().c_str());
+  std::printf("trap: %s", vm::TrapName(r.trap).data());
+  if (r.trap != vm::TrapKind::kNone) {
+    std::printf(" (%s, fault addr 0x%llx)", r.trap_message.c_str(),
+                static_cast<unsigned long long>(r.fault_addr));
+    std::printf("\nbacktrace:");
+    for (const auto& frame : r.backtrace) {
+      std::printf(" %s", p.Fn(frame.fn).name.c_str());
+    }
+  } else {
+    std::printf(" | return value %llu",
+                static_cast<unsigned long long>(r.return_value));
+  }
+  std::printf("\ninstructions: %llu\n",
+              static_cast<unsigned long long>(r.instructions));
+  return vm::IsVulnerabilityCrash(r.trap) ? 3 : 0;
+}
+
+int CmdMinimize(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: octopocs minimize <prog.asm> <poc.bin> "
+                 "[--out FILE]\n");
+    return 2;
+  }
+  const vm::Program p = vm::Assemble(ReadTextFile(argv[0]));
+  const Bytes poc = ReadBinaryFile(argv[1]);
+  const core::MinimizeResult r = core::MinimizePoc(p, poc);
+  std::printf("minimized %zu -> %zu bytes (%zu zeroed in place, "
+              "%llu runs)\n",
+              r.original_size, r.poc.size(), r.zeroed_bytes,
+              static_cast<unsigned long long>(r.runs));
+  std::printf("%s\n", ToHex(r.poc).c_str());
+  if (argc > 3 && std::strcmp(argv[2], "--out") == 0) {
+    WriteFile(argv[3], ByteView(r.poc));
+  }
+  return 0;
+}
+
+int CmdDisasm(int argc, char** argv) {
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: octopocs disasm <prog.asm>\n");
+    return 2;
+  }
+  const vm::Program p = vm::Assemble(ReadTextFile(argv[0]));
+  std::printf("%s", vm::Disassemble(p).c_str());
+  return 0;
+}
+
+int CmdExport(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: octopocs export <pair-index 1..21> <dir>\n");
+    return 2;
+  }
+  const int idx = std::atoi(argv[0]);
+  const std::string dir = argv[1];
+  const corpus::Pair pair = LoadPair(idx);
+  WriteFile(dir + "/s.asm", vm::Disassemble(pair.s));
+  WriteFile(dir + "/t.asm", vm::Disassemble(pair.t));
+  WriteFile(dir + "/poc.bin", ByteView(pair.poc));
+  std::string meta = "# pair " + std::to_string(pair.idx) + ": " +
+                     pair.s_name + " -> " + pair.t_name + " (" +
+                     pair.vuln_id + ", " + pair.cwe + ")\n";
+  for (const auto& fn : pair.shared_functions) meta += fn + "\n";
+  WriteFile(dir + "/shared.txt", meta);
+  std::printf("exported pair %d (%s -> %s) to %s\n", pair.idx,
+              pair.s_name.c_str(), pair.t_name.c_str(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "octopocs — propagated-vulnerability verification\n"
+                 "subcommands: verify, detect, run, minimize, disasm, "
+                 "export\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
+    if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
+    if (cmd == "run") return CmdRun(argc - 2, argv + 2);
+    if (cmd == "minimize") return CmdMinimize(argc - 2, argv + 2);
+    if (cmd == "disasm") return CmdDisasm(argc - 2, argv + 2);
+    if (cmd == "export") return CmdExport(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  return 2;
+}
