@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cfg"
+  "../bench/bench_ablation_cfg.pdb"
+  "CMakeFiles/bench_ablation_cfg.dir/bench_ablation_cfg.cpp.o"
+  "CMakeFiles/bench_ablation_cfg.dir/bench_ablation_cfg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

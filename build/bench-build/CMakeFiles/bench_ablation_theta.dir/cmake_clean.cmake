@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_theta"
+  "../bench/bench_ablation_theta.pdb"
+  "CMakeFiles/bench_ablation_theta.dir/bench_ablation_theta.cpp.o"
+  "CMakeFiles/bench_ablation_theta.dir/bench_ablation_theta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

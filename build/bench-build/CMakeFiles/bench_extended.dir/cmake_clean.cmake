@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extended"
+  "../bench/bench_extended.pdb"
+  "CMakeFiles/bench_extended.dir/bench_extended.cpp.o"
+  "CMakeFiles/bench_extended.dir/bench_extended.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_audit.dir/clone_audit.cpp.o"
+  "CMakeFiles/clone_audit.dir/clone_audit.cpp.o.d"
+  "clone_audit"
+  "clone_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

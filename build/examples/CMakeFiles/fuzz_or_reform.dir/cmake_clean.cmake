@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_or_reform.dir/fuzz_or_reform.cpp.o"
+  "CMakeFiles/fuzz_or_reform.dir/fuzz_or_reform.cpp.o.d"
+  "fuzz_or_reform"
+  "fuzz_or_reform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_or_reform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fuzz_or_reform.
+# This may be replaced when dependencies are built.

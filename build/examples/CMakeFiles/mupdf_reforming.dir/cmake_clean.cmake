@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mupdf_reforming.dir/mupdf_reforming.cpp.o"
+  "CMakeFiles/mupdf_reforming.dir/mupdf_reforming.cpp.o.d"
+  "mupdf_reforming"
+  "mupdf_reforming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mupdf_reforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mupdf_reforming.
+# This may be replaced when dependencies are built.

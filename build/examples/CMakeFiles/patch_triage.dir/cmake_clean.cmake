@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_triage.dir/patch_triage.cpp.o"
+  "CMakeFiles/patch_triage.dir/patch_triage.cpp.o.d"
+  "patch_triage"
+  "patch_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

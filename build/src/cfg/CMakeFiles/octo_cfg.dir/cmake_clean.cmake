@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/octo_cfg.dir/cfg.cpp.o.d"
+  "libocto_cfg.a"
+  "libocto_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

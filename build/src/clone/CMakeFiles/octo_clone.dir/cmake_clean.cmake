@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_clone.dir/detector.cpp.o"
+  "CMakeFiles/octo_clone.dir/detector.cpp.o.d"
+  "libocto_clone.a"
+  "libocto_clone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_clone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_core.dir/minimize.cpp.o"
+  "CMakeFiles/octo_core.dir/minimize.cpp.o.d"
+  "CMakeFiles/octo_core.dir/octopocs.cpp.o"
+  "CMakeFiles/octo_core.dir/octopocs.cpp.o.d"
+  "libocto_core.a"
+  "libocto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/extended.cpp" "src/corpus/CMakeFiles/octo_corpus.dir/extended.cpp.o" "gcc" "src/corpus/CMakeFiles/octo_corpus.dir/extended.cpp.o.d"
+  "/root/repo/src/corpus/pairs.cpp" "src/corpus/CMakeFiles/octo_corpus.dir/pairs.cpp.o" "gcc" "src/corpus/CMakeFiles/octo_corpus.dir/pairs.cpp.o.d"
+  "/root/repo/src/corpus/shared.cpp" "src/corpus/CMakeFiles/octo_corpus.dir/shared.cpp.o" "gcc" "src/corpus/CMakeFiles/octo_corpus.dir/shared.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/octo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/octo_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_corpus.dir/extended.cpp.o"
+  "CMakeFiles/octo_corpus.dir/extended.cpp.o.d"
+  "CMakeFiles/octo_corpus.dir/pairs.cpp.o"
+  "CMakeFiles/octo_corpus.dir/pairs.cpp.o.d"
+  "CMakeFiles/octo_corpus.dir/shared.cpp.o"
+  "CMakeFiles/octo_corpus.dir/shared.cpp.o.d"
+  "libocto_corpus.a"
+  "libocto_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/corpus/CMakeFiles/octo_corpus.dir/shared.cpp.o: \
+ /root/repo/src/corpus/shared.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/corpus/shared.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_formats.dir/formats.cpp.o"
+  "CMakeFiles/octo_formats.dir/formats.cpp.o.d"
+  "libocto_formats.a"
+  "libocto_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

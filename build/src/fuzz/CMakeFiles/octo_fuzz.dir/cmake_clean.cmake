@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/octo_fuzz.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/octo_fuzz.dir/mutator.cpp.o"
+  "CMakeFiles/octo_fuzz.dir/mutator.cpp.o.d"
+  "libocto_fuzz.a"
+  "libocto_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_support.dir/hex.cpp.o"
+  "CMakeFiles/octo_support.dir/hex.cpp.o.d"
+  "CMakeFiles/octo_support.dir/rng.cpp.o"
+  "CMakeFiles/octo_support.dir/rng.cpp.o.d"
+  "libocto_support.a"
+  "libocto_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_symex.dir/executor.cpp.o"
+  "CMakeFiles/octo_symex.dir/executor.cpp.o.d"
+  "CMakeFiles/octo_symex.dir/expr.cpp.o"
+  "CMakeFiles/octo_symex.dir/expr.cpp.o.d"
+  "CMakeFiles/octo_symex.dir/solver.cpp.o"
+  "CMakeFiles/octo_symex.dir/solver.cpp.o.d"
+  "libocto_symex.a"
+  "libocto_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

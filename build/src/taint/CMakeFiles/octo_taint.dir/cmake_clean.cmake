@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_taint.dir/crash_primitive.cpp.o"
+  "CMakeFiles/octo_taint.dir/crash_primitive.cpp.o.d"
+  "CMakeFiles/octo_taint.dir/taint_engine.cpp.o"
+  "CMakeFiles/octo_taint.dir/taint_engine.cpp.o.d"
+  "libocto_taint.a"
+  "libocto_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/asm.cpp" "src/vm/CMakeFiles/octo_vm.dir/asm.cpp.o" "gcc" "src/vm/CMakeFiles/octo_vm.dir/asm.cpp.o.d"
+  "/root/repo/src/vm/disasm.cpp" "src/vm/CMakeFiles/octo_vm.dir/disasm.cpp.o" "gcc" "src/vm/CMakeFiles/octo_vm.dir/disasm.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/octo_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/octo_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/ir.cpp" "src/vm/CMakeFiles/octo_vm.dir/ir.cpp.o" "gcc" "src/vm/CMakeFiles/octo_vm.dir/ir.cpp.o.d"
+  "/root/repo/src/vm/trace.cpp" "src/vm/CMakeFiles/octo_vm.dir/trace.cpp.o" "gcc" "src/vm/CMakeFiles/octo_vm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_vm.dir/asm.cpp.o"
+  "CMakeFiles/octo_vm.dir/asm.cpp.o.d"
+  "CMakeFiles/octo_vm.dir/disasm.cpp.o"
+  "CMakeFiles/octo_vm.dir/disasm.cpp.o.d"
+  "CMakeFiles/octo_vm.dir/interp.cpp.o"
+  "CMakeFiles/octo_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/octo_vm.dir/ir.cpp.o"
+  "CMakeFiles/octo_vm.dir/ir.cpp.o.d"
+  "CMakeFiles/octo_vm.dir/trace.cpp.o"
+  "CMakeFiles/octo_vm.dir/trace.cpp.o.d"
+  "libocto_vm.a"
+  "libocto_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for octo_vm.
+# This may be replaced when dependencies are built.

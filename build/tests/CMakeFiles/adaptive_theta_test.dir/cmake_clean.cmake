@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_theta_test.dir/adaptive_theta_test.cpp.o"
+  "CMakeFiles/adaptive_theta_test.dir/adaptive_theta_test.cpp.o.d"
+  "adaptive_theta_test"
+  "adaptive_theta_test.pdb"
+  "adaptive_theta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_theta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_edge_test.cpp" "tests/CMakeFiles/core_edge_test.dir/core_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_edge_test.dir/core_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/octo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/octo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/octo_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/octo_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/octo_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/octo_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/octo_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

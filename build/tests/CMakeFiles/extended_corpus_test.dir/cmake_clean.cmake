@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_corpus_test.dir/extended_corpus_test.cpp.o"
+  "CMakeFiles/extended_corpus_test.dir/extended_corpus_test.cpp.o.d"
+  "extended_corpus_test"
+  "extended_corpus_test.pdb"
+  "extended_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_reform_test.dir/property_reform_test.cpp.o"
+  "CMakeFiles/property_reform_test.dir/property_reform_test.cpp.o.d"
+  "property_reform_test"
+  "property_reform_test.pdb"
+  "property_reform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_reform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

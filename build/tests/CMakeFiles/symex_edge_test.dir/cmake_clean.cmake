@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symex_edge_test.dir/symex_edge_test.cpp.o"
+  "CMakeFiles/symex_edge_test.dir/symex_edge_test.cpp.o.d"
+  "symex_edge_test"
+  "symex_edge_test.pdb"
+  "symex_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symex_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octopocs_cli.dir/octopocs_cli.cpp.o"
+  "CMakeFiles/octopocs_cli.dir/octopocs_cli.cpp.o.d"
+  "octopocs"
+  "octopocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octopocs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_export "/root/repo/build/tools/octopocs" "export" "8" "/root/repo/build/tools")
+set_tests_properties(cli_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build/tools/octopocs" "verify" "/root/repo/build/tools/s.asm" "/root/repo/build/tools/t.asm" "/root/repo/build/tools/poc.bin" "--out" "/root/repo/build/tools/poc_reformed.bin")
+set_tests_properties(cli_verify PROPERTIES  DEPENDS "cli_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_detect "/root/repo/build/tools/octopocs" "detect" "/root/repo/build/tools/s.asm" "/root/repo/build/tools/t.asm")
+set_tests_properties(cli_detect PROPERTIES  DEPENDS "cli_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_s "/root/repo/build/tools/octopocs" "run" "/root/repo/build/tools/s.asm" "/root/repo/build/tools/poc.bin")
+set_tests_properties(cli_run_s PROPERTIES  DEPENDS "cli_export" PASS_REGULAR_EXPRESSION "trap: null-deref" WILL_FAIL "OFF" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_minimize "/root/repo/build/tools/octopocs" "minimize" "/root/repo/build/tools/s.asm" "/root/repo/build/tools/poc.bin")
+set_tests_properties(cli_minimize PROPERTIES  DEPENDS "cli_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disasm "/root/repo/build/tools/octopocs" "disasm" "/root/repo/build/tools/s.asm")
+set_tests_properties(cli_disasm PROPERTIES  DEPENDS "cli_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")

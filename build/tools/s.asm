@@ -1,0 +1,73 @@
+program "opj_dump"
+
+func mj2k_decode(r0)
+L0:
+  movi %r1, 4
+  alloc %r2, %r1
+  read %r3, %r2, %r1
+  load.4 %r4, %r2, 0
+  movi %r5, 0x4b324a4d
+  cmpeq %r6, %r4, %r5
+  assert %r6
+  movi %r7, 64
+  alloc %r8, %r7
+  movi %r9, 8
+  alloc %r10, %r9
+  jmp L1
+L1:
+  movi %r11, 3
+  read %r12, %r10, %r11
+  cmpltu %r13, %r12, %r11
+  br %r13, L2, L3
+L2:
+  ret %r8
+L3:
+  load.1 %r14, %r10, 0
+  load.2 %r15, %r10, 1
+  movi %r16, 1
+  cmpeq %r17, %r14, %r16
+  br %r17, L4, L5
+L4:
+  call %r18, mj2k_components(%r8)
+  jmp L1
+L5:
+  movi %r19, 127
+  cmpeq %r20, %r14, %r19
+  br %r20, L2, L6
+L6:
+  tell %r21
+  add %r21, %r21, %r15
+  seek %r21
+  jmp L1
+
+func mj2k_components(r0)
+L0:
+  movi %r1, 5
+  alloc %r2, %r1
+  read %r3, %r2, %r1
+  load.1 %r4, %r2, 0
+  movi %r5, 0
+  jmp L1
+L1:
+  cmpltu %r6, %r5, %r4
+  br %r6, L2, L3
+L2:
+  movi %r7, 16
+  alloc %r8, %r7
+  movi %r9, 8
+  mul %r10, %r5, %r9
+  add %r11, %r0, %r10
+  store.8 %r8, %r11, 0
+  addi %r5, %r5, 1
+  jmp L1
+L3:
+  load.8 %r12, %r0, 0
+  load.4 %r13, %r12, 0
+  ret %r13
+
+func main()
+L0:
+  movi %r0, 0
+  call %r1, mj2k_decode(%r0)
+  ret %r1
+

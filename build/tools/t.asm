@@ -1,0 +1,181 @@
+program "mupdf"
+
+func mj2k_decode(r0)
+L0:
+  movi %r1, 4
+  alloc %r2, %r1
+  read %r3, %r2, %r1
+  load.4 %r4, %r2, 0
+  movi %r5, 0x4b324a4d
+  cmpeq %r6, %r4, %r5
+  assert %r6
+  movi %r7, 64
+  alloc %r8, %r7
+  movi %r9, 8
+  alloc %r10, %r9
+  jmp L1
+L1:
+  movi %r11, 3
+  read %r12, %r10, %r11
+  cmpltu %r13, %r12, %r11
+  br %r13, L2, L3
+L2:
+  ret %r8
+L3:
+  load.1 %r14, %r10, 0
+  load.2 %r15, %r10, 1
+  movi %r16, 1
+  cmpeq %r17, %r14, %r16
+  br %r17, L4, L5
+L4:
+  call %r18, mj2k_components(%r8)
+  jmp L1
+L5:
+  movi %r19, 127
+  cmpeq %r20, %r14, %r19
+  br %r20, L2, L6
+L6:
+  tell %r21
+  add %r21, %r21, %r15
+  seek %r21
+  jmp L1
+
+func mj2k_components(r0)
+L0:
+  movi %r1, 5
+  alloc %r2, %r1
+  read %r3, %r2, %r1
+  load.1 %r4, %r2, 0
+  movi %r5, 0
+  jmp L1
+L1:
+  cmpltu %r6, %r5, %r4
+  br %r6, L2, L3
+L2:
+  movi %r7, 16
+  alloc %r8, %r7
+  movi %r9, 8
+  mul %r10, %r5, %r9
+  add %r11, %r0, %r10
+  store.8 %r8, %r11, 0
+  addi %r5, %r5, 1
+  jmp L1
+L3:
+  load.8 %r12, %r0, 0
+  load.4 %r13, %r12, 0
+  ret %r13
+
+func main()
+L0:
+  movi %r0, 6
+  alloc %r1, %r0
+  read %r2, %r1, %r0
+  load.4 %r3, %r1, 0
+  movi %r4, 0x46445025
+  cmpeq %r5, %r3, %r4
+  assert %r5
+  load.1 %r6, %r1, 4
+  load.1 %r7, %r1, 5
+  movi %r8, 0
+  movi %r9, 1
+  and %r10, %r7, %r9
+  br %r10, L1, L2
+L1:
+  addi %r8, %r8, 1
+  jmp L3
+L2:
+  jmp L3
+L3:
+  movi %r11, 2
+  and %r12, %r7, %r11
+  br %r12, L4, L5
+L4:
+  addi %r8, %r8, 2
+  jmp L6
+L5:
+  jmp L6
+L6:
+  movi %r13, 4
+  and %r14, %r7, %r13
+  br %r14, L7, L8
+L7:
+  addi %r8, %r8, 4
+  jmp L9
+L8:
+  jmp L9
+L9:
+  movi %r15, 8
+  and %r16, %r7, %r15
+  br %r16, L10, L11
+L10:
+  addi %r8, %r8, 8
+  jmp L12
+L11:
+  jmp L12
+L12:
+  movi %r17, 8
+  alloc %r18, %r17
+  read %r19, %r18, %r17
+  movi %r20, 0
+  movi %r21, 1
+  jmp L13
+L13:
+  cmpltu %r22, %r20, %r17
+  br %r22, L14, L15
+L14:
+  add %r23, %r18, %r20
+  load.1 %r24, %r23, 0
+  and %r25, %r24, %r21
+  br %r25, L16, L17
+L15:
+  movi %r26, 4
+  alloc %r27, %r26
+  movi %r28, 0
+  jmp L19
+L16:
+  addi %r8, %r8, 1
+  jmp L18
+L17:
+  addi %r8, %r8, 2
+  jmp L18
+L18:
+  addi %r20, %r20, 1
+  jmp L13
+L19:
+  cmpltu %r29, %r28, %r6
+  br %r29, L20, L21
+L20:
+  read %r30, %r27, %r26
+  load.1 %r31, %r27, 1
+  load.2 %r32, %r27, 2
+  movi %r33, 2
+  cmpeq %r34, %r31, %r33
+  br %r34, L22, L23
+L21:
+  ret %r28
+L22:
+  movi %r35, 0
+  call %r36, mj2k_decode(%r35)
+  addi %r28, %r28, 1
+  jmp L19
+L23:
+  movi %r37, 1
+  cmpeq %r38, %r31, %r37
+  br %r38, L24, L25
+L24:
+  tell %r43
+  add %r43, %r43, %r32
+  seek %r43
+  addi %r28, %r28, 1
+  jmp L19
+L25:
+  movi %r39, 3
+  cmpeq %r40, %r31, %r39
+  br %r40, L24, L26
+L26:
+  movi %r41, 0
+  cmpeq %r42, %r31, %r41
+  br %r42, L21, L27
+L27:
+  trap
+
