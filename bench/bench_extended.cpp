@@ -2,15 +2,26 @@
 // scenarios the paper discusses but does not measure (double container
 // wrapping, renamed clones, three-bunch crashes, a stateful
 // use-after-free, a patched divide-by-zero, and the mmap input channel).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "core/octopocs.h"
+#include "core/parallel_verify.h"
 #include "corpus/extended.h"
 
 using namespace octopocs;
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+  }
+
   std::printf("=== Extended corpus (pairs 16-21, beyond the paper) ===\n\n");
 
   bench::TextTable table({"Idx", "S", "T", "Scenario", "CWE", "poc'",
@@ -23,9 +34,15 @@ int main() {
 
   int expected_matches = 0;
   const auto pairs = corpus::BuildExtendedCorpus();
+  const auto start = std::chrono::steady_clock::now();
+  const auto reports = core::VerifyCorpus(pairs, core::PipelineOptions{},
+                                          jobs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const corpus::Pair& pair = pairs[i];
-    const auto report = core::VerifyPair(pair);
+    const core::VerificationReport& report = reports[i];
     if (std::string(core::ResultTypeName(report.type)) ==
             std::string(corpus::ExpectedResultName(pair.expected)) ||
         (pair.expected == corpus::ExpectedResult::kTypeIII &&
@@ -42,5 +59,6 @@ int main() {
   table.Print();
   std::printf("\nExpected verdicts reproduced: %d/%zu\n", expected_matches,
               pairs.size());
+  std::printf("Wall clock: %.3f s with %u job(s)\n", wall, jobs);
   return expected_matches == static_cast<int>(pairs.size()) ? 0 : 1;
 }

@@ -1,0 +1,235 @@
+// Performance trajectory bench: fork cost, cache effectiveness, corpus
+// throughput. Emits machine-readable BENCH_perf.json next to the text
+// report so future PRs can diff perf numbers instead of prose.
+//
+//   bench_perf [--smoke] [--jobs N] [--out FILE]
+//
+// --smoke shrinks iteration counts for CI; --jobs sets the parallel leg
+// of the throughput measurement (default 4).
+//
+// Three measurements:
+//   fork        copy a fork-heavy SymState structurally (the COW path)
+//               vs. copying it and then unsharing every page and map —
+//               which is byte-for-byte the work the pre-COW deep copy
+//               did on every fork. Reported as ns/fork and a ratio.
+//   caches      solver-memoization hit rate and expression-interning
+//               dedup rate accumulated over a full serial corpus run.
+//   throughput  pairs/sec for the 15-pair corpus, serial vs. --jobs,
+//               with a determinism cross-check: every verdict, type,
+//               and reformed-PoC byte must match between the two runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel_verify.h"
+#include "corpus/pairs.h"
+#include "symex/state.h"
+
+using namespace octopocs;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A state shaped like the deep end of a P2 run: several call frames,
+/// a few KB of written symbolic memory, live heap records, a long
+/// constraint vector, and loop bookkeeping.
+symex::SymState BuildForkHeavyState() {
+  symex::SymState s;
+  for (int f = 0; f < 6; ++f) {
+    symex::SymFrame frame;
+    frame.fn = static_cast<vm::FuncId>(f);
+    frame.regs.reserve(16);
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      frame.regs.push_back(symex::MakeBinOp(
+          vm::Op::kAdd, symex::MakeInput(r), symex::MakeConst(f * 16 + r)));
+    }
+    s.frames.push_back(std::move(frame));
+  }
+  for (std::uint64_t addr = 0; addr < 4096; ++addr) {
+    s.mem.Set(vm::kHeapBase + addr,
+              symex::MakeBinOp(vm::Op::kXor,
+                               symex::MakeInput(addr % 64),
+                               symex::MakeConst(addr)));
+  }
+  auto& heap = s.heap.mut();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    heap[vm::kHeapBase + i * 64] = symex::SymAlloc{64, true};
+  }
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    s.constraints.push_back(symex::MakeBinOp(vm::Op::kCmpNe,
+                                             symex::MakeInput(c % 64),
+                                             symex::MakeConst(c)));
+  }
+  auto& loops = s.loop_counts.mut();
+  for (vm::BlockId b = 0; b < 32; ++b) {
+    loops[{0, b, 0}] = symex::SymState::LoopEntry{3, 7};
+  }
+  return s;
+}
+
+struct ForkCost {
+  double cow_ns = 0;
+  double deep_ns = 0;
+  double speedup = 0;
+};
+
+ForkCost MeasureForkCost(int iterations) {
+  symex::InternScope intern;  // executor-realistic expression sharing
+  const symex::SymState parent = BuildForkHeavyState();
+  ForkCost cost;
+  std::size_t sink = 0;  // defeats dead-copy elimination
+
+  {
+    const auto start = Clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      symex::SymState fork = parent;       // structural COW fork
+      sink += fork.frames.size();
+    }
+    cost.cow_ns = SecondsSince(start) * 1e9 / iterations;
+  }
+  {
+    const auto start = Clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      symex::SymState fork = parent;
+      fork.mem.DetachAllPages();           // the pre-COW eager copy
+      fork.heap.mut();
+      fork.loop_counts.mut();
+      sink += fork.mem.size();
+    }
+    cost.deep_ns = SecondsSince(start) * 1e9 / iterations;
+  }
+  if (sink == 0) std::printf("(unreachable)\n");
+  cost.speedup = cost.cow_ns > 0 ? cost.deep_ns / cost.cow_ns : 0;
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  unsigned jobs = 4;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::printf("=== Perf trajectory (fork cost, caches, throughput) ===\n\n");
+
+  // -- Fork cost ------------------------------------------------------------
+  const int fork_iters = smoke ? 500 : 10'000;
+  const ForkCost fork = MeasureForkCost(fork_iters);
+  std::printf("fork (COW):   %10.1f ns\n", fork.cow_ns);
+  std::printf("fork (deep):  %10.1f ns   (pre-COW eager copy)\n",
+              fork.deep_ns);
+  std::printf("fork speedup: %10.1fx\n\n", fork.speedup);
+
+  // -- Serial corpus run: cache stats + baseline wall clock -----------------
+  const std::vector<corpus::Pair> pairs = corpus::BuildCorpus();
+  const core::PipelineOptions opts;
+
+  const auto serial_start = Clock::now();
+  const auto serial = core::VerifyCorpus(pairs, opts, 1);
+  const double serial_seconds = SecondsSince(serial_start);
+
+  unsigned long long cache_hits = 0, cache_misses = 0;
+  unsigned long long intern_hits = 0, intern_nodes = 0;
+  for (const core::VerificationReport& r : serial) {
+    cache_hits += r.symex_stats.solver_cache_hits;
+    cache_misses += r.symex_stats.solver_cache_misses;
+    intern_hits += r.symex_stats.expr_intern_hits;
+    intern_nodes += r.symex_stats.expr_intern_nodes;
+  }
+  const double cache_rate =
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) / (cache_hits + cache_misses)
+          : 0;
+  const double intern_rate =
+      intern_hits + intern_nodes > 0
+          ? static_cast<double>(intern_hits) / (intern_hits + intern_nodes)
+          : 0;
+  std::printf("solver cache: %llu hit / %llu miss (%.1f%% hit rate)\n",
+              cache_hits, cache_misses, cache_rate * 100);
+  std::printf("interner:     %llu deduped / %llu distinct (%.1f%% of "
+              "constructions)\n\n",
+              intern_hits, intern_nodes, intern_rate * 100);
+
+  // -- Parallel corpus run + determinism cross-check ------------------------
+  const auto par_start = Clock::now();
+  const auto parallel = core::VerifyCorpus(pairs, opts, jobs);
+  const double parallel_seconds = SecondsSince(par_start);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].verdict == parallel[i].verdict &&
+                serial[i].type == parallel[i].type &&
+                serial[i].reformed_poc == parallel[i].reformed_poc &&
+                serial[i].bunch_offsets == parallel[i].bunch_offsets &&
+                serial[i].detail == parallel[i].detail;
+  }
+  const double speedup =
+      parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
+  std::printf("corpus:       %.3f s serial | %.3f s with %u jobs "
+              "(%.2fx, %.1f pairs/s)\n",
+              serial_seconds, parallel_seconds, jobs, speedup,
+              parallel_seconds > 0 ? pairs.size() / parallel_seconds : 0);
+  std::printf("determinism:  parallel results %s serial\n\n",
+              identical ? "byte-identical to" : "DIVERGED from");
+
+  // -- Machine-readable trajectory ------------------------------------------
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"fork_cow_ns\": %.1f,\n"
+                 "  \"fork_deep_ns\": %.1f,\n"
+                 "  \"fork_speedup\": %.2f,\n"
+                 "  \"solver_cache_hits\": %llu,\n"
+                 "  \"solver_cache_misses\": %llu,\n"
+                 "  \"solver_cache_hit_rate\": %.4f,\n"
+                 "  \"intern_hits\": %llu,\n"
+                 "  \"intern_nodes\": %llu,\n"
+                 "  \"corpus_pairs\": %zu,\n"
+                 "  \"serial_seconds\": %.4f,\n"
+                 "  \"parallel_seconds\": %.4f,\n"
+                 "  \"parallel_jobs\": %u,\n"
+                 "  \"parallel_speedup\": %.3f,\n"
+                 "  \"parallel_identical_to_serial\": %s,\n"
+                 "  \"smoke\": %s\n"
+                 "}\n",
+                 fork.cow_ns, fork.deep_ns, fork.speedup, cache_hits,
+                 cache_misses, cache_rate, intern_hits, intern_nodes,
+                 pairs.size(), serial_seconds, parallel_seconds, jobs,
+                 speedup, identical ? "true" : "false",
+                 smoke ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // Hard gates: the COW fork must beat the eager copy by 5x and the
+  // parallel run must agree with the serial one. Wall-clock speedup is
+  // reported but not gated — it is a property of the host's core count.
+  if (!identical) {
+    std::printf("FAIL: parallel verification diverged from serial\n");
+    return 1;
+  }
+  if (!smoke && fork.speedup < 5.0) {
+    std::printf("FAIL: fork speedup %.2fx below the 5x floor\n",
+                fork.speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "core/parallel_verify.h"
+
+#include "support/thread_pool.h"
+
+namespace octopocs::core {
+
+std::vector<VerificationReport> VerifyCorpus(
+    const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
+    unsigned jobs) {
+  std::vector<VerificationReport> reports(pairs.size());
+  support::ParallelFor(pairs.size(), jobs, [&](std::size_t i) {
+    reports[i] = VerifyPair(pairs[i], options);
+  });
+  return reports;
+}
+
+}  // namespace octopocs::core

@@ -1,0 +1,31 @@
+// Parallel corpus verification.
+//
+// One corpus pair's verification is completely independent of every
+// other pair's — separate programs, separate PoCs, no shared mutable
+// state (expression interning is thread-local, solver caches are
+// per-run). VerifyCorpus exploits that: it drives core::VerifyPair over
+// a pair list on a worker pool and returns reports in input order.
+//
+// Determinism guarantee: for a given pair list and options, every field
+// of every report except the wall-clock timings is byte-identical
+// whether jobs == 1 or jobs == N. The serial path literally runs the
+// same closures in index order, and workers only ever write their own
+// result slot, so there is no ordering-dependent state to diverge. A
+// corpus-wide test asserts this equality.
+#pragma once
+
+#include <vector>
+
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+
+namespace octopocs::core {
+
+/// Verifies `pairs[i]` into slot i of the result, `jobs` at a time.
+/// jobs <= 1 runs serially on the calling thread; jobs > the pair count
+/// is clamped.
+std::vector<VerificationReport> VerifyCorpus(
+    const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
+    unsigned jobs);
+
+}  // namespace octopocs::core

@@ -1,0 +1,93 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace octopocs::support {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= count) return;
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace octopocs::support

@@ -73,6 +73,10 @@ struct SymExecutor::Run {
   std::deque<SymState> worklist;
   std::uint64_t queued_footprint = 0;  // Σ footprints of queued states
   SymexStats stats;
+  /// Memoized verdicts for this run's feasibility/concretization
+  /// queries. Valid exactly as long as the run's InternScope keeps the
+  /// constraint nodes canonical (see SolverCache docs).
+  SolverCache solver_cache;
 
   bool reached_ep_ever = false;
   bool unsat_observed = false;
@@ -124,15 +128,29 @@ struct SymExecutor::Run {
                                MakeConst(val)));
   }
 
+  /// Satisfiability of `s`'s path constraints, memoized: states along a
+  /// shared path prefix carry pointer-identical constraint sequences, so
+  /// the executor's dominant repeated query pattern hits the cache
+  /// instead of re-running the CSP search.
+  const SolveResult& SolveConstraints(const SymState& s) {
+    if (const SolveResult* hit =
+            solver_cache.Lookup(s.constraints, s.pinned,
+                                opts.solver.hints)) {
+      return *hit;
+    }
+    ByteSolver solver(opts.solver);
+    for (const ExprRef& c : s.constraints) solver.Add(c);
+    SolveResult r = solver.Solve();
+    stats.solver_steps += r.steps;
+    return solver_cache.Insert(s.constraints, std::move(r));
+  }
+
   /// Concrete value of `expr` in this state: fold under pins, otherwise
   /// ask the solver for a model and pin the participating bytes to it
   /// (angr-style concretization). Kills the state on unsat/budget.
   std::optional<std::uint64_t> Concretize(SymState& s, const ExprRef& expr) {
     if (const auto v = EvalPartial(expr, s.pinned)) return v;
-    ByteSolver solver(opts.solver);
-    for (const ExprRef& c : s.constraints) solver.Add(c);
-    const SolveResult r = solver.Solve();
-    stats.solver_steps += r.steps;
+    const SolveResult& r = SolveConstraints(s);
     if (r.status == SolveStatus::kUnsat) {
       NoteUnsat(s, "path constraints unsatisfiable at concretization");
       return std::nullopt;
@@ -182,8 +200,9 @@ struct SymExecutor::Run {
       Die(s, StateDeath::kTrapped);
       return false;
     }
-    auto it = s.heap.upper_bound(addr);
-    if (it != s.heap.begin()) {
+    const SymState::HeapMap& heap = s.heap.get();
+    auto it = heap.upper_bound(addr);
+    if (it != heap.begin()) {
       --it;
       const SymAlloc& alloc = it->second;
       const std::uint64_t off = addr - it->first;
@@ -208,8 +227,7 @@ struct SymExecutor::Run {
       return pin != s.pinned.end() ? MakeConst(pin->second)
                                    : MakeInput(off);
     }
-    auto it = s.mem.find(addr);
-    if (it != s.mem.end()) return it->second;
+    if (const ExprRef* v = s.mem.Find(addr)) return *v;
     return MakeConst(0);  // allocations are zero-initialized
   }
 
@@ -226,7 +244,7 @@ struct SymExecutor::Run {
   void StoreWide(SymState& s, std::uint64_t addr, unsigned width,
                  const ExprRef& value) {
     for (unsigned i = 0; i < width; ++i) {
-      s.mem[addr + i] = MakeExtract(value, static_cast<std::uint8_t>(i));
+      s.mem.Set(addr + i, MakeExtract(value, static_cast<std::uint8_t>(i)));
     }
   }
 
@@ -259,7 +277,7 @@ struct SymExecutor::Run {
     // Only loops that keep adding path constraints count toward θ —
     // those are the paper's symbolic "loop states". A concrete loop
     // re-traverses the edge with an unchanged constraint store.
-    auto& entry = s.loop_counts[{fn, from, to}];
+    auto& entry = s.loop_counts.mut()[{fn, from, to}];
     if (entry.last_constraint_count != s.constraints.size() ||
         entry.count == 0) {
       entry.last_constraint_count = s.constraints.size();
@@ -331,10 +349,7 @@ struct SymExecutor::Run {
       // P2 proper: the guiding constraints collected on the way to ep
       // must actually be solvable, otherwise this state only *appears*
       // to reach ep along an infeasible path.
-      ByteSolver solver(opts.solver);
-      for (const ExprRef& c : s.constraints) solver.Add(c);
-      const SolveResult r = solver.Solve();
-      stats.solver_steps += r.steps;
+      const SolveResult& r = SolveConstraints(s);
       if (r.status == SolveStatus::kUnsat) {
         NoteUnsat(s, "guiding constraints unsatisfiable at ep");
         return EpOutcome::kStateDead;
@@ -428,10 +443,7 @@ struct SymExecutor::Run {
   /// the run is finished (success); on unsat/unknown the state's death
   /// is recorded and false is returned.
   bool FinalizeState(SymState& s, SymexResult* result) {
-    ByteSolver solver(opts.solver);
-    for (const ExprRef& c : s.constraints) solver.Add(c);
-    const SolveResult r = solver.Solve();
-    stats.solver_steps += r.steps;
+    const SolveResult& r = SolveConstraints(s);
     if (r.status == SolveStatus::kUnsat) {
       NoteUnsat(s, "combined constraint system is unsatisfiable");
       return false;
@@ -695,15 +707,16 @@ struct SymExecutor::Run {
         const auto size = Concretize(s, regs[ins.b]);
         if (!size) return false;
         const std::uint64_t base = s.cursor.Take(*size);
-        s.heap[base] = SymAlloc{*size, true};
+        s.heap.mut()[base] = SymAlloc{*size, true};
         regs[ins.a] = MakeConst(base);
         return true;
       }
       case Op::kFree: {
         const auto addr = Concretize(s, regs[ins.a]);
         if (!addr) return false;
-        auto it = s.heap.find(*addr);
-        if (it == s.heap.end() || !it->second.alive) {
+        SymState::HeapMap& heap = s.heap.mut();
+        auto it = heap.find(*addr);
+        if (it == heap.end() || !it->second.alive) {
           Die(s, StateDeath::kTrapped);
           return false;
         }
@@ -732,9 +745,10 @@ struct SymExecutor::Run {
           for (std::uint64_t i = 0; i < n; ++i) {
             const std::uint64_t off = s.file_pos + i;
             const auto pin = s.pinned.find(static_cast<std::uint32_t>(off));
-            s.mem[*dst + i] = pin != s.pinned.end()
-                                  ? MakeConst(pin->second)
-                                  : MakeInput(static_cast<std::uint32_t>(off));
+            s.mem.Set(*dst + i,
+                      pin != s.pinned.end()
+                          ? MakeConst(pin->second)
+                          : MakeInput(static_cast<std::uint32_t>(off)));
           }
           s.file_pos += n;
           s.required_size = std::max(s.required_size, s.file_pos);
@@ -851,6 +865,11 @@ struct SymExecutor::Run {
     const auto start = std::chrono::steady_clock::now();
     SymexResult result;
 
+    // Hash-cons every expression this run builds. The scope also
+    // underwrites the solver cache: constraint sequences stay pointer-
+    // canonical for exactly as long as the run lives.
+    InternScope intern;
+
     dmap = cfg.BackwardReachability(ep);
     if (directed && !dmap.EntryReaches()) {
       result.status = SymexStatus::kCfgUnreachable;
@@ -899,6 +918,10 @@ struct SymExecutor::Run {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    stats.solver_cache_hits = solver_cache.stats().hits;
+    stats.solver_cache_misses = solver_cache.stats().misses;
+    stats.expr_intern_hits = intern.stats().hits;
+    stats.expr_intern_nodes = intern.stats().nodes;
     result.stats = stats;
     result.loop_dead_observed = loop_dead_observed;
     return result;

@@ -54,6 +54,14 @@ struct SymexStats {
   std::uint64_t peak_live_states = 0;
   std::uint64_t instructions = 0;
   std::uint64_t solver_steps = 0;
+  /// Solver-memoization effectiveness: queries answered from the
+  /// per-run cache vs. queries that ran the CSP search.
+  std::uint64_t solver_cache_hits = 0;
+  std::uint64_t solver_cache_misses = 0;
+  /// Hash-consing effectiveness: node constructions answered from the
+  /// intern table vs. distinct nodes allocated.
+  std::uint64_t expr_intern_hits = 0;
+  std::uint64_t expr_intern_nodes = 0;
   /// Peak of Σ FootprintBytes() over the live worklist (Table IV "RAM").
   std::uint64_t peak_memory_bytes = 0;
   double elapsed_seconds = 0;

@@ -1,8 +1,89 @@
 #include "symex/expr.h"
 
 #include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 namespace octopocs::symex {
+
+// ---------------------------------------------------------------------------
+// Hash-consing. Children are interned before their parents, so a node's
+// identity is its kind plus scalar payload plus the *addresses* of its
+// (already canonical) children — structural equality never needs a deep
+// walk.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct InternKey {
+  ExprKind kind;
+  vm::Op op;
+  std::uint64_t value;
+  std::uint32_t offset;
+  std::uint8_t byte;
+  const Expr* lhs;
+  const Expr* rhs;
+
+  bool operator==(const InternKey&) const = default;
+};
+
+struct InternKeyHash {
+  std::size_t operator()(const InternKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(k.kind));
+    mix(static_cast<std::uint64_t>(k.op));
+    mix(k.value);
+    mix(k.offset);
+    mix(k.byte);
+    mix(reinterpret_cast<std::uintptr_t>(k.lhs));
+    mix(reinterpret_cast<std::uintptr_t>(k.rhs));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+InternKey KeyOf(const Expr& e) {
+  return InternKey{e.kind,  e.op,        e.value,      e.offset,
+                   e.byte,  e.lhs.get(), e.rhs.get()};
+}
+
+}  // namespace
+
+struct InternScope::Table {
+  std::unordered_map<InternKey, ExprRef, InternKeyHash> nodes;
+  std::uint64_t hits = 0;
+};
+
+namespace {
+
+thread_local InternScope::Table* g_intern = nullptr;
+
+/// Canonicalizes a freshly-built node: returns the existing structural
+/// twin when one is interned, otherwise registers and returns `e`.
+/// Without an active scope this is the identity function, preserving
+/// the pre-interning allocation behavior for ad-hoc expression users.
+ExprRef Intern(ExprRef e) {
+  if (g_intern == nullptr) return e;
+  auto [it, inserted] = g_intern->nodes.try_emplace(KeyOf(*e), e);
+  if (!inserted) ++g_intern->hits;
+  return it->second;
+}
+
+}  // namespace
+
+InternScope::InternScope() : table_(new Table), prev_(g_intern) {
+  g_intern = table_.get();
+}
+
+InternScope::~InternScope() { g_intern = prev_; }
+
+InternScope::Stats InternScope::stats() const {
+  return Stats{table_->hits, table_->nodes.size()};
+}
 
 std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b) {
   using vm::Op;
@@ -39,14 +120,14 @@ ExprRef MakeConst(std::uint64_t value) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kConst;
   e->value = value;
-  return e;
+  return Intern(std::move(e));
 }
 
 ExprRef MakeInput(std::uint32_t offset) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kInput;
   e->offset = offset;
-  return e;
+  return Intern(std::move(e));
 }
 
 ExprRef MakeBinOp(vm::Op op, ExprRef lhs, ExprRef rhs) {
@@ -87,7 +168,7 @@ ExprRef MakeBinOp(vm::Op op, ExprRef lhs, ExprRef rhs) {
   e->op = op;
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
-  return e;
+  return Intern(std::move(e));
 }
 
 ExprRef MakeNot(ExprRef operand) {
@@ -95,7 +176,7 @@ ExprRef MakeNot(ExprRef operand) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kNot;
   e->lhs = std::move(operand);
-  return e;
+  return Intern(std::move(e));
 }
 
 ExprRef MakeExtract(ExprRef operand, std::uint8_t byte) {
@@ -115,7 +196,7 @@ ExprRef MakeExtract(ExprRef operand, std::uint8_t byte) {
   e->kind = ExprKind::kExtract;
   e->byte = byte;
   e->lhs = std::move(operand);
-  return e;
+  return Intern(std::move(e));
 }
 
 std::uint64_t Eval(const ExprRef& expr, const Model& model) {
@@ -169,20 +250,31 @@ std::optional<std::uint64_t> EvalPartial(const ExprRef& expr,
 }
 
 void CollectInputs(const ExprRef& expr, SortedSmallSet<std::uint32_t>& out) {
-  switch (expr->kind) {
-    case ExprKind::kConst:
-      return;
-    case ExprKind::kInput:
-      out.Insert(expr->offset);
-      return;
-    case ExprKind::kBinOp:
-      CollectInputs(expr->lhs, out);
-      CollectInputs(expr->rhs, out);
-      return;
-    case ExprKind::kNot:
-    case ExprKind::kExtract:
-      CollectInputs(expr->lhs, out);
-      return;
+  // Iterative with a visited set: interning makes equal subtrees share
+  // one node, and skipping already-seen pointers keeps collection linear
+  // in *distinct* nodes where the naive recursion is linear in paths
+  // (exponential on heavily shared DAGs).
+  std::vector<const Expr*> stack{expr.get()};
+  std::unordered_set<const Expr*> seen;
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e).second) continue;
+    switch (e->kind) {
+      case ExprKind::kConst:
+        break;
+      case ExprKind::kInput:
+        out.Insert(e->offset);
+        break;
+      case ExprKind::kBinOp:
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+        break;
+      case ExprKind::kNot:
+      case ExprKind::kExtract:
+        stack.push_back(e->lhs.get());
+        break;
+    }
   }
 }
 

@@ -7,9 +7,18 @@
 // Interior nodes reuse the MiniVM opcode set so the executor's transfer
 // function is one switch shared with the interpreter's semantics.
 //
-// Expressions are immutable and hash-consed-lite (shared_ptr DAG with
-// eager constant folding); evaluation under a concrete model must agree
+// Expressions are immutable and hash-consed (shared_ptr DAG with eager
+// constant folding); evaluation under a concrete model must agree
 // bit-for-bit with the interpreter — a property test enforces this.
+//
+// Hash-consing is scoped: while an InternScope is alive on the current
+// thread, the Make* constructors dedupe structurally-equal nodes, so
+// structural equality degrades to pointer equality and the folding
+// identities in MakeBinOp (x^x, x-x, x==x, ...) fire for *any* pair of
+// equal subtrees, not only literally-shared ones. The table holds strong
+// references and is dropped when the scope exits; nodes outlive the
+// scope through whatever ExprRefs still point at them. Scopes are
+// thread-local, so concurrent executors never contend on the table.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +56,31 @@ struct Expr {
 
 /// A (partial) assignment of input bytes.
 using Model = std::map<std::uint32_t, std::uint8_t>;
+
+/// RAII hash-consing scope. While alive on the current thread, Make*
+/// constructors return the canonical node for each structure. One scope
+/// per executor run bounds the table's lifetime to the run; nesting
+/// restores the previous scope on exit.
+class InternScope {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;   // constructions answered from the table
+    std::uint64_t nodes = 0;  // distinct nodes the table holds
+  };
+
+  InternScope();
+  ~InternScope();
+  InternScope(const InternScope&) = delete;
+  InternScope& operator=(const InternScope&) = delete;
+
+  Stats stats() const;
+
+  struct Table;  // defined in expr.cpp; opaque to users
+
+ private:
+  std::unique_ptr<Table> table_;
+  Table* prev_;
+};
 
 ExprRef MakeConst(std::uint64_t value);
 ExprRef MakeInput(std::uint32_t offset);

@@ -3,8 +3,100 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <unordered_set>
 
 namespace octopocs::symex {
+
+std::uint64_t SolverCache::HashKey(const std::vector<ExprRef>& constraints) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over node addresses
+  for (const ExprRef& c : constraints) {
+    h ^= reinterpret_cast<std::uintptr_t>(c.get());
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool SolverCache::KeyEquals(const std::vector<const Expr*>& key,
+                            const std::vector<ExprRef>& constraints) {
+  if (key.size() != constraints.size()) return false;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] != constraints[i].get()) return false;
+  }
+  return true;
+}
+
+const SolveResult* SolverCache::Lookup(
+    const std::vector<ExprRef>& constraints, const Model& pins,
+    const Model& hints) {
+  const auto it = buckets_.find(HashKey(constraints));
+  if (it != buckets_.end()) {
+    for (const Entry& entry : it->second) {
+      if (KeyEquals(entry.key, constraints)) {
+        ++stats_.hits;
+        return &entry.result;
+      }
+    }
+  }
+  // Model reuse: assemble a candidate assignment over exactly the
+  // constrained variables and *evaluate* the full constraint set under
+  // it — a reuse hit is a certificate, never a guess, and kUnsat can
+  // never come from this path. Per variable the candidate takes the
+  // pinned value (the constraints force it), else the cached model's,
+  // else the hint — the value a fresh hint-guided search would try
+  // first. The first candidate uses no cached model at all, which
+  // captures the common case of a guiding path the original PoC bytes
+  // already satisfy; then recent models, newest first.
+  SortedSmallSet<std::uint32_t> vars;
+  for (const ExprRef& c : constraints) CollectInputs(c, vars);
+  for (std::size_t i = reuse_models_.size() + 1; i-- > 0;) {
+    const Model* reuse = i == 0 ? nullptr : &reuse_models_[i - 1];
+    Model candidate;
+    for (const std::uint32_t var : vars) {
+      if (const auto pin = pins.find(var); pin != pins.end()) {
+        candidate[var] = pin->second;
+      } else if (reuse != nullptr && reuse->count(var) != 0) {
+        candidate[var] = reuse->at(var);
+      } else if (const auto hint = hints.find(var); hint != hints.end()) {
+        candidate[var] = hint->second;
+      }  // else absent: evaluates as 0, the solver default
+    }
+    bool satisfied = true;
+    for (const ExprRef& c : constraints) {
+      if (Eval(c, candidate) == 0) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) {
+      ++stats_.hits;
+      reuse_scratch_.status = SolveStatus::kSat;
+      reuse_scratch_.model = std::move(candidate);
+      reuse_scratch_.steps = 0;
+      return &reuse_scratch_;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const SolveResult& SolverCache::Insert(
+    const std::vector<ExprRef>& constraints, SolveResult result) {
+  Entry entry;
+  entry.key.reserve(constraints.size());
+  for (const ExprRef& c : constraints) entry.key.push_back(c.get());
+  entry.result = std::move(result);
+  auto& bucket = buckets_[HashKey(constraints)];
+  bucket.push_back(std::move(entry));
+  ++entries_;
+  const SolveResult& stored = bucket.back().result;
+  if (stored.status == SolveStatus::kSat) {
+    reuse_models_.push_back(stored.model);
+    if (reuse_models_.size() > kMaxReuseModels) {
+      reuse_models_.erase(reuse_models_.begin());
+    }
+  }
+  return stored;
+}
 
 void ByteSolver::Add(ExprRef expr) {
   // A constant constraint either disappears or poisons the system.
@@ -344,6 +436,17 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
       continue;
     }
     all.push_back(e);
+  }
+  // Interning canonicalizes structurally-equal constraints to one node,
+  // so duplicates (the same pin re-asserted along a path, a re-built
+  // guard) collapse under pointer identity before the search sees them.
+  {
+    std::unordered_set<const Expr*> seen;
+    std::size_t kept = 0;
+    for (ExprRef& e : all) {
+      if (seen.insert(e.get()).second) all[kept++] = std::move(e);
+    }
+    all.resize(kept);
   }
   // Propagation pre-pass: decompose concat equalities into byte pins so
   // unit propagation starts from singleton domains for multi-byte

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "symex/expr.h"
@@ -70,6 +71,75 @@ class ByteSolver {
   SolverOptions options_;
   std::vector<ExprRef> constraints_;
   Model pins_;
+};
+
+/// Memoizes ByteSolver verdicts across the repeated feasibility and
+/// concretization queries a directed executor issues along shared path
+/// prefixes. Two mechanisms, both sound by construction:
+///
+///   exact memo    keyed by the exact sequence of constraint node
+///                 addresses. Forked states copy their constraint
+///                 vector but share the pointed-to nodes, and interning
+///                 canonicalizes structurally-equal nodes, so an exact
+///                 hit is *provably* the same query; it may return any
+///                 verdict, including kUnsat.
+///   model reuse   a path extends its prefix by appending constraints,
+///                 so the sequence key misses — but a model that
+///                 satisfied the prefix often still satisfies the
+///                 extension. Lookup overlays the caller's pinned bytes
+///                 onto each recently found model and *evaluates* the
+///                 full constraint set under it; only a model that
+///                 certifies every constraint is returned, as kSat.
+///                 kUnsat can never come from reuse, so a cached
+///                 verdict can never contradict a fresh solve.
+///
+/// The cache must not outlive the expressions it indexes: one cache per
+/// executor run, like the InternScope whose lifetime it matches.
+class SolverCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Cached result for `constraints`, or nullptr. `pins` are the
+  /// caller's already-forced byte values (each also present as an
+  /// equality constraint) and `hints` the solver's value-ordering
+  /// preferences; candidates are assembled per constrained variable
+  /// with priority pins > cached model > hints, mirroring what a fresh
+  /// hint-guided search would try first. The returned model covers only
+  /// variables the constraints mention — the same contract a fresh
+  /// SolveResult has. The pointer is valid until the next Lookup call.
+  const SolveResult* Lookup(const std::vector<ExprRef>& constraints,
+                            const Model& pins, const Model& hints);
+
+  /// Stores `result`; returns the stored copy. SAT models additionally
+  /// join the reuse pool.
+  const SolveResult& Insert(const std::vector<ExprRef>& constraints,
+                            SolveResult result);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_; }
+
+ private:
+  struct Entry {
+    std::vector<const Expr*> key;
+    SolveResult result;
+  };
+
+  /// Most-recent-first reuse pool cap: candidates beyond this are
+  /// evicted, bounding Lookup's evaluation work.
+  static constexpr std::size_t kMaxReuseModels = 16;
+
+  static std::uint64_t HashKey(const std::vector<ExprRef>& constraints);
+  static bool KeyEquals(const std::vector<const Expr*>& key,
+                        const std::vector<ExprRef>& constraints);
+
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::vector<Model> reuse_models_;  // most recent at the back
+  SolveResult reuse_scratch_;        // backs model-reuse Lookup returns
+  std::size_t entries_ = 0;
+  Stats stats_;
 };
 
 }  // namespace octopocs::symex

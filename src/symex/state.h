@@ -8,7 +8,11 @@
 // bytes (input offsets already forced to a concrete value, either by
 // bunch placement in P3 or by concretization).
 //
-// States are value types: forking at a branch is a copy.
+// States are value types: forking at a branch is a copy. The copy is
+// structural, not deep — symbolic memory lives in a page-granular
+// copy-on-write store and the heap/loop-counter maps are shared whole
+// until first write (see symex/cow.h), so a fork costs O(pages touched)
+// rather than O(state size).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "support/small_set.h"
+#include "symex/cow.h"
 #include "symex/expr.h"
 #include "vm/memory.h"
 
@@ -49,9 +54,11 @@ enum class StateDeath : std::uint8_t {
 };
 
 struct SymState {
+  using HeapMap = std::map<std::uint64_t, SymAlloc>;
+
   std::vector<SymFrame> frames;
-  std::map<std::uint64_t, ExprRef> mem;
-  std::map<std::uint64_t, SymAlloc> heap;
+  CowPageMap<ExprRef> mem;
+  Cow<HeapMap> heap;
   vm::AllocCursor cursor;
   std::uint64_t file_pos = 0;
 
@@ -65,8 +72,9 @@ struct SymState {
     std::uint32_t count = 0;
     std::uint64_t last_constraint_count = ~std::uint64_t{0};
   };
-  std::map<std::tuple<vm::FuncId, vm::BlockId, vm::BlockId>, LoopEntry>
-      loop_counts;
+  using LoopMap =
+      std::map<std::tuple<vm::FuncId, vm::BlockId, vm::BlockId>, LoopEntry>;
+  Cow<LoopMap> loop_counts;
 
   std::uint32_t ep_count = 0;       // encounters of ep so far
   /// poc' offsets covered by bunch placements (for classification).
@@ -88,18 +96,28 @@ struct SymState {
   StateDeath death = StateDeath::kAlive;
 
   /// Rough live-memory footprint in bytes, the Table IV "RAM" metric.
-  /// Counts the state's own containers; shared expression nodes are
-  /// charged once per reference, which over-approximates like a real
-  /// symbolic executor's per-state accounting does.
+  /// Counts the state's own containers; storage shared with forked
+  /// siblings (memory pages, the heap and loop-counter maps) is charged
+  /// fractionally — bytes divided by owner count — so Σ footprints over
+  /// the live worklist tracks real allocation instead of multiplying a
+  /// shared page by every state that references it. Expression nodes
+  /// stay charged once per reference, which over-approximates like a
+  /// real symbolic executor's per-state accounting does.
   std::size_t FootprintBytes() const {
     std::size_t bytes = sizeof(SymState);
-    bytes += mem.size() * (sizeof(std::uint64_t) + sizeof(ExprRef) + 48);
-    bytes += heap.size() * (sizeof(std::uint64_t) + sizeof(SymAlloc) + 48);
-    bytes += constraints.size() * (sizeof(ExprRef) + 40);
+    bytes += mem.FootprintBytes();
+    bytes += heap.get().size() *
+             (sizeof(std::uint64_t) + sizeof(SymAlloc) + 48) /
+             heap.owners();
+    bytes += loop_counts.get().size() * 64 / loop_counts.owners();
+    bytes += constraints.capacity() * sizeof(ExprRef) +
+             constraints.size() * 40;
     bytes += pinned.size() * 48;
-    bytes += loop_counts.size() * 64;
+    bytes += bunch_targets.capacity() * sizeof(std::uint32_t);
+    bytes += read_offsets.items().capacity() * sizeof(std::uint32_t);
+    bytes += frames.capacity() * sizeof(SymFrame);
     for (const SymFrame& f : frames) {
-      bytes += sizeof(SymFrame) + f.regs.size() * sizeof(ExprRef);
+      bytes += f.regs.capacity() * sizeof(ExprRef);
     }
     return bytes;
   }

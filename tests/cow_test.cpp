@@ -1,0 +1,124 @@
+// Copy-on-write state containers: forked states must alias storage until
+// first write, writes must never leak into siblings, and the fractional
+// footprint accounting must reflect sharing.
+#include <gtest/gtest.h>
+
+#include "symex/cow.h"
+#include "symex/expr.h"
+#include "symex/state.h"
+
+namespace octopocs::symex {
+namespace {
+
+TEST(CowPageMapTest, SetAndFindRoundTrip) {
+  CowPageMap<int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(7), nullptr);
+  m.Set(7, 70);
+  m.Set(7, 71);  // overwrite does not grow size
+  m.Set(64 * 3 + 5, 99);
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 71);
+  ASSERT_NE(m.Find(64 * 3 + 5), nullptr);
+  EXPECT_EQ(*m.Find(64 * 3 + 5), 99);
+  EXPECT_EQ(m.Find(8), nullptr);     // same page, empty slot
+  EXPECT_EQ(m.Find(5000), nullptr);  // absent page
+}
+
+TEST(CowPageMapTest, WriteAfterForkDoesNotLeakIntoSibling) {
+  CowPageMap<int> parent;
+  for (std::uint64_t k = 0; k < 200; ++k) parent.Set(k, static_cast<int>(k));
+
+  CowPageMap<int> child = parent;  // structural fork: pages shared
+  child.Set(3, -3);                // first write clones page 0 only
+  child.Set(500, 500);             // new page in the child
+
+  EXPECT_EQ(*parent.Find(3), 3) << "child write leaked into parent";
+  EXPECT_EQ(*child.Find(3), -3);
+  EXPECT_EQ(parent.Find(500), nullptr);
+  EXPECT_EQ(*child.Find(500), 500);
+
+  parent.Set(100, -100);  // and the reverse direction
+  EXPECT_EQ(*child.Find(100), 100) << "parent write leaked into child";
+}
+
+TEST(CowPageMapTest, ForEachVisitsInKeyOrder) {
+  CowPageMap<int> m;
+  m.Set(300, 3);
+  m.Set(1, 1);
+  m.Set(65, 2);
+  std::vector<std::uint64_t> keys;
+  m.ForEach([&](std::uint64_t k, int) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 65, 300}));
+}
+
+TEST(CowPageMapTest, SharedPagesChargeFractionalFootprint) {
+  CowPageMap<int> parent;
+  for (std::uint64_t k = 0; k < 640; ++k) parent.Set(k, 1);
+  const std::size_t solo = parent.FootprintBytes();
+
+  CowPageMap<int> child = parent;  // every page now has two owners
+  const std::size_t shared = parent.FootprintBytes();
+  EXPECT_LT(shared, solo) << "sharing should halve the page charge";
+
+  child.DetachAllPages();  // back to sole ownership
+  EXPECT_EQ(parent.FootprintBytes(), solo);
+  EXPECT_EQ(child.FootprintBytes(), solo);
+}
+
+TEST(CowContainerTest, MutClonesOnlyWhenShared) {
+  Cow<std::map<int, int>> a;
+  a.mut()[1] = 10;
+  EXPECT_EQ(a.owners(), 1u);
+
+  Cow<std::map<int, int>> b = a;
+  EXPECT_EQ(a.owners(), 2u);
+  EXPECT_EQ(&a.get(), &b.get()) << "fork should share the container";
+
+  b.mut()[1] = 20;  // clone-on-write
+  EXPECT_EQ(a.owners(), 1u);
+  EXPECT_EQ(a.get().at(1), 10);
+  EXPECT_EQ(b.get().at(1), 20);
+
+  auto& direct = b.mut();  // sole owner: no clone, stable address
+  EXPECT_EQ(&direct, &b.get());
+}
+
+TEST(SymStateTest, ForkIsolatesMemoryHeapAndLoops) {
+  SymState parent;
+  parent.mem.Set(0x1000, MakeConst(7));
+  parent.heap.mut()[0x2000] = SymAlloc{64, true};
+  parent.loop_counts.mut()[{0, 1, 2}] = SymState::LoopEntry{1, 0};
+
+  SymState child = parent;
+  child.mem.Set(0x1000, MakeConst(9));
+  child.heap.mut()[0x2000].alive = false;
+  child.loop_counts.mut()[{0, 1, 2}].count = 5;
+
+  EXPECT_EQ(Eval(*parent.mem.Find(0x1000), {}), 7u);
+  EXPECT_EQ(Eval(*child.mem.Find(0x1000), {}), 9u);
+  EXPECT_TRUE(parent.heap.get().at(0x2000).alive);
+  EXPECT_FALSE(child.heap.get().at(0x2000).alive);
+  EXPECT_EQ(parent.loop_counts.get().at({0, 1, 2}).count, 1u);
+  EXPECT_EQ(child.loop_counts.get().at({0, 1, 2}).count, 5u);
+}
+
+TEST(SymStateTest, FootprintDropsWhenForkShares) {
+  SymState s;
+  for (std::uint64_t a = 0; a < 2048; ++a) {
+    s.mem.Set(vm::kHeapBase + a, MakeInput(static_cast<std::uint32_t>(a)));
+  }
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    s.heap.mut()[vm::kHeapBase + i * 64] = SymAlloc{64, true};
+  }
+  const std::size_t solo = s.FootprintBytes();
+  SymState fork = s;
+  EXPECT_LT(s.FootprintBytes(), solo)
+      << "shared pages/maps must be charged fractionally";
+  // Both forks together still account for at least the solo storage.
+  EXPECT_GE(s.FootprintBytes() + fork.FootprintBytes(), solo);
+}
+
+}  // namespace
+}  // namespace octopocs::symex

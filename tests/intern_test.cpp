@@ -1,0 +1,88 @@
+// Expression interning (scoped hash-consing): structurally-equal nodes
+// built under an InternScope must be pointer-identical, folding
+// identities must fire across independently built subtrees, and nodes
+// must outlive the scope that created them.
+#include <gtest/gtest.h>
+
+#include "symex/expr.h"
+
+namespace octopocs::symex {
+namespace {
+
+ExprRef BuildSum() {
+  return MakeBinOp(vm::Op::kAdd, MakeInput(3), MakeConst(5));
+}
+
+TEST(InternTest, NoScopeMeansNoDedup) {
+  const ExprRef a = BuildSum();
+  const ExprRef b = BuildSum();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(Eval(a, {{3, 2}}), Eval(b, {{3, 2}}));
+}
+
+TEST(InternTest, ScopeDedupesStructurallyEqualNodes) {
+  InternScope scope;
+  const ExprRef a = BuildSum();
+  const ExprRef b = BuildSum();
+  EXPECT_EQ(a.get(), b.get()) << "same structure must intern to one node";
+
+  const InternScope::Stats stats = scope.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.nodes, 0u);
+
+  // A different structure is a different node.
+  const ExprRef c = MakeBinOp(vm::Op::kAdd, MakeInput(3), MakeConst(6));
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(InternTest, PointerEqualityEnablesFoldingAcrossCopies) {
+  InternScope scope;
+  // x - x folds to 0 only when both operands are recognized as the same
+  // node; interning makes that true for independently built subtrees.
+  const ExprRef diff = MakeBinOp(vm::Op::kSub, BuildSum(), BuildSum());
+  ASSERT_TRUE(diff->IsConst());
+  EXPECT_EQ(diff->value, 0u);
+
+  const ExprRef eq = MakeBinOp(vm::Op::kCmpEq, BuildSum(), BuildSum());
+  ASSERT_TRUE(eq->IsConst());
+  EXPECT_EQ(eq->value, 1u);
+}
+
+TEST(InternTest, NodesOutliveTheScope) {
+  ExprRef survivor;
+  {
+    InternScope scope;
+    survivor = BuildSum();
+  }
+  // The table dropped its strong refs; the node lives on through ours.
+  EXPECT_EQ(Eval(survivor, {{3, 40}}), 45u);
+  // And constructions outside any scope no longer dedupe against it.
+  EXPECT_NE(survivor.get(), BuildSum().get());
+}
+
+TEST(InternTest, NestedScopesRestoreTheOuterTable) {
+  InternScope outer;
+  const ExprRef a = BuildSum();
+  {
+    InternScope inner;  // fresh table: no sharing with the outer scope
+    const ExprRef b = BuildSum();
+    EXPECT_NE(a.get(), b.get());
+  }
+  const ExprRef c = BuildSum();  // outer scope active again
+  EXPECT_EQ(a.get(), c.get());
+}
+
+TEST(InternTest, CollectInputsLinearOnSharedDag) {
+  InternScope scope;
+  // A deep DAG with heavy sharing: without a visited set this would be
+  // exponential. 64 levels of x = x + x over one input.
+  ExprRef e = MakeInput(0);
+  for (int i = 0; i < 64; ++i) e = MakeBinOp(vm::Op::kAdd, e, e);
+  SortedSmallSet<std::uint32_t> inputs;
+  CollectInputs(e, inputs);
+  ASSERT_EQ(inputs.items().size(), 1u);
+  EXPECT_EQ(inputs.items().front(), 0u);
+}
+
+}  // namespace
+}  // namespace octopocs::symex

@@ -1,0 +1,177 @@
+// Solver memoization: a cached verdict must always equal what a fresh
+// solve would return. Exact-key hits may return any verdict; model-reuse
+// hits must be certificates (the returned model satisfies every
+// constraint) and can never manufacture a kUnsat.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "symex/expr.h"
+#include "symex/solver.h"
+
+namespace octopocs::symex {
+namespace {
+
+ExprRef InputEq(std::uint32_t off, std::uint64_t val) {
+  return MakeBinOp(vm::Op::kCmpEq, MakeInput(off), MakeConst(val));
+}
+
+SolveResult FreshSolve(const std::vector<ExprRef>& constraints,
+                       const SolverOptions& options = {}) {
+  ByteSolver solver(options);
+  for (const ExprRef& c : constraints) solver.Add(c);
+  return solver.Solve();
+}
+
+TEST(SolverCacheTest, ExactKeyHitReturnsTheInsertedVerdict) {
+  InternScope intern;
+  SolverCache cache;
+  const std::vector<ExprRef> constraints = {InputEq(0, 65), InputEq(1, 66)};
+
+  EXPECT_EQ(cache.Lookup(constraints, {}, {}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const SolveResult fresh = FreshSolve(constraints);
+  ASSERT_EQ(fresh.status, SolveStatus::kSat);
+  cache.Insert(constraints, fresh);
+
+  const SolveResult* hit = cache.Lookup(constraints, {}, {});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(hit->status, fresh.status);
+  EXPECT_EQ(hit->model, fresh.model);
+}
+
+TEST(SolverCacheTest, ExactKeyHitMayReturnUnsat) {
+  InternScope intern;
+  SolverCache cache;
+  // in[0] == 1 && in[0] == 2 is unsatisfiable.
+  const std::vector<ExprRef> constraints = {InputEq(0, 1), InputEq(0, 2)};
+  const SolveResult fresh = FreshSolve(constraints);
+  ASSERT_EQ(fresh.status, SolveStatus::kUnsat);
+  cache.Insert(constraints, fresh);
+
+  const SolveResult* hit = cache.Lookup(constraints, {}, {});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->status, SolveStatus::kUnsat)
+      << "an exact sequence match is provably the same query";
+}
+
+TEST(SolverCacheTest, ModelReuseHitEqualsFreshSolveAndCertifies) {
+  InternScope intern;
+  SolverCache cache;
+  std::vector<ExprRef> prefix = {InputEq(0, 10), InputEq(1, 20)};
+  cache.Insert(prefix, FreshSolve(prefix));
+
+  // Extend the path the way the executor does: append one constraint the
+  // cached model already satisfies (in[0] != 0).
+  std::vector<ExprRef> extended = prefix;
+  extended.push_back(
+      MakeBinOp(vm::Op::kCmpNe, MakeInput(0), MakeConst(0)));
+
+  const SolveResult* hit = cache.Lookup(extended, {}, {});
+  ASSERT_NE(hit, nullptr) << "cached model satisfies the extension";
+  EXPECT_EQ(hit->status, SolveStatus::kSat);
+  for (const ExprRef& c : extended) {
+    EXPECT_NE(Eval(c, hit->model), 0u)
+        << "a reuse hit must certify every constraint";
+  }
+  EXPECT_EQ(hit->status, FreshSolve(extended).status);
+}
+
+TEST(SolverCacheTest, PinsOverrideTheCachedModel) {
+  InternScope intern;
+  SolverCache cache;
+  std::vector<ExprRef> prefix = {
+      MakeBinOp(vm::Op::kCmpNe, MakeInput(0), MakeConst(7))};
+  SolveResult seed = FreshSolve(prefix);
+  ASSERT_EQ(seed.status, SolveStatus::kSat);
+  cache.Insert(prefix, std::move(seed));
+
+  // Pin in[1] = 42 and require it in the constraints, the shape P3's
+  // bunch placement produces. The cached model knows nothing about
+  // in[1]; the pin overlay must supply it.
+  std::vector<ExprRef> extended = prefix;
+  extended.push_back(InputEq(1, 42));
+  const Model pins = {{1, 42}};
+
+  const SolveResult* hit = cache.Lookup(extended, pins, {});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->status, SolveStatus::kSat);
+  EXPECT_EQ(hit->model.at(1), 42);
+  EXPECT_EQ(hit->status, FreshSolve(extended).status);
+}
+
+TEST(SolverCacheTest, HintsFillFreshVariablesLikeAFreshSolveWould) {
+  InternScope intern;
+  SolverCache cache;
+  std::vector<ExprRef> prefix = {InputEq(0, 3)};
+  cache.Insert(prefix, FreshSolve(prefix));
+
+  // The extension constrains a byte no cached model has seen; only the
+  // hint (the original PoC's byte) satisfies it.
+  std::vector<ExprRef> extended = prefix;
+  extended.push_back(InputEq(5, 77));
+  const Model hints = {{5, 77}};
+
+  const SolveResult* hit = cache.Lookup(extended, {}, hints);
+  ASSERT_NE(hit, nullptr) << "hint overlay should certify the extension";
+  EXPECT_EQ(hit->model.at(5), 77);
+
+  // The returned model covers only constrained variables — a hint for an
+  // unconstrained byte must not appear (it would change poc' emission).
+  const Model wide_hints = {{5, 77}, {200, 9}};
+  const SolveResult* hit2 = cache.Lookup(extended, {}, wide_hints);
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->model.count(200), 0u);
+}
+
+TEST(SolverCacheTest, UnsatisfiableExtensionMissesInsteadOfGuessing) {
+  InternScope intern;
+  SolverCache cache;
+  std::vector<ExprRef> prefix = {InputEq(0, 10)};
+  cache.Insert(prefix, FreshSolve(prefix));
+
+  // The extension contradicts the prefix: no candidate can certify it,
+  // so Lookup must miss — never report kUnsat from reuse.
+  std::vector<ExprRef> extended = prefix;
+  extended.push_back(InputEq(0, 11));
+  EXPECT_EQ(cache.Lookup(extended, {}, {}), nullptr);
+  EXPECT_EQ(FreshSolve(extended).status, SolveStatus::kUnsat);
+}
+
+TEST(SolverCacheTest, CachedVerdictsMatchFreshSolvesAcrossAWorkload) {
+  InternScope intern;
+  SolverCache cache;
+  // Simulate an executor's query stream: a growing constraint sequence
+  // with occasional pins, checking every cache answer against a fresh
+  // solver on the same system.
+  std::vector<ExprRef> constraints;
+  Model pins;
+  Model hints;
+  for (std::uint32_t i = 0; i < 24; ++i) hints[i] = static_cast<uint8_t>(i);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    constraints.push_back(i % 3 == 0
+                              ? InputEq(i, i)
+                              : MakeBinOp(vm::Op::kCmpNe, MakeInput(i),
+                                          MakeConst(255)));
+    if (i % 5 == 0) pins[i] = static_cast<uint8_t>(i);
+
+    SolveStatus got;
+    if (const SolveResult* hit = cache.Lookup(constraints, pins, hints)) {
+      got = hit->status;
+      if (hit->status == SolveStatus::kSat) {
+        for (const ExprRef& c : constraints) {
+          ASSERT_NE(Eval(c, hit->model), 0u);
+        }
+      }
+    } else {
+      got = cache.Insert(constraints, FreshSolve(constraints)).status;
+    }
+    EXPECT_EQ(got, FreshSolve(constraints).status) << "query " << i;
+  }
+  EXPECT_GT(cache.stats().hits, 0u) << "the workload should produce hits";
+}
+
+}  // namespace
+}  // namespace octopocs::symex

@@ -23,9 +23,16 @@
 //   export <pair-index> <dir>
 //       Materialize a corpus pair (1-21) as s.asm / t.asm / poc.bin /
 //       shared.txt so the other subcommands can chew on it.
+//   corpus [--jobs N] [--extended] [--adaptive-theta]
+//       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
+//       --extended) with N pipeline runs in flight at once. Reports are
+//       printed in pair order and are byte-identical to a serial run
+//       regardless of N.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
-// (Triggered or NotTriggerable).
+// (Triggered or NotTriggerable); corpus exits 0 only when every pair's
+// result type matches the registry's expected one.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +43,7 @@
 #include "clone/detector.h"
 #include "core/minimize.h"
 #include "core/octopocs.h"
+#include "core/parallel_verify.h"
 #include "corpus/extended.h"
 #include "support/hex.h"
 #include "vm/asm.h"
@@ -151,6 +159,14 @@ int CmdVerify(int argc, char** argv) {
               symex::SymexStatusName(r.symex_status).data(),
               static_cast<unsigned long long>(r.symex_stats.states_created),
               static_cast<unsigned long long>(r.symex_stats.instructions));
+  std::printf("caches:    solver %llu hit / %llu miss | interner %llu hit "
+              "/ %llu node\n",
+              static_cast<unsigned long long>(r.symex_stats.solver_cache_hits),
+              static_cast<unsigned long long>(
+                  r.symex_stats.solver_cache_misses),
+              static_cast<unsigned long long>(r.symex_stats.expr_intern_hits),
+              static_cast<unsigned long long>(
+                  r.symex_stats.expr_intern_nodes));
   std::printf("detail:    %s\n", r.detail.c_str());
   std::printf("time:      %.3f ms\n", r.timings.total_seconds * 1e3);
   if (r.poc_generated) {
@@ -248,6 +264,62 @@ int CmdDisasm(int argc, char** argv) {
   return 0;
 }
 
+int CmdCorpus(int argc, char** argv) {
+  unsigned jobs = 1;
+  bool extended = false;
+  core::PipelineOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--jobs wants a positive count\n");
+        return 2;
+      }
+      jobs = static_cast<unsigned>(n);
+    } else if (arg == "--extended") {
+      extended = true;
+    } else if (arg == "--adaptive-theta") {
+      opts.adaptive_theta = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<corpus::Pair> pairs =
+      extended ? corpus::BuildExtendedCorpus() : corpus::BuildCorpus();
+  const auto start = std::chrono::steady_clock::now();
+  const auto reports = core::VerifyCorpus(pairs, opts, jobs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  int decisive = 0;
+  int expected_matches = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const corpus::Pair& pair = pairs[i];
+    const core::VerificationReport& r = reports[i];
+    if (r.verdict != core::Verdict::kFailure) ++decisive;
+    const bool as_expected = std::string(core::ResultTypeName(r.type)) ==
+                             std::string(corpus::ExpectedResultName(pair.expected));
+    if (as_expected) ++expected_matches;
+    std::printf("pair %2d  %-12s -> %-12s  %-15s %-8s %s%s\n", pair.idx,
+                pair.s_name.c_str(), pair.t_name.c_str(),
+                core::VerdictName(r.verdict).data(),
+                core::ResultTypeName(r.type).data(), r.detail.c_str(),
+                as_expected ? "" : "  [UNEXPECTED]");
+  }
+  std::printf("%d/%zu decisive | %d/%zu as expected | %u job(s) | %.3f s "
+              "wall\n",
+              decisive, pairs.size(), expected_matches, pairs.size(), jobs,
+              wall);
+  // Exit status keys off the registry's expected result types: the
+  // corpus deliberately contains NotTriggerable and Failure pairs, so
+  // "all decisive" would never hold for the stock corpus.
+  return expected_matches == static_cast<int>(pairs.size()) ? 0 : 1;
+}
+
 int CmdExport(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: octopocs export <pair-index 1..21> <dir>\n");
@@ -276,12 +348,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "octopocs — propagated-vulnerability verification\n"
                  "subcommands: verify, detect, run, minimize, disasm, "
-                 "export\n");
+                 "export, corpus\n");
     return 2;
   }
   const std::string cmd = argv[1];
   try {
     if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
+    if (cmd == "corpus") return CmdCorpus(argc - 2, argv + 2);
     if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
     if (cmd == "run") return CmdRun(argc - 2, argv + 2);
     if (cmd == "minimize") return CmdMinimize(argc - 2, argv + 2);
