@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "support/fault.h"
+
 namespace octopocs::cfg {
 
 namespace {
@@ -24,6 +26,10 @@ bool DistanceMap::Reaches(vm::FuncId fn, vm::BlockId block) const {
 bool DistanceMap::FuncReaches(vm::FuncId fn) const { return Reaches(fn, 0); }
 
 Cfg Cfg::Build(const vm::Program& program, const CfgOptions& options) {
+  // The angr-crash analogue: CFG recovery itself dies. Thrown as
+  // FaultError (not CfgError) so containment tests exercise the generic
+  // exception path, not the modelled-defect fallback.
+  support::fault::MaybeThrow(support::FaultSite::kCfgBuild);
   if (auto err = Validate(program)) {
     throw CfgError("invalid program: " + *err);
   }
@@ -124,7 +130,13 @@ void Cfg::BuildDynamicEdges(const CfgOptions& options) {
   for (const Bytes& seed : seeds) {
     vm::Interpreter interp(*program_, seed, options.exec);
     interp.AddObserver(&recorder);
-    (void)interp.Run();  // crashes during exploration are fine
+    const vm::ExecResult run = interp.Run();  // crashes are fine...
+    if (run.trap == vm::TrapKind::kDeadline) {
+      // ...but a tripped deadline means the whole phase is out of time.
+      throw CfgError(
+          "dynamic CFG construction cancelled: wall-clock deadline "
+          "expired");
+    }
   }
   for (const auto& [site, target] : recorder.edges) {
     auto& out = succs_[site.first][site.second];

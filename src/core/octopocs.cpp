@@ -65,7 +65,7 @@ Octopocs::Octopocs(const vm::Program& s, const vm::Program& t,
       options_(std::move(options)),
       t_names_(std::move(t_names)) {}
 
-std::optional<vm::FuncId> Octopocs::DiscoverEp() {
+std::optional<vm::FuncId> Octopocs::DiscoverEp(support::CancelToken cancel) {
   std::set<vm::FuncId> shared_ids;
   for (const std::string& name : shared_) {
     const vm::FuncId id = s_.FindFunction(name);
@@ -74,7 +74,9 @@ std::optional<vm::FuncId> Octopocs::DiscoverEp() {
   if (shared_ids.empty()) return std::nullopt;
 
   FirstSharedEntry fallback(shared_ids);
-  vm::Interpreter interp(s_, poc_, options_.verify_exec);
+  vm::ExecOptions exec = options_.verify_exec;
+  exec.cancel = cancel;
+  vm::Interpreter interp(s_, poc_, exec);
   interp.AddObserver(&fallback);
   const vm::ExecResult run = interp.Run();
   if (!vm::IsCrash(run.trap)) return std::nullopt;
@@ -87,13 +89,15 @@ std::optional<vm::FuncId> Octopocs::DiscoverEp() {
   return fallback.first();
 }
 
-taint::ExtractionResult Octopocs::ExtractPrimitives(vm::FuncId ep_in_s) {
+taint::ExtractionResult Octopocs::ExtractPrimitives(vm::FuncId ep_in_s,
+                                                    support::CancelToken cancel) {
   taint::ExtractionOptions opts = options_.taint;
   // The taint run must be allowed at least as much fuel as the verify
   // run, or a CWE-835 hang would never reach its "crash".
   if (opts.exec.fuel < options_.verify_exec.fuel) {
     opts.exec.fuel = options_.verify_exec.fuel;
   }
+  opts.exec.cancel = cancel;
   return taint::ExtractCrashPrimitives(s_, poc_, ep_in_s, opts);
 }
 
@@ -128,20 +132,77 @@ ResultType Octopocs::ClassifyTriggered(
 
 VerificationReport Octopocs::Verify() {
   using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
   VerificationReport report;
+  std::string phase = "preprocessing";
+  try {
+    VerifyImpl(report, phase);
+  } catch (const std::exception& e) {
+    // Containment boundary: any phase exception — a tooling crash, an
+    // injected FaultError — degrades to a well-formed kFailure report
+    // that keeps whatever stats the completed phases already recorded.
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = phase;
+    report.exception_contained = true;
+    report.detail = "contained exception during " + phase + ": " + e.what();
+  } catch (...) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = phase;
+    report.exception_contained = true;
+    report.detail = "contained non-standard exception during " + phase;
+  }
+  report.timings.total_seconds = Seconds(t0, Clock::now());
+  return report;
+}
+
+void Octopocs::VerifyImpl(VerificationReport& report, std::string& phase) {
+  using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
 
+  const support::Deadline whole =
+      options_.deadline_ms == 0
+          ? support::Deadline::Never()
+          : support::Deadline::AfterMillis(options_.deadline_ms);
+  const auto phase_token = [&](std::uint64_t phase_ms) {
+    const support::Deadline own =
+        phase_ms == 0 ? support::Deadline::Never()
+                      : support::Deadline::AfterMillis(phase_ms);
+    return support::CancelToken(support::Deadline::Sooner(whole, own),
+                                options_.cancel_flag);
+  };
+  const auto deadline_failure = [&](const std::string& which) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = which;
+    report.deadline_expired = true;
+    report.detail = "wall-clock deadline expired during " + which;
+  };
+  const auto tool_failure = [&](const std::string& which,
+                                std::string detail) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = which;
+    report.detail = std::move(detail);
+  };
+
   // -- Preprocessing: locate ep --------------------------------------------
-  const std::optional<vm::FuncId> ep_s = DiscoverEp();
+  support::CancelToken pre_tok = phase_token(options_.preprocess_deadline_ms);
+  const std::optional<vm::FuncId> ep_s = DiscoverEp(pre_tok);
   const auto t1 = Clock::now();
   report.timings.preprocess_seconds = Seconds(t0, t1);
   if (!ep_s) {
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.detail =
-        "preprocessing failed: the PoC does not crash S inside ℓ";
-    report.timings.total_seconds = Seconds(t0, Clock::now());
-    return report;
+    // A cancelled run ends in kDeadline, which is not a crash, so ep
+    // discovery comes back empty — attribute that to the clock, not to
+    // the PoC.
+    if (pre_tok.Check()) {
+      deadline_failure("preprocessing");
+      return;
+    }
+    tool_failure("preprocessing",
+                 "preprocessing failed: the PoC does not crash S inside ℓ");
+    return;
   }
   report.ep_in_s = *ep_s;
   report.ep_name = s_.Fn(*ep_s).name;
@@ -153,12 +214,13 @@ VerificationReport Octopocs::Verify() {
     report.verdict = Verdict::kNotTriggerable;
     report.type = ResultType::kTypeIII;
     report.detail = "ep '" + report.ep_name + "' does not exist in T";
-    report.timings.total_seconds = Seconds(t0, Clock::now());
-    return report;
+    return;
   }
 
   // -- P1: crash primitives --------------------------------------------------
-  const taint::ExtractionResult p1 = ExtractPrimitives(*ep_s);
+  phase = "P1";
+  support::CancelToken p1_tok = phase_token(options_.p1_deadline_ms);
+  const taint::ExtractionResult p1 = ExtractPrimitives(*ep_s, p1_tok);
   const auto t2 = Clock::now();
   report.timings.p1_seconds = Seconds(t1, t2);
   report.ep_encounters_in_s = p1.ep_encounters;
@@ -167,41 +229,67 @@ VerificationReport Octopocs::Verify() {
     report.crash_primitive_bytes += b.size();
   }
   if (!p1.Crashed() || p1.bunches.empty()) {
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.detail = "P1 failed: no crash primitives extracted";
-    report.timings.total_seconds = Seconds(t0, Clock::now());
-    return report;
+    if (p1_tok.Check()) {
+      deadline_failure("P1");
+      return;
+    }
+    tool_failure("P1", "P1 failed: no crash primitives extracted");
+    return;
   }
 
   // -- CFG of T (P2 precondition) --------------------------------------------
+  phase = "cfg";
+  support::CancelToken p23_tok = phase_token(options_.p23_deadline_ms);
   cfg::CfgOptions cfg_opts = options_.cfg;
   if (options_.poc_as_cfg_seed) cfg_opts.seed_inputs.push_back(poc_);
+  cfg_opts.exec.cancel = p23_tok;
   std::optional<cfg::Cfg> graph;
   try {
     graph.emplace(cfg::Cfg::Build(t_, cfg_opts));
   } catch (const cfg::CfgError& e) {
-    // The paper's Idx-15 outcome: CFG recovery failed, verification is
-    // impossible (a tooling failure, not a verdict about T).
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.detail = e.what();
-    report.timings.total_seconds = Seconds(t0, Clock::now());
-    return report;
+    if (p23_tok.Check()) {
+      deadline_failure("cfg");
+      return;
+    }
+    if (!options_.cfg_fallback_to_static || !cfg_opts.use_dynamic) {
+      // The paper's Idx-15 outcome: CFG recovery failed, verification is
+      // impossible (a tooling failure, not a verdict about T).
+      tool_failure("cfg", e.what());
+      return;
+    }
+    // Degradation ladder, rung 1: retry with static edges only. The
+    // static CFG misses dynamically-discovered indirect-call edges, so
+    // the verdict may weaken — the report records the substitution.
+    report.cfg_static_fallback = true;
+    cfg::CfgOptions static_opts = cfg_opts;
+    static_opts.use_dynamic = false;
+    try {
+      graph.emplace(cfg::Cfg::Build(t_, static_opts));
+    } catch (const cfg::CfgError& e2) {
+      tool_failure("cfg", std::string(e.what()) +
+                              "; static fallback also failed: " + e2.what());
+      return;
+    }
   }
 
   // -- P2 + P3: guiding inputs and combining ----------------------------------
+  phase = "P2/P3";
   symex::ExecutorOptions sym_opts = options_.symex;
   // Hint the solver with the original PoC so reformed PoCs stay as
   // close to the original as the constraints allow.
   for (std::uint32_t off = 0; off < poc_.size(); ++off) {
     sym_opts.solver.hints.emplace(off, poc_[off]);
   }
+  sym_opts.cancel = p23_tok;
+  sym_opts.solver.cancel = p23_tok;
   symex::SymexResult sym;
   bool theta_ceiling_hit = false;
+  bool solver_retried = false;
   for (;;) {
     symex::SymExecutor executor(t_, *graph, report.ep_in_t, sym_opts);
     sym = executor.GeneratePoc(p1.bunches);
+    // Out of wall-clock: no retry of any kind can run to completion.
+    if (sym.status == symex::SymexStatus::kDeadline) break;
     // Adaptive θ: a program-dead verdict caused (possibly) by the loop
     // cap is retried with a doubled cap until the verdict stabilises.
     if (options_.adaptive_theta &&
@@ -212,6 +300,15 @@ VerificationReport Octopocs::Verify() {
         break;
       }
       sym_opts.theta *= 2;
+      continue;
+    }
+    // Degradation ladder, rung 2: a solver step-budget failure gets one
+    // retry with the budget doubled before the pipeline gives up.
+    if (options_.solver_budget_retry && !solver_retried &&
+        sym.status == symex::SymexStatus::kSolverFailure) {
+      solver_retried = true;
+      report.solver_budget_retried = true;
+      sym_opts.solver.max_steps *= 2;
       continue;
     }
     break;
@@ -228,32 +325,31 @@ VerificationReport Octopocs::Verify() {
     case symex::SymexStatus::kCfgUnreachable:
       report.verdict = Verdict::kNotTriggerable;  // case (ii)
       report.type = ResultType::kTypeIII;
-      report.timings.total_seconds = Seconds(t0, Clock::now());
-      return report;
+      return;
     case symex::SymexStatus::kProgramDead:  // case (iii)
       if (theta_ceiling_hit) {
         // The search was cut by the loop cap even at the adaptive
         // ceiling: refusing to call this NotTriggerable avoids the
         // wrong-verdict failure mode §VII warns about.
-        report.verdict = Verdict::kFailure;
-        report.type = ResultType::kFailure;
-        report.detail = "loop cap ceiling reached without a verdict";
-        report.timings.total_seconds = Seconds(t0, Clock::now());
-        return report;
+        tool_failure("P2/P3", "loop cap ceiling reached without a verdict");
+        return;
       }
       [[fallthrough]];
     case symex::SymexStatus::kUnsat:        // P3.3 / parameter mismatch
       report.verdict = Verdict::kNotTriggerable;
       report.type = ResultType::kTypeIII;
-      report.timings.total_seconds = Seconds(t0, Clock::now());
-      return report;
+      return;
     case symex::SymexStatus::kBudget:
     case symex::SymexStatus::kSolverFailure:
     case symex::SymexStatus::kReachedEp:
       report.verdict = Verdict::kFailure;
       report.type = ResultType::kFailure;
-      report.timings.total_seconds = Seconds(t0, Clock::now());
-      return report;
+      report.failed_phase = "P2/P3";
+      return;
+    case symex::SymexStatus::kDeadline:
+      deadline_failure("P2/P3");
+      if (!sym.detail.empty()) report.detail += " (" + sym.detail + ")";
+      return;
   }
 
   report.poc_generated = true;
@@ -261,10 +357,18 @@ VerificationReport Octopocs::Verify() {
   report.bunch_offsets = sym.bunch_offsets;
 
   // -- P4: verification --------------------------------------------------------
+  phase = "P4";
+  support::CancelToken p4_tok = phase_token(options_.p4_deadline_ms);
+  vm::ExecOptions verify_exec = options_.verify_exec;
+  verify_exec.cancel = p4_tok;
   const vm::ExecResult verify =
-      vm::RunProgram(t_, report.reformed_poc, options_.verify_exec);
+      vm::RunProgram(t_, report.reformed_poc, verify_exec);
   report.timings.p4_seconds = Seconds(t3, Clock::now());
   report.observed_trap = verify.trap;
+  if (verify.trap == vm::TrapKind::kDeadline) {
+    deadline_failure("P4");
+    return;
+  }
   if (vm::IsVulnerabilityCrash(verify.trap)) {
     report.verdict = Verdict::kTriggered;  // case (i)
     report.type = ClassifyTriggered(sym, p1.bunches);
@@ -273,10 +377,9 @@ VerificationReport Octopocs::Verify() {
   } else {
     report.verdict = Verdict::kFailure;
     report.type = ResultType::kFailure;
+    report.failed_phase = "P4";
     report.detail = "generated poc' did not reproduce the crash in T";
   }
-  report.timings.total_seconds = Seconds(t0, Clock::now());
-  return report;
 }
 
 VerificationReport VerifyPair(const corpus::Pair& pair,

@@ -32,6 +32,7 @@
 //   }
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -41,6 +42,7 @@
 #include "cfg/cfg.h"
 #include "corpus/pairs.h"
 #include "support/bytes.h"
+#include "support/deadline.h"
 #include "symex/executor.h"
 #include "taint/crash_primitive.h"
 #include "vm/interp.h"
@@ -95,6 +97,24 @@ struct VerificationReport {
   /// P4 outcome (only meaningful when poc_generated).
   vm::TrapKind observed_trap = vm::TrapKind::kNone;
 
+  // -- Degradation record (DESIGN.md §9) ------------------------------------
+
+  /// Phase that produced a kFailure verdict: "preprocessing", "P1",
+  /// "cfg", "P2/P3" or "P4". Empty for success verdicts.
+  std::string failed_phase;
+  /// The failure is a wall-clock timeout (deadline or kill switch), not
+  /// a statement about the pair.
+  bool deadline_expired = false;
+  /// A phase threw and the exception was contained into this report
+  /// instead of escaping (tooling crash / injected fault).
+  bool exception_contained = false;
+  /// Dynamic CFG construction failed and the pipeline retried with a
+  /// static-only CFG; the rest of the report describes the retry.
+  bool cfg_static_fallback = false;
+  /// The final constraint solve ran out of steps and was retried once
+  /// with a doubled step budget.
+  bool solver_budget_retried = false;
+
   PhaseTimings timings;
 };
 
@@ -117,6 +137,37 @@ struct PipelineOptions {
   /// instead of a potentially wrong NotTriggerable).
   bool adaptive_theta = false;
   std::uint32_t adaptive_theta_max = 1'920;
+
+  // -- Deadlines and cancellation (DESIGN.md §9) ----------------------------
+
+  /// Wall-clock budget over the whole pipeline, milliseconds (0 = none).
+  /// Tripping yields kFailure with deadline_expired set and failed_phase
+  /// naming the phase that was running.
+  std::uint64_t deadline_ms = 0;
+  /// Per-phase budgets (milliseconds, 0 = none). Each phase runs under
+  /// Deadline::Sooner(whole-pipeline budget, its own budget).
+  std::uint64_t preprocess_deadline_ms = 0;
+  std::uint64_t p1_deadline_ms = 0;
+  std::uint64_t p23_deadline_ms = 0;
+  std::uint64_t p4_deadline_ms = 0;
+  /// External kill switch (the corpus watchdog's reaping mechanism),
+  /// polled alongside every deadline. Not owned; may be null; must
+  /// outlive Verify().
+  const std::atomic<bool>* cancel_flag = nullptr;
+
+  // -- Graceful degradation --------------------------------------------------
+
+  /// Retry a failed dynamic-CFG build once with static edges only
+  /// (recorded as cfg_static_fallback). Off by default: the static CFG
+  /// lacks indirect-call edges, so the fallback trades the paper's
+  /// faithful Idx-15 Failure row for a best-effort (possibly weaker)
+  /// verdict — callers opt in.
+  bool cfg_fallback_to_static = false;
+  /// Retry a solver-budget (kUnknown) symex failure once with
+  /// solver.max_steps doubled (recorded as solver_budget_retried). Off
+  /// by default so budget-sensitivity experiments see the configured
+  /// budget exactly.
+  bool solver_budget_retry = false;
 };
 
 class Octopocs {
@@ -137,15 +188,22 @@ class Octopocs {
 
   /// Preprocessing: runs S(poc) and locates ep (§III "Preprocessing").
   /// Returns nullopt when the PoC does not crash S or no ℓ function is
-  /// involved in the crash.
-  std::optional<vm::FuncId> DiscoverEp();
+  /// involved in the crash. A tripped `cancel` also yields nullopt (the
+  /// run ends in kDeadline, which is not a crash).
+  std::optional<vm::FuncId> DiscoverEp(support::CancelToken cancel = {});
 
   /// P1 with the configured taint options.
-  taint::ExtractionResult ExtractPrimitives(vm::FuncId ep_in_s);
+  taint::ExtractionResult ExtractPrimitives(vm::FuncId ep_in_s,
+                                            support::CancelToken cancel = {});
 
  private:
   ResultType ClassifyTriggered(const symex::SymexResult& result,
                                const std::vector<taint::Bunch>& bunches) const;
+
+  /// Verify() minus the exception boundary: fills `report` in place and
+  /// keeps `phase` naming the phase currently running, so the outer
+  /// catch can attribute a thrown exception without torn state.
+  void VerifyImpl(VerificationReport& report, std::string& phase);
 
   const vm::Program& s_;
   const vm::Program& t_;

@@ -1,16 +1,75 @@
 #include "core/parallel_verify.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "support/thread_pool.h"
 
 namespace octopocs::core {
 
 std::vector<VerificationReport> VerifyCorpus(
     const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
-    unsigned jobs) {
+    unsigned jobs, std::uint64_t pair_deadline_ms) {
   std::vector<VerificationReport> reports(pairs.size());
+  if (pairs.empty()) return reports;
+
+  using Clock = std::chrono::steady_clock;
+  const bool watched = pair_deadline_ms > 0;
+
+  // Per-pair reaping state. The kill switches outlive every worker (the
+  // pool is joined inside ParallelFor before this scope unwinds), and
+  // the watchdog only ever reads/writes atomics, so no locking is
+  // needed anywhere on this path.
+  std::vector<std::atomic<bool>> kill(pairs.size());
+  // 0 = not started, >0 = steady-clock start tick, -1 = finished.
+  std::vector<std::atomic<std::int64_t>> started_at(pairs.size());
+
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (watched) {
+    const std::int64_t budget_ticks =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::milliseconds(pair_deadline_ms))
+            .count();
+    watchdog = std::thread([&, budget_ticks] {
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        const std::int64_t now = Clock::now().time_since_epoch().count();
+        for (std::size_t i = 0; i < started_at.size(); ++i) {
+          const std::int64_t t =
+              started_at[i].load(std::memory_order_relaxed);
+          if (t > 0 && now - t >= budget_ticks) {
+            kill[i].store(true, std::memory_order_relaxed);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   support::ParallelFor(pairs.size(), jobs, [&](std::size_t i) {
-    reports[i] = VerifyPair(pairs[i], options);
+    PipelineOptions per_pair = options;
+    if (watched) {
+      per_pair.cancel_flag = &kill[i];
+      // The in-pipeline deadline is the primary mechanism (fine-grained
+      // polls at every hot loop); the watchdog flag above is the
+      // backstop that reaps a pair stuck somewhere the deadline isn't
+      // threaded through.
+      if (per_pair.deadline_ms == 0 ||
+          per_pair.deadline_ms > pair_deadline_ms) {
+        per_pair.deadline_ms = pair_deadline_ms;
+      }
+      started_at[i].store(Clock::now().time_since_epoch().count(),
+                          std::memory_order_relaxed);
+    }
+    reports[i] = VerifyPair(pairs[i], per_pair);
+    if (watched) started_at[i].store(-1, std::memory_order_relaxed);
   });
+
+  if (watched) {
+    watchdog_stop.store(true, std::memory_order_relaxed);
+    watchdog.join();
+  }
   return reports;
 }
 

@@ -11,9 +11,19 @@
 // whether jobs == 1 or jobs == N. The serial path literally runs the
 // same closures in index order, and workers only ever write their own
 // result slot, so there is no ordering-dependent state to diverge. A
-// corpus-wide test asserts this equality.
+// corpus-wide test asserts this equality. (Configuring deadlines makes
+// verdicts clock-dependent by design; the guarantee then holds whenever
+// the budgets are either comfortably met or comfortably blown in both
+// runs.)
+//
+// Watchdog: with pair_deadline_ms > 0 each pair runs under that
+// wall-clock budget twice over — the pipeline's own deadline machinery
+// polls it cooperatively, and a reaper thread additionally raises the
+// pair's kill switch once the budget passes, so one hung pair degrades
+// to a kFailure report while every other pair finishes normally.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/octopocs.h"
@@ -22,10 +32,12 @@
 namespace octopocs::core {
 
 /// Verifies `pairs[i]` into slot i of the result, `jobs` at a time.
-/// jobs <= 1 runs serially on the calling thread; jobs > the pair count
-/// is clamped.
+/// jobs <= 1 (including 0) runs serially on the calling thread; jobs >
+/// the pair count is clamped. An empty pair list returns an empty
+/// vector without touching any worker machinery. `pair_deadline_ms`,
+/// when nonzero, bounds each pair's wall-clock time (see file comment).
 std::vector<VerificationReport> VerifyCorpus(
     const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
-    unsigned jobs);
+    unsigned jobs, std::uint64_t pair_deadline_ms = 0);
 
 }  // namespace octopocs::core

@@ -1,0 +1,88 @@
+#include "support/fault.h"
+
+#include <atomic>
+#include <string>
+
+namespace octopocs::support {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kCfgBuild: return "cfg-build";
+    case FaultSite::kSolverStep: return "solver-step";
+    case FaultSite::kTaintStep: return "taint-step";
+    case FaultSite::kStateFork: return "state-fork";
+    case FaultSite::kAllocation: return "allocation";
+  }
+  return "?";
+}
+
+namespace fault {
+
+namespace {
+
+// -1 = disarmed. The countdown counts polls of the armed site; the poll
+// that decrements it from 0 fires. All relaxed: pollers only need to
+// agree that exactly one of them observes the 0 -> -1 transition, which
+// fetch_sub guarantees regardless of ordering.
+std::atomic<int> g_site{-1};
+std::atomic<std::int64_t> g_countdown{0};
+std::atomic<std::uint64_t> g_fired{0};
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Arm(FaultSite site, std::uint64_t skip) {
+  g_fired.store(0, std::memory_order_relaxed);
+  g_countdown.store(static_cast<std::int64_t>(skip),
+                    std::memory_order_relaxed);
+  g_site.store(static_cast<int>(site), std::memory_order_release);
+}
+
+FaultSite ArmSeeded(std::uint64_t seed) {
+  const std::uint64_t x = SplitMix64(seed);
+  const auto site = static_cast<FaultSite>(x % kFaultSiteCount);
+  Arm(site, (x >> 8) % 16);
+  return site;
+}
+
+void Disarm() {
+  g_site.store(-1, std::memory_order_relaxed);
+  g_countdown.store(0, std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
+bool armed() { return g_site.load(std::memory_order_relaxed) >= 0; }
+
+std::uint64_t fired_count() {
+  return g_fired.load(std::memory_order_relaxed);
+}
+
+bool Poll(FaultSite site) {
+  if (g_site.load(std::memory_order_relaxed) != static_cast<int>(site)) {
+    return false;
+  }
+  if (g_countdown.fetch_sub(1, std::memory_order_relaxed) != 0) {
+    return false;
+  }
+  // This poll owns the firing; disarm so later polls are free again.
+  g_site.store(-1, std::memory_order_relaxed);
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MaybeThrow(FaultSite site) {
+  if (Poll(site)) {
+    throw FaultError("injected fault at site " +
+                     std::string(FaultSiteName(site)));
+  }
+}
+
+}  // namespace fault
+
+}  // namespace octopocs::support

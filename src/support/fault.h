@@ -1,0 +1,79 @@
+// Deterministic, site-keyed fault injection for robustness tests.
+//
+// Real OCTOPOCS deployments die in tooling, not in logic: angr throws
+// mid-CFG, the SMT solver OOMs, a fork fails under memory pressure. The
+// pipeline promises that every such failure lands as a well-formed
+// kFailure VerificationReport — this registry exists to prove it. Each
+// failure class is a FaultSite; production code calls MaybeThrow(site)
+// (or Poll for non-throwing sites) at the exact spot the real fault
+// would strike, and tests arm one site at a time and assert the pipeline
+// degrades instead of crashing, hanging, or tearing stats.
+//
+// Disarmed cost: one relaxed atomic load per poll — nothing branches on
+// the hot path beyond the site comparison. Armed semantics are
+// deterministic and one-shot: Arm(site, skip) makes the (skip+1)-th poll
+// of that site fire exactly once (an atomic countdown, so exactly one
+// firing even under a parallel corpus run), after which the registry
+// disarms itself. ArmSeeded derives (site, skip) from a seed for
+// randomized-but-reproducible sweeps.
+//
+// The registry is process-global and meant for tests and benches only;
+// nothing in the production pipeline arms it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+namespace octopocs::support {
+
+enum class FaultSite : std::uint8_t {
+  kCfgBuild = 0,    // CFG recovery dies (the angr-crash analogue)
+  kSolverStep,      // the CSP search dies mid-query (SMT solver crash)
+  kTaintStep,       // the taint engine dies mid-instruction (PIN crash)
+  kStateFork,       // forking a symbolic state fails (memory pressure)
+  kAllocation,      // a VM heap allocation fails (malloc returns NULL)
+};
+
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+std::string_view FaultSiteName(FaultSite site);
+
+/// What injected faults throw. Deliberately a plain std::runtime_error
+/// subtype: containment must work for *any* exception type, so tests
+/// injecting FaultError exercise the same catch paths real tooling
+/// exceptions would take.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace fault {
+
+/// Arms `site`: its (skip+1)-th poll fires, once. Replaces any armed
+/// fault.
+void Arm(FaultSite site, std::uint64_t skip = 0);
+
+/// Derives (site, skip) deterministically from `seed` and arms it.
+/// Returns the chosen site so tests can log / assert against it.
+FaultSite ArmSeeded(std::uint64_t seed);
+
+void Disarm();
+
+bool armed();
+
+/// Times any armed fault has fired since the last Arm/Disarm.
+std::uint64_t fired_count();
+
+/// True when the armed fault fires at this poll (one-shot). Sites whose
+/// real-world failure is a status rather than an exception use this
+/// directly.
+bool Poll(FaultSite site);
+
+/// Poll-and-throw sugar for sites whose real-world failure is an
+/// exception escaping the tool.
+void MaybeThrow(FaultSite site);
+
+}  // namespace fault
+
+}  // namespace octopocs::support

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 namespace octopocs::support {
 
@@ -34,6 +35,11 @@ void ThreadPool::Submit(std::function<void()> job) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,9 +54,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++active_;
     }
-    job();
+    // A throwing job must not std::terminate the worker (the old
+    // behaviour) nor skip the active_ decrement below (which would hang
+    // Wait() forever). Capture the first exception for Wait to rethrow.
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
@@ -61,7 +76,18 @@ void ParallelFor(std::size_t count, unsigned jobs,
                  const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (jobs <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Same contract as the parallel path: every index is attempted and
+    // the first exception is rethrown after the loop, so a throwing
+    // index cannot silently skip the indices behind it.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   const unsigned workers =

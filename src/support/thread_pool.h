@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,10 +29,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Jobs must not throw; wrap anything that can.
+  /// Enqueues a job. A job that throws does not take the process down:
+  /// the worker captures the exception (first one wins) and keeps
+  /// serving the queue; Wait() rethrows it on the caller.
   void Submit(std::function<void()> job);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any job threw since the last Wait().
   void Wait();
 
   unsigned thread_count() const {
@@ -46,6 +50,7 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::queue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;  // guarded by mutex_
   std::size_t active_ = 0;
   bool stopping_ = false;
 };
@@ -54,9 +59,10 @@ class ThreadPool {
 /// single item) degrades to a plain serial loop on the calling thread —
 /// the serial and parallel paths execute the *same* per-index closures,
 /// which is what makes "parallel output identical to serial" a
-/// structural guarantee rather than a test hope. Exceptions from any
-/// index are captured and the first one (lowest index wins is NOT
-/// guaranteed) is rethrown after all workers finish.
+/// structural guarantee rather than a test hope. Every index is
+/// attempted even when some throw; exceptions are captured and the
+/// first one (lowest index wins is NOT guaranteed in parallel) is
+/// rethrown after all indices finish — identically for jobs == 1.
 void ParallelFor(std::size_t count, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
 

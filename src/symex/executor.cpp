@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "support/fault.h"
+
 namespace octopocs::symex {
 
 std::string_view SymexStatusName(SymexStatus status) {
@@ -14,6 +16,7 @@ std::string_view SymexStatusName(SymexStatus status) {
     case SymexStatus::kUnsat: return "unsat";
     case SymexStatus::kBudget: return "budget-exhausted";
     case SymexStatus::kSolverFailure: return "solver-failure";
+    case SymexStatus::kDeadline: return "deadline-expired";
   }
   return "?";
 }
@@ -59,7 +62,8 @@ struct SymExecutor::Run {
         opts(opts_in),
         goal(goal_in),
         directed(directed_in),
-        bunches(bunches_in) {}
+        bunches(bunches_in),
+        cancel(opts_in.cancel) {}
 
   const vm::Program& t;
   const cfg::Cfg& cfg;
@@ -78,11 +82,19 @@ struct SymExecutor::Run {
   /// constraint nodes canonical (see SolverCache docs).
   SolverCache solver_cache;
 
+  support::CancelToken cancel;  // local copy; poll counters are ours
+
   bool reached_ep_ever = false;
   bool unsat_observed = false;
   bool solver_budget_observed = false;
   bool loop_dead_observed = false;
+  bool deadline_observed = false;
   std::string last_unsat_detail;
+  /// Backs SolveConstraints returns that must NOT enter the cache: a
+  /// cancelled solve says nothing about the query, only about the clock,
+  /// so memoizing it would poison identical queries in a future (larger-
+  /// budget) run sharing this cache's lifetime rules.
+  SolveResult cancelled_scratch;
 
   // ---------------------------------------------------------------------
   // State helpers.
@@ -142,7 +154,28 @@ struct SymExecutor::Run {
     for (const ExprRef& c : s.constraints) solver.Add(c);
     SolveResult r = solver.Solve();
     stats.solver_steps += r.steps;
+    if (r.status == SolveStatus::kCancelled) {
+      cancelled_scratch = std::move(r);
+      return cancelled_scratch;
+    }
     return solver_cache.Insert(s.constraints, std::move(r));
+  }
+
+  /// Shared handling for a non-SAT/UNSAT solver verdict: records which
+  /// kind of giving-up happened and kills the state. Returns true when
+  /// it consumed the verdict (i.e. status was kUnknown or kCancelled).
+  bool HandleSolverGiveUp(SymState& s, SolveStatus status) {
+    if (status == SolveStatus::kUnknown) {
+      solver_budget_observed = true;
+      Die(s, StateDeath::kSolverBudget);
+      return true;
+    }
+    if (status == SolveStatus::kCancelled) {
+      deadline_observed = true;
+      Die(s, StateDeath::kSolverBudget);
+      return true;
+    }
+    return false;
   }
 
   /// Concrete value of `expr` in this state: fold under pins, otherwise
@@ -155,11 +188,7 @@ struct SymExecutor::Run {
       NoteUnsat(s, "path constraints unsatisfiable at concretization");
       return std::nullopt;
     }
-    if (r.status == SolveStatus::kUnknown) {
-      solver_budget_observed = true;
-      Die(s, StateDeath::kSolverBudget);
-      return std::nullopt;
-    }
+    if (HandleSolverGiveUp(s, r.status)) return std::nullopt;
     SortedSmallSet<std::uint32_t> vars;
     CollectInputs(expr, vars);
     for (const std::uint32_t var : vars) {
@@ -354,11 +383,7 @@ struct SymExecutor::Run {
         NoteUnsat(s, "guiding constraints unsatisfiable at ep");
         return EpOutcome::kStateDead;
       }
-      if (r.status == SolveStatus::kUnknown) {
-        solver_budget_observed = true;
-        Die(s, StateDeath::kSolverBudget);
-        return EpOutcome::kStateDead;
-      }
+      if (HandleSolverGiveUp(s, r.status)) return EpOutcome::kStateDead;
       reached_ep_ever = true;
       // Emit a witness input: a concrete file that drives T from its
       // entry to ep along this verified path (useful on its own as
@@ -448,11 +473,7 @@ struct SymExecutor::Run {
       NoteUnsat(s, "combined constraint system is unsatisfiable");
       return false;
     }
-    if (r.status == SolveStatus::kUnknown) {
-      solver_budget_observed = true;
-      Die(s, StateDeath::kSolverBudget);
-      return false;
-    }
+    if (HandleSolverGiveUp(s, r.status)) return false;
     const std::uint64_t len =
         s.fsize_observed ? opts.max_input_size : s.required_size;
     Bytes poc(len, 0);
@@ -497,6 +518,11 @@ struct SymExecutor::Run {
         if (OverBudget(s, &why)) {
           result->status = SymexStatus::kBudget;
           result->detail = why;
+          return true;
+        }
+        if (cancel.ShouldStop()) {
+          result->status = SymexStatus::kDeadline;
+          result->detail = "wall-clock deadline expired mid-exploration";
           return true;
         }
       }
@@ -623,6 +649,7 @@ struct SymExecutor::Run {
       std::swap(dirs[0], dirs[1]);
     }
     if (dirs.size() == 2) {
+      support::fault::MaybeThrow(support::FaultSite::kStateFork);
       SymState fork = s;
       AddConstraint(fork, dirs[1].constraint);
       if (fork.death == StateDeath::kAlive &&
@@ -704,6 +731,7 @@ struct SymExecutor::Run {
         return true;
       }
       case Op::kAlloc: {
+        support::fault::MaybeThrow(support::FaultSite::kAllocation);
         const auto size = Concretize(s, regs[ins.b]);
         if (!size) return false;
         const std::uint64_t base = s.cursor.Take(*size);
@@ -887,6 +915,12 @@ struct SymExecutor::Run {
     bool finished = false;
     while (!worklist.empty() && !finished) {
       std::string why;
+      if (cancel.Check()) {
+        result.status = SymexStatus::kDeadline;
+        result.detail = "wall-clock deadline expired between states";
+        finished = true;
+        break;
+      }
       SymState s = PopState();
       if (OverBudget(s, &why)) {
         result.status = SymexStatus::kBudget;
@@ -899,7 +933,14 @@ struct SymExecutor::Run {
 
     if (!finished) {
       // Worklist drained: classify (paper §III-D cases ii/iii and P3.3).
-      if (solver_budget_observed) {
+      // Deadline first: once the clock has tripped, every other
+      // observation (unsat, budget) is an artefact of states dying from
+      // cancellation, and must not masquerade as a program verdict.
+      if (deadline_observed) {
+        result.status = SymexStatus::kDeadline;
+        result.detail =
+            "wall-clock deadline expired during constraint solving";
+      } else if (solver_budget_observed) {
         result.status = SymexStatus::kSolverFailure;
         result.detail = "constraint solving exceeded its budget";
       } else if (unsat_observed) {

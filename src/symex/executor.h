@@ -45,6 +45,7 @@ enum class SymexStatus : std::uint8_t {
   kUnsat,           // constraint conflict / ep-argument mismatch (P3.3)
   kBudget,          // state or memory budget exhausted ("MemError")
   kSolverFailure,   // final constraint system returned Unknown
+  kDeadline,        // the run's wall-clock CancelToken tripped
 };
 
 std::string_view SymexStatusName(SymexStatus status);
@@ -107,6 +108,11 @@ struct ExecutorOptions {
   /// addresses need not agree between S and T).
   bool check_ep_args = true;
   SolverOptions solver;
+  /// Cooperative wall-clock bound over the whole symbolic run, polled in
+  /// the stepping loop. Callers that also want mid-solve cancellation
+  /// should set solver.cancel to the same deadline. Tripping yields
+  /// SymexStatus::kDeadline — never a Type-III-style verdict.
+  support::CancelToken cancel;
 };
 
 class SymExecutor {

@@ -5,6 +5,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "support/fault.h"
+
 namespace octopocs::symex {
 
 std::uint64_t SolverCache::HashKey(const std::vector<ExprRef>& constraints) {
@@ -195,15 +197,23 @@ bool DecomposeConcatEquality(const ExprRef& constraint,
 /// picks the smallest-domain variable, trying the hinted value first.
 struct Search {
   Search(const std::vector<ExprRef>& constraints_in, const Model& hints_in,
-         std::uint64_t max_steps_in)
+         std::uint64_t max_steps_in, support::CancelToken cancel_in)
       : constraints(constraints_in),
         hints(hints_in),
-        max_steps(max_steps_in) {}
+        max_steps(max_steps_in),
+        cancel(cancel_in) {}
 
   const std::vector<ExprRef>& constraints;
   const Model& hints;
   std::uint64_t max_steps;
+  support::CancelToken cancel;  // local copy; poll counters are ours
   std::uint64_t steps = 0;
+  bool cancelled = false;
+
+  bool Cancelled() {
+    if (!cancelled && cancel.ShouldStop()) cancelled = true;
+    return cancelled;
+  }
 
   std::vector<std::uint32_t> vars;               // dense index → offset
   std::map<std::uint32_t, std::size_t> var_index;
@@ -225,7 +235,7 @@ struct Search {
   std::vector<std::size_t> assign_trail;  // vars assigned, for undo
   std::vector<std::size_t> count_trail;   // constraints decremented
 
-  enum class Outcome { kSat, kUnsat, kBudget };
+  enum class Outcome { kSat, kUnsat, kBudget, kCancelled };
 
   bool Init() {
     SortedSmallSet<std::uint32_t> all;
@@ -301,6 +311,7 @@ struct Search {
   bool Propagate(std::deque<std::size_t> queue) {
     while (!queue.empty()) {
       if (steps > max_steps) return true;  // caller re-checks budget
+      if (Cancelled()) return true;        // ditto for cancellation
       const std::size_t c = queue.front();
       queue.pop_front();
       if (unassigned_count[c] != 1) continue;
@@ -371,11 +382,13 @@ struct Search {
   Outcome Run() {
     Init();
     if (!Propagate(InitialUnits())) return Outcome::kUnsat;
+    if (cancelled) return Outcome::kCancelled;
     if (steps > max_steps) return Outcome::kBudget;
     return Backtrack();
   }
 
   Outcome Backtrack() {
+    if (Cancelled()) return Outcome::kCancelled;
     if (steps > max_steps) return Outcome::kBudget;
     // Pick the unassigned variable with the smallest domain.
     std::size_t best = vars.size();
@@ -402,6 +415,7 @@ struct Search {
 
     for (const int value : values) {
       ++steps;
+      if (Cancelled()) return Outcome::kCancelled;
       if (steps > max_steps) return Outcome::kBudget;
       const Checkpoint cp = Mark();
       std::deque<std::size_t> queue;
@@ -412,6 +426,7 @@ struct Search {
         }
         ok = Propagate(std::move(queue));
       }
+      if (ok && cancelled) return Outcome::kCancelled;
       if (ok && steps > max_steps) return Outcome::kBudget;
       if (ok) {
         const Outcome sub = Backtrack();
@@ -428,6 +443,7 @@ struct Search {
 SolveResult ByteSolver::Solve() const { return SolveWith({}); }
 
 SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
+  support::fault::MaybeThrow(support::FaultSite::kSolverStep);
   std::vector<ExprRef> all = constraints_;
   bool poisoned = false;
   for (const ExprRef& e : extra) {
@@ -467,7 +483,7 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
       return result;
     }
   }
-  Search search{all, options_.hints, options_.max_steps};
+  Search search{all, options_.hints, options_.max_steps, options_.cancel};
   const Search::Outcome outcome = search.Run();
   result.steps = search.steps;
   switch (outcome) {
@@ -480,6 +496,9 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
       break;
     case Search::Outcome::kBudget:
       result.status = SolveStatus::kUnknown;
+      break;
+    case Search::Outcome::kCancelled:
+      result.status = SolveStatus::kCancelled;
       break;
   }
   return result;

@@ -12,18 +12,25 @@
 //               is what turns into the paper's Type-III "vulnerability
 //               not triggerable" result, so completeness matters);
 //   kUnknown  — the step budget ran out (surfaced as a tooling Failure,
-//               like an SMT timeout would be).
+//               like an SMT timeout would be);
+//   kCancelled — the caller's wall-clock CancelToken tripped mid-search.
+//               Distinct from kUnknown so callers can tell "ran out of
+//               steps, a bigger budget might help" from "out of time,
+//               stop the whole phase" — only the former is worth a
+//               doubled-budget retry, and a cancelled verdict must never
+//               enter the SolverCache.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "support/deadline.h"
 #include "symex/expr.h"
 
 namespace octopocs::symex {
 
-enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown, kCancelled };
 
 struct SolveResult {
   SolveStatus status = SolveStatus::kUnknown;
@@ -43,6 +50,9 @@ struct SolverOptions {
   /// original as the constraints allow (Type-I guiding inputs survive
   /// verbatim).
   Model hints;
+  /// Cooperative wall-clock bound, polled inside the search loops.
+  /// Tripping aborts with kCancelled.
+  support::CancelToken cancel;
 };
 
 class ByteSolver {

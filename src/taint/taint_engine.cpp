@@ -1,5 +1,7 @@
 #include "taint/taint_engine.h"
 
+#include "support/fault.h"
+
 namespace octopocs::taint {
 
 const TaintSet TaintEngine::kEmpty{};
@@ -82,6 +84,7 @@ void TaintEngine::OnInstr(vm::FuncId, vm::BlockId, std::size_t,
                           const vm::Instr& instr, std::uint64_t eff_addr,
                           std::uint64_t) {
   using vm::Op;
+  support::fault::MaybeThrow(support::FaultSite::kTaintStep);
   if (frames_.empty()) return;
   auto& regs = Top();
   switch (instr.op) {

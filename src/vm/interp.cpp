@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "support/fault.h"
+
 namespace octopocs::vm {
 
 std::string_view TrapName(TrapKind kind) {
@@ -18,6 +20,7 @@ std::string_view TrapName(TrapKind kind) {
     case TrapKind::kStackOverflow: return "stack-overflow";
     case TrapKind::kOutOfMemory: return "out-of-memory";
     case TrapKind::kBadIndirectCall: return "bad-indirect-call";
+    case TrapKind::kDeadline: return "deadline-expired";
   }
   return "?";
 }
@@ -132,6 +135,10 @@ bool Interpreter::Step() {
 
   if (result_.instructions >= opts_.fuel) {
     SetTrap(TrapKind::kFuelExhausted, 0, "instruction budget exhausted");
+    return false;
+  }
+  if (opts_.cancel.ShouldStop()) {
+    SetTrap(TrapKind::kDeadline, 0, "wall-clock deadline expired");
     return false;
   }
   ++result_.instructions;
@@ -277,6 +284,7 @@ bool Interpreter::Step() {
       break;
     }
     case Op::kAlloc: {
+      support::fault::MaybeThrow(support::FaultSite::kAllocation);
       const std::uint64_t size = regs[ins.b];
       if (live_heap_bytes_ + size > opts_.heap_limit) {
         SetTrap(TrapKind::kOutOfMemory, 0, "heap limit exceeded");

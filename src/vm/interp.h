@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/bytes.h"
+#include "support/deadline.h"
 #include "vm/ir.h"
 #include "vm/memory.h"
 
@@ -31,26 +32,37 @@ enum class TrapKind : std::uint8_t {
   kStackOverflow,  // call depth limit
   kOutOfMemory,    // heap limit
   kBadIndirectCall,// kICall to an out-of-range function id
+  kDeadline,       // the run's CancelToken tripped (wall-clock budget)
 };
 
 std::string_view TrapName(TrapKind kind);
 
-/// True for any abnormal termination.
-inline bool IsCrash(TrapKind kind) { return kind != TrapKind::kNone; }
+/// True for any abnormal termination *of the program*. kDeadline is
+/// excluded: it reports the harness cancelling the run, not a behaviour
+/// of the program under test, so nothing downstream may read it as a
+/// crash.
+inline bool IsCrash(TrapKind kind) {
+  return kind != TrapKind::kNone && kind != TrapKind::kDeadline;
+}
 
 /// True for trap kinds that demonstrate a *vulnerability* (memory
 /// corruption, hangs, ...). kAbort is excluded: assert-failures model a
 /// program cleanly rejecting its input (exit(1)), which P4 must not
 /// count as verification. Fuel exhaustion counts as a hang-crash for
-/// infinite-loop (CWE-835) vulnerabilities.
+/// infinite-loop (CWE-835) vulnerabilities. kDeadline is a harness
+/// cancellation, never a verdict about the program.
 inline bool IsVulnerabilityCrash(TrapKind kind) {
-  return kind != TrapKind::kNone && kind != TrapKind::kAbort;
+  return kind != TrapKind::kNone && kind != TrapKind::kAbort &&
+         kind != TrapKind::kDeadline;
 }
 
 struct ExecOptions {
   std::uint64_t fuel = 10'000'000;      // max instructions
   std::uint32_t max_call_depth = 200;
   std::uint64_t heap_limit = 1ULL << 26;  // bytes of live allocations
+  /// Cooperative wall-clock bound: polled once per interpreted
+  /// instruction (strided, ~free). Tripping records TrapKind::kDeadline.
+  support::CancelToken cancel;
 };
 
 /// One entry of the crash callstack (the backtrace(3) substitute used by
