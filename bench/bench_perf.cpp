@@ -12,16 +12,24 @@
 //               vs. copying it and then unsharing every page and map —
 //               which is byte-for-byte the work the pre-COW deep copy
 //               did on every fork. Reported as ns/fork and a ratio.
-//   caches      solver-memoization hit rate and expression-interning
-//               dedup rate accumulated over a full serial corpus run.
+//   caches      solver-memoization hit rate (with the per-mechanism
+//               breakdown: exact / model-reuse / sliced / subsumed) and
+//               expression-interning dedup rate accumulated over a full
+//               serial corpus run.
 //   throughput  pairs/sec for the 15-pair corpus, serial vs. --jobs,
 //               with a determinism cross-check: every verdict, type,
 //               and reformed-PoC byte must match between the two runs.
+//               The parallel leg feeds the serial run's per-pair wall
+//               times back into VerifyCorpus as cost hints, so pairs
+//               launch longest-first (LPT) — the fix for the tail-pair
+//               convoy that made --jobs *slower* than serial when the
+//               longest pair started last.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -146,12 +154,21 @@ int main(int argc, char** argv) {
   const double serial_seconds = SecondsSince(serial_start);
 
   unsigned long long cache_hits = 0, cache_misses = 0;
+  unsigned long long exact_hits = 0, reuse_hits = 0;
+  unsigned long long slice_hits = 0, subsume_hits = 0;
   unsigned long long intern_hits = 0, intern_nodes = 0;
+  std::vector<double> pair_seconds;
+  pair_seconds.reserve(serial.size());
   for (const core::VerificationReport& r : serial) {
     cache_hits += r.symex_stats.solver_cache_hits;
     cache_misses += r.symex_stats.solver_cache_misses;
+    exact_hits += r.symex_stats.solver_exact_hits;
+    reuse_hits += r.symex_stats.solver_model_reuse_hits;
+    slice_hits += r.symex_stats.solver_slice_hits;
+    subsume_hits += r.symex_stats.solver_subsumption_hits;
     intern_hits += r.symex_stats.expr_intern_hits;
     intern_nodes += r.symex_stats.expr_intern_nodes;
+    pair_seconds.push_back(r.timings.total_seconds);
   }
   const double cache_rate =
       cache_hits + cache_misses > 0
@@ -163,13 +180,21 @@ int main(int argc, char** argv) {
           : 0;
   std::printf("solver cache: %llu hit / %llu miss (%.1f%% hit rate)\n",
               cache_hits, cache_misses, cache_rate * 100);
+  std::printf("  by kind:    exact %llu | model-reuse %llu | sliced %llu "
+              "| subsumed %llu\n",
+              exact_hits, reuse_hits, slice_hits, subsume_hits);
   std::printf("interner:     %llu deduped / %llu distinct (%.1f%% of "
               "constructions)\n\n",
               intern_hits, intern_nodes, intern_rate * 100);
 
   // -- Parallel corpus run + determinism cross-check ------------------------
+  // The serial leg just measured every pair, so hand those wall times to
+  // the scheduler: longest pair first keeps the big pair off the tail of
+  // the schedule, where it serializes the whole run behind one worker.
   const auto par_start = Clock::now();
-  const auto parallel = core::VerifyCorpus(pairs, opts, jobs);
+  const auto parallel = core::VerifyCorpus(pairs, opts, jobs,
+                                           /*pair_deadline_ms=*/0,
+                                           &pair_seconds);
   const double parallel_seconds = SecondsSince(par_start);
 
   bool identical = serial.size() == parallel.size();
@@ -182,10 +207,14 @@ int main(int argc, char** argv) {
   }
   const double speedup =
       parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
+  const unsigned hw = std::thread::hardware_concurrency();
   std::printf("corpus:       %.3f s serial | %.3f s with %u jobs "
-              "(%.2fx, %.1f pairs/s)\n",
+              "(%.2fx, %.1f pairs/s, longest-first)\n",
               serial_seconds, parallel_seconds, jobs, speedup,
               parallel_seconds > 0 ? pairs.size() / parallel_seconds : 0);
+  std::printf("host:         %u hardware thread%s — wall-clock speedup is "
+              "bounded by this, not by --jobs\n",
+              hw, hw == 1 ? "" : "s");
   std::printf("determinism:  parallel results %s serial\n\n",
               identical ? "byte-identical to" : "DIVERGED from");
 
@@ -200,21 +229,34 @@ int main(int argc, char** argv) {
                  "  \"solver_cache_hits\": %llu,\n"
                  "  \"solver_cache_misses\": %llu,\n"
                  "  \"solver_cache_hit_rate\": %.4f,\n"
+                 "  \"solver_exact_hits\": %llu,\n"
+                 "  \"solver_model_reuse_hits\": %llu,\n"
+                 "  \"solver_slice_hits\": %llu,\n"
+                 "  \"solver_subsumption_hits\": %llu,\n"
                  "  \"intern_hits\": %llu,\n"
                  "  \"intern_nodes\": %llu,\n"
                  "  \"corpus_pairs\": %zu,\n"
-                 "  \"serial_seconds\": %.4f,\n"
+                 "  \"serial_seconds\": %.4f,\n",
+                 fork.cow_ns, fork.deep_ns, fork.speedup, cache_hits,
+                 cache_misses, cache_rate, exact_hits, reuse_hits,
+                 slice_hits, subsume_hits, intern_hits, intern_nodes,
+                 pairs.size(), serial_seconds);
+    std::fprintf(out, "  \"pair_seconds\": [");
+    for (std::size_t i = 0; i < pair_seconds.size(); ++i) {
+      std::fprintf(out, "%s%.4f", i == 0 ? "" : ", ", pair_seconds[i]);
+    }
+    std::fprintf(out,
+                 "],\n"
                  "  \"parallel_seconds\": %.4f,\n"
                  "  \"parallel_jobs\": %u,\n"
+                 "  \"parallel_schedule\": \"longest-first\",\n"
+                 "  \"hardware_concurrency\": %u,\n"
                  "  \"parallel_speedup\": %.3f,\n"
                  "  \"parallel_identical_to_serial\": %s,\n"
                  "  \"smoke\": %s\n"
                  "}\n",
-                 fork.cow_ns, fork.deep_ns, fork.speedup, cache_hits,
-                 cache_misses, cache_rate, intern_hits, intern_nodes,
-                 pairs.size(), serial_seconds, parallel_seconds, jobs,
-                 speedup, identical ? "true" : "false",
-                 smoke ? "true" : "false");
+                 parallel_seconds, jobs, hw, speedup,
+                 identical ? "true" : "false", smoke ? "true" : "false");
     std::fclose(out);
     std::printf("wrote %s\n", out_path.c_str());
   }

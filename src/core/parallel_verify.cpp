@@ -1,5 +1,6 @@
 #include "core/parallel_verify.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -10,9 +11,21 @@ namespace octopocs::core {
 
 std::vector<VerificationReport> VerifyCorpus(
     const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
-    unsigned jobs, std::uint64_t pair_deadline_ms) {
+    unsigned jobs, std::uint64_t pair_deadline_ms,
+    const std::vector<double>* cost_hints) {
   std::vector<VerificationReport> reports(pairs.size());
   if (pairs.empty()) return reports;
+
+  // Longest-expected-first start order (LPT). Identity order without
+  // usable hints; a stable sort keeps equal-cost pairs in input order.
+  std::vector<std::size_t> order(pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (cost_hints != nullptr && cost_hints->size() == pairs.size()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return (*cost_hints)[a] > (*cost_hints)[b];
+                     });
+  }
 
   using Clock = std::chrono::steady_clock;
   const bool watched = pair_deadline_ms > 0;
@@ -47,7 +60,8 @@ std::vector<VerificationReport> VerifyCorpus(
     });
   }
 
-  support::ParallelFor(pairs.size(), jobs, [&](std::size_t i) {
+  support::ParallelFor(pairs.size(), jobs, [&](std::size_t slot) {
+    const std::size_t i = order[slot];
     PipelineOptions per_pair = options;
     if (watched) {
       per_pair.cancel_flag = &kill[i];

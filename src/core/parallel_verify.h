@@ -36,8 +36,18 @@ namespace octopocs::core {
 /// the pair count is clamped. An empty pair list returns an empty
 /// vector without touching any worker machinery. `pair_deadline_ms`,
 /// when nonzero, bounds each pair's wall-clock time (see file comment).
+///
+/// `cost_hints`, when non-null and the same length as `pairs`, gives an
+/// expected per-pair cost (e.g. a recorded wall time from a previous
+/// run); pairs are then *started* in descending-cost order, which is
+/// the classic LPT mitigation for the straggler problem — a long pair
+/// picked up last otherwise leaves every other worker idle behind it.
+/// Scheduling order never affects report content (each pair writes only
+/// its own input-order slot), so hints may be stale, partial garbage,
+/// or from a different machine without harming determinism.
 std::vector<VerificationReport> VerifyCorpus(
     const std::vector<corpus::Pair>& pairs, const PipelineOptions& options,
-    unsigned jobs, std::uint64_t pair_deadline_ms = 0);
+    unsigned jobs, std::uint64_t pair_deadline_ms = 0,
+    const std::vector<double>* cost_hints = nullptr);
 
 }  // namespace octopocs::core

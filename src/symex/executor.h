@@ -59,6 +59,13 @@ struct SymexStats {
   /// per-run cache vs. queries that ran the CSP search.
   std::uint64_t solver_cache_hits = 0;
   std::uint64_t solver_cache_misses = 0;
+  /// Per-mechanism breakdown of solver_cache_hits (see SolverCache):
+  /// exact sequence memo, certified model reuse, all-slices-cached, and
+  /// UNSAT-subset subsumption.
+  std::uint64_t solver_exact_hits = 0;
+  std::uint64_t solver_model_reuse_hits = 0;
+  std::uint64_t solver_slice_hits = 0;
+  std::uint64_t solver_subsumption_hits = 0;
   /// Hash-consing effectiveness: node constructions answered from the
   /// intern table vs. distinct nodes allocated.
   std::uint64_t expr_intern_hits = 0;
@@ -107,6 +114,17 @@ struct ExecutorOptions {
   /// values inside VM address ranges — are skipped since allocation
   /// addresses need not agree between S and T).
   bool check_ep_args = true;
+  /// In-pair frontier parallelism: number of worker threads exploring
+  /// the directed-DFS frontier via work-stealing deques. 1 = the serial
+  /// drive loop. Values > 1 apply to *directed* mode only (naive BFS
+  /// stays serial — it is the Table IV baseline and must not change
+  /// shape). The result is deterministic and identical to the serial
+  /// run's by construction: states carry DFS event keys, workers commit
+  /// the smallest-key goal, and observations past that key are
+  /// discarded (see DESIGN.md §10). Deliberately NOT clamped to the
+  /// hardware thread count — determinism must hold (and is tested) even
+  /// oversubscribed.
+  std::uint32_t frontier_jobs = 1;
   SolverOptions solver;
   /// Cooperative wall-clock bound over the whole symbolic run, polled in
   /// the stepping loop. Callers that also want mid-solve cancellation

@@ -1,6 +1,7 @@
 #include "symex/expr.h"
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -58,15 +59,27 @@ struct InternScope::Table {
   std::uint64_t hits = 0;
 };
 
+struct SharedInternTable::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<InternKey, ExprRef, InternKeyHash> nodes;
+  std::uint64_t hits = 0;
+};
+
 namespace {
 
 thread_local InternScope::Table* g_intern = nullptr;
+thread_local SharedInternTable* g_shared = nullptr;
 
 /// Canonicalizes a freshly-built node: returns the existing structural
 /// twin when one is interned, otherwise registers and returns `e`.
-/// Without an active scope this is the identity function, preserving
-/// the pre-interning allocation behavior for ad-hoc expression users.
+/// A shared (cross-thread) binding takes precedence over the
+/// thread-local scope: frontier workers need one canonical node per
+/// structure across all threads so folding identities and
+/// pointer-keyed caches behave exactly as in a serial run. Without
+/// either, this is the identity function, preserving the pre-interning
+/// allocation behavior for ad-hoc expression users.
 ExprRef Intern(ExprRef e) {
+  if (g_shared != nullptr) return g_shared->Canonical(std::move(e));
   if (g_intern == nullptr) return e;
   auto [it, inserted] = g_intern->nodes.try_emplace(KeyOf(*e), e);
   if (!inserted) ++g_intern->hits;
@@ -84,6 +97,36 @@ InternScope::~InternScope() { g_intern = prev_; }
 InternScope::Stats InternScope::stats() const {
   return Stats{table_->hits, table_->nodes.size()};
 }
+
+SharedInternTable::SharedInternTable() : shards_(new Shard[kShards]) {}
+
+SharedInternTable::~SharedInternTable() = default;
+
+ExprRef SharedInternTable::Canonical(ExprRef e) {
+  const InternKey key = KeyOf(*e);
+  Shard& shard = shards_[InternKeyHash{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.nodes.try_emplace(key, std::move(e));
+  if (!inserted) ++shard.hits;
+  return it->second;
+}
+
+InternScope::Stats SharedInternTable::stats() const {
+  InternScope::Stats s;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    s.hits += shards_[i].hits;
+    s.nodes += shards_[i].nodes.size();
+  }
+  return s;
+}
+
+SharedInternBinding::SharedInternBinding(SharedInternTable& table)
+    : prev_(g_shared) {
+  g_shared = &table;
+}
+
+SharedInternBinding::~SharedInternBinding() { g_shared = prev_; }
 
 std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b) {
   using vm::Op;
@@ -108,14 +151,22 @@ std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b) {
   }
 }
 
+namespace {
+
+ExprRef MakeTinyConst(std::uint64_t value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->value = value;
+  return e;
+}
+
+}  // namespace
+
 ExprRef MakeConst(std::uint64_t value) {
-  // Cache the tiny constants that dominate expression trees.
-  static const ExprRef kSmall[] = {
-      std::make_shared<Expr>(Expr{ExprKind::kConst, vm::Op::kNop, 0, 0, 0,
-                                  nullptr, nullptr}),
-      std::make_shared<Expr>(Expr{ExprKind::kConst, vm::Op::kNop, 1, 0, 0,
-                                  nullptr, nullptr}),
-  };
+  // Cache the tiny constants that dominate expression trees. These are
+  // process-wide statics, so they are pointer-canonical across every
+  // scope and thread without touching any intern table.
+  static const ExprRef kSmall[] = {MakeTinyConst(0), MakeTinyConst(1)};
   if (value < 2) return kSmall[value];
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kConst;
@@ -276,6 +327,50 @@ void CollectInputs(const ExprRef& expr, SortedSmallSet<std::uint32_t>& out) {
         break;
     }
   }
+}
+
+const SortedSmallSet<std::uint32_t>& FreeVars(const ExprRef& expr) {
+  using VarSet = SortedSmallSet<std::uint32_t>;
+  const Expr* root = expr.get();
+  if (const VarSet* cached = root->vars_cache.load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  // Bottom-up over the uncached region: a node stays on the stack until
+  // both children carry a published set, then unions them. Each node's
+  // set is computed at most once per thread; the CAS arbitrates races
+  // between frontier workers and losers discard their copy.
+  std::vector<const Expr*> stack{root};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    if (e->vars_cache.load(std::memory_order_acquire) != nullptr) {
+      stack.pop_back();
+      continue;
+    }
+    const Expr* l = e->lhs.get();
+    const Expr* r = e->rhs.get();
+    bool pending = false;
+    if (l != nullptr && l->vars_cache.load(std::memory_order_acquire) == nullptr) {
+      stack.push_back(l);
+      pending = true;
+    }
+    if (r != nullptr && r->vars_cache.load(std::memory_order_acquire) == nullptr) {
+      stack.push_back(r);
+      pending = true;
+    }
+    if (pending) continue;
+    auto* set = new VarSet();
+    if (e->kind == ExprKind::kInput) set->Insert(e->offset);
+    if (l != nullptr) set->UnionWith(*l->vars_cache.load(std::memory_order_acquire));
+    if (r != nullptr) set->UnionWith(*r->vars_cache.load(std::memory_order_acquire));
+    const VarSet* expected = nullptr;
+    if (!e->vars_cache.compare_exchange_strong(expected, set,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      delete set;
+    }
+    stack.pop_back();
+  }
+  return *root->vars_cache.load(std::memory_order_acquire);
 }
 
 std::size_t ExprSize(const ExprRef& expr) {

@@ -21,6 +21,7 @@
 // thread-local, so concurrent executors never contend on the table.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -52,6 +53,14 @@ struct Expr {
   ExprRef lhs, rhs;
 
   bool IsConst() const { return kind == ExprKind::kConst; }
+
+  ~Expr() { delete vars_cache.load(std::memory_order_acquire); }
+
+  /// Lazily-computed free-variable set, published once per node (see
+  /// FreeVars). Atomic because frontier workers may race on a shared
+  /// node; losers of the publication CAS discard their copy.
+  mutable std::atomic<const SortedSmallSet<std::uint32_t>*> vars_cache{
+      nullptr};
 };
 
 /// A (partial) assignment of input bytes.
@@ -82,6 +91,49 @@ class InternScope {
   Table* prev_;
 };
 
+/// Mutex-striped hash-consing table shared by the worker threads of one
+/// parallel-frontier run. A thread-local InternScope keeps equal
+/// structures pointer-canonical only within its own thread; when states
+/// migrate between workers (work stealing), the folding identities and
+/// every pointer-keyed cache need canonicality *across* threads — this
+/// table provides it at the cost of a sharded lock per construction.
+/// Lifetime: one table per executor run, created before the workers and
+/// destroyed after they join, so it holds strong references to every
+/// node any worker built (the same lifetime contract InternScope has).
+class SharedInternTable {
+ public:
+  SharedInternTable();
+  ~SharedInternTable();
+  SharedInternTable(const SharedInternTable&) = delete;
+  SharedInternTable& operator=(const SharedInternTable&) = delete;
+
+  InternScope::Stats stats() const;
+
+  /// Returns the canonical node for `e`'s structure, registering `e`
+  /// when it is the first of its kind. Thread-safe.
+  ExprRef Canonical(ExprRef e);
+
+  struct Shard;  // defined in expr.cpp
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// RAII: routes this thread's Make* constructors through `table` while
+/// alive. Each frontier worker holds one for the duration of the run;
+/// nesting restores the previous binding on exit.
+class SharedInternBinding {
+ public:
+  explicit SharedInternBinding(SharedInternTable& table);
+  ~SharedInternBinding();
+  SharedInternBinding(const SharedInternBinding&) = delete;
+  SharedInternBinding& operator=(const SharedInternBinding&) = delete;
+
+ private:
+  SharedInternTable* prev_;
+};
+
 ExprRef MakeConst(std::uint64_t value);
 ExprRef MakeInput(std::uint32_t offset);
 /// Folds when both sides are constant and applies cheap identities
@@ -101,6 +153,12 @@ std::optional<std::uint64_t> EvalPartial(const ExprRef& expr,
 
 /// Union of all Input offsets appearing in the expression.
 void CollectInputs(const ExprRef& expr, SortedSmallSet<std::uint32_t>& out);
+
+/// Free input-byte variables of `expr`, computed bottom-up once per node
+/// and cached on it (Expr::vars_cache), so repeated queries over a
+/// hash-consed DAG are O(1) amortized. The returned reference lives as
+/// long as the node does. Basis of independence slicing in the solver.
+const SortedSmallSet<std::uint32_t>& FreeVars(const ExprRef& expr);
 
 /// Number of nodes (diagnostics / memory-cost estimation).
 std::size_t ExprSize(const ExprRef& expr);

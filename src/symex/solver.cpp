@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/fault.h"
@@ -27,31 +29,33 @@ bool SolverCache::KeyEquals(const std::vector<const Expr*>& key,
   return true;
 }
 
-const SolveResult* SolverCache::Lookup(
-    const std::vector<ExprRef>& constraints, const Model& pins,
-    const Model& hints) {
+const SolverCache::Entry* SolverCache::FindExact(
+    const std::vector<ExprRef>& constraints) const {
   const auto it = buckets_.find(HashKey(constraints));
-  if (it != buckets_.end()) {
-    for (const Entry& entry : it->second) {
-      if (KeyEquals(entry.key, constraints)) {
-        ++stats_.hits;
-        return &entry.result;
-      }
-    }
+  if (it == buckets_.end()) return nullptr;
+  for (const Entry& entry : it->second) {
+    if (KeyEquals(entry.key, constraints)) return &entry;
   }
-  // Model reuse: assemble a candidate assignment over exactly the
-  // constrained variables and *evaluate* the full constraint set under
-  // it — a reuse hit is a certificate, never a guess, and kUnsat can
-  // never come from this path. Per variable the candidate takes the
-  // pinned value (the constraints force it), else the cached model's,
-  // else the hint — the value a fresh hint-guided search would try
-  // first. The first candidate uses no cached model at all, which
-  // captures the common case of a guiding path the original PoC bytes
-  // already satisfy; then recent models, newest first.
+  return nullptr;
+}
+
+bool SolverCache::TryModelReuse(const std::vector<ExprRef>& constraints,
+                                const Model& pins, const Model& hints,
+                                const std::vector<Model>& pool,
+                                Model* out) const {
+  // Assemble a candidate assignment over exactly the constrained
+  // variables and *evaluate* the full constraint set under it — a reuse
+  // hit is a certificate, never a guess, and kUnsat can never come from
+  // this path. Per variable the candidate takes the pinned value (the
+  // constraints force it), else the cached model's, else the hint — the
+  // value a fresh hint-guided search would try first. The first
+  // candidate uses no cached model at all, which captures the common
+  // case of a guiding path the original PoC bytes already satisfy; then
+  // recent models, newest first.
   SortedSmallSet<std::uint32_t> vars;
-  for (const ExprRef& c : constraints) CollectInputs(c, vars);
-  for (std::size_t i = reuse_models_.size() + 1; i-- > 0;) {
-    const Model* reuse = i == 0 ? nullptr : &reuse_models_[i - 1];
+  for (const ExprRef& c : constraints) vars.UnionWith(FreeVars(c));
+  for (std::size_t i = pool.size() + 1; i-- > 0;) {
+    const Model* reuse = i == 0 ? nullptr : &pool[i - 1];
     Model candidate;
     for (const std::uint32_t var : vars) {
       if (const auto pin = pins.find(var); pin != pins.end()) {
@@ -70,18 +74,35 @@ const SolveResult* SolverCache::Lookup(
       }
     }
     if (satisfied) {
-      ++stats_.hits;
-      reuse_scratch_.status = SolveStatus::kSat;
-      reuse_scratch_.model = std::move(candidate);
-      reuse_scratch_.steps = 0;
-      return &reuse_scratch_;
+      *out = std::move(candidate);
+      return true;
     }
+  }
+  return false;
+}
+
+const SolveResult* SolverCache::Lookup(
+    const std::vector<ExprRef>& constraints, const Model& pins,
+    const Model& hints) {
+  if (const Entry* entry = FindExact(constraints)) {
+    ++stats_.hits;
+    ++stats_.exact_hits;
+    return &entry->result;
+  }
+  Model candidate;
+  if (TryModelReuse(constraints, pins, hints, reuse_models_, &candidate)) {
+    ++stats_.hits;
+    ++stats_.model_reuse_hits;
+    reuse_scratch_.status = SolveStatus::kSat;
+    reuse_scratch_.model = std::move(candidate);
+    reuse_scratch_.steps = 0;
+    return &reuse_scratch_;
   }
   ++stats_.misses;
   return nullptr;
 }
 
-const SolveResult& SolverCache::Insert(
+const SolveResult& SolverCache::StoreEntry(
     const std::vector<ExprRef>& constraints, SolveResult result) {
   Entry entry;
   entry.key.reserve(constraints.size());
@@ -90,14 +111,220 @@ const SolveResult& SolverCache::Insert(
   auto& bucket = buckets_[HashKey(constraints)];
   bucket.push_back(std::move(entry));
   ++entries_;
-  const SolveResult& stored = bucket.back().result;
+  return bucket.back().result;
+}
+
+void SolverCache::RememberUnsat(const std::vector<ExprRef>& constraints) {
+  if (unsat_cores_.size() >= kMaxUnsatCores) return;
+  std::vector<const Expr*> core;
+  core.reserve(constraints.size());
+  for (const ExprRef& c : constraints) core.push_back(c.get());
+  std::sort(core.begin(), core.end());
+  core.erase(std::unique(core.begin(), core.end()), core.end());
+  unsat_cores_.push_back(std::move(core));
+}
+
+const SolveResult& SolverCache::Insert(
+    const std::vector<ExprRef>& constraints, SolveResult result) {
+  const SolveResult& stored = StoreEntry(constraints, std::move(result));
   if (stored.status == SolveStatus::kSat) {
     reuse_models_.push_back(stored.model);
     if (reuse_models_.size() > kMaxReuseModels) {
       reuse_models_.erase(reuse_models_.begin());
     }
+  } else if (stored.status == SolveStatus::kUnsat) {
+    RememberUnsat(constraints);
   }
   return stored;
+}
+
+std::vector<std::vector<ExprRef>> SliceConstraints(
+    const std::vector<ExprRef>& constraints) {
+  const std::size_t n = constraints.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // Union constraints through shared variables: the first constraint
+  // mentioning a variable becomes its owner; later ones link to it.
+  std::unordered_map<std::uint32_t, std::size_t> var_owner;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::uint32_t var : FreeVars(constraints[i])) {
+      const auto [it, inserted] = var_owner.try_emplace(var, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  // Group by root, slices ordered by first member, members in original
+  // order (std::map over the root's smallest index gives both).
+  std::map<std::size_t, std::vector<ExprRef>> groups;
+  std::unordered_map<std::size_t, std::size_t> root_first;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    const auto [it, inserted] = root_first.try_emplace(root, i);
+    groups[it->second].push_back(constraints[i]);
+  }
+  std::vector<std::vector<ExprRef>> slices;
+  slices.reserve(groups.size());
+  for (auto& [first, slice] : groups) slices.push_back(std::move(slice));
+  return slices;
+}
+
+SolveResult SolverCache::Solve(const std::vector<ExprRef>& raw,
+                               const Model& pins,
+                               const SolverOptions& options,
+                               SolveContext* ctx) {
+  // Normalize the way a fresh ByteSolver would: constant-true
+  // constraints vanish, constant-false poisons the system, duplicate
+  // nodes collapse under pointer identity. The normalized sequence is
+  // the cache key, so a re-asserted pin cannot split the memo.
+  SolveResult out;
+  std::vector<ExprRef> constraints;
+  constraints.reserve(raw.size());
+  {
+    std::unordered_set<const Expr*> seen;
+    for (const ExprRef& c : raw) {
+      if (c->IsConst()) {
+        if (c->value == 0) {
+          out.status = SolveStatus::kUnsat;
+          return out;  // trivial; not worth a cache entry or a counter
+        }
+        continue;
+      }
+      if (seen.insert(c.get()).second) constraints.push_back(c);
+    }
+  }
+  if (constraints.empty()) {
+    out.status = SolveStatus::kSat;
+    return out;  // vacuously satisfiable; not a cacheable query
+  }
+
+  // 1. Exact memo. Steps report the work done by *this* call, so a hit
+  // contributes zero to the caller's search-effort accounting.
+  if (const Entry* entry = FindExact(constraints)) {
+    ++stats_.hits;
+    ++stats_.exact_hits;
+    out = entry->result;
+    out.steps = 0;
+    if (out.status == SolveStatus::kSat && ctx != nullptr) {
+      ctx->NoteModel(out.model);
+    }
+    return out;
+  }
+
+  // 2. Subsumption. The context's wiped-out domain is an UNSAT unary
+  // subset of this very query (every applied constraint is a query
+  // member by the executor's contract); likewise any remembered UNSAT
+  // core contained in the query proves it UNSAT. Verdict-only — no
+  // model, no search.
+  if (ctx != nullptr && ctx->known_unsat()) {
+    ++stats_.hits;
+    ++stats_.subsumption_hits;
+    out.status = SolveStatus::kUnsat;
+    return out;
+  }
+  std::vector<const Expr*> sorted_key;
+  sorted_key.reserve(constraints.size());
+  for (const ExprRef& c : constraints) sorted_key.push_back(c.get());
+  std::sort(sorted_key.begin(), sorted_key.end());
+  for (const auto& core : unsat_cores_) {
+    if (core.size() <= sorted_key.size() &&
+        std::includes(sorted_key.begin(), sorted_key.end(), core.begin(),
+                      core.end())) {
+      ++stats_.hits;
+      ++stats_.subsumption_hits;
+      out.status = SolveStatus::kUnsat;
+      return out;
+    }
+  }
+
+  // 3. Certified model reuse, from the state's own pool when a context
+  // is supplied (pure per state), else the global most-recent pool.
+  Model candidate;
+  const std::vector<Model>& pool =
+      ctx != nullptr ? ctx->recent_models() : reuse_models_;
+  if (TryModelReuse(constraints, pins, options.hints, pool, &candidate)) {
+    ++stats_.hits;
+    ++stats_.model_reuse_hits;
+    out.status = SolveStatus::kSat;
+    out.model = std::move(candidate);
+    if (ctx != nullptr) ctx->NoteModel(out.model);
+    return out;
+  }
+
+  // 4. Independence slicing with per-slice caching. A fresh slice solve
+  // runs with the full step budget (so each slice entry is a pure
+  // function of the slice alone); the query reports summed steps.
+  SolverOptions slice_options = options;
+  slice_options.context = ctx;
+  const auto fresh = [&](const std::vector<ExprRef>& cs) {
+    ByteSolver solver(slice_options);
+    return solver.SolveWith(cs);
+  };
+
+  std::vector<std::vector<ExprRef>> slices = SliceConstraints(constraints);
+  bool any_fresh = false;
+  out.status = SolveStatus::kSat;
+  for (const std::vector<ExprRef>& slice : slices) {
+    SolveResult r;
+    bool from_cache = false;
+    if (slices.size() > 1) {
+      if (const Entry* entry = FindExact(slice)) {
+        r = entry->result;
+        from_cache = true;
+      } else {
+        any_fresh = true;
+        r = fresh(slice);
+        if (r.status == SolveStatus::kSat ||
+            r.status == SolveStatus::kUnsat) {
+          StoreEntry(slice, r);
+          if (r.status == SolveStatus::kUnsat) RememberUnsat(slice);
+        }
+      }
+    } else {
+      any_fresh = true;
+      r = fresh(slice);
+    }
+    if (!from_cache) out.steps += r.steps;
+    if (r.status == SolveStatus::kUnsat ||
+        r.status == SolveStatus::kCancelled) {
+      out.status = r.status;  // UNSAT/cancel of one slice decides; stop
+      break;
+    }
+    if (r.status == SolveStatus::kUnknown) {
+      out.status = SolveStatus::kUnknown;
+      continue;
+    }
+    for (const auto& [var, val] : r.model) out.model[var] = val;
+  }
+  if (out.status != SolveStatus::kSat) out.model.clear();
+
+  if (any_fresh) {
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+    ++stats_.slice_hits;
+  }
+  if (out.status == SolveStatus::kSat || out.status == SolveStatus::kUnsat) {
+    if (FindExact(constraints) == nullptr) {
+      StoreEntry(constraints, out);
+    }
+    if (out.status == SolveStatus::kUnsat) {
+      RememberUnsat(constraints);
+    } else if (ctx != nullptr) {
+      ctx->NoteModel(out.model);
+    } else {
+      reuse_models_.push_back(out.model);
+      if (reuse_models_.size() > kMaxReuseModels) {
+        reuse_models_.erase(reuse_models_.begin());
+      }
+    }
+  }
+  return out;
 }
 
 void ByteSolver::Add(ExprRef expr) {
@@ -197,16 +424,19 @@ bool DecomposeConcatEquality(const ExprRef& constraint,
 /// picks the smallest-domain variable, trying the hinted value first.
 struct Search {
   Search(const std::vector<ExprRef>& constraints_in, const Model& hints_in,
-         std::uint64_t max_steps_in, support::CancelToken cancel_in)
+         std::uint64_t max_steps_in, support::CancelToken cancel_in,
+         const SolveContext* ctx_in)
       : constraints(constraints_in),
         hints(hints_in),
         max_steps(max_steps_in),
-        cancel(cancel_in) {}
+        cancel(cancel_in),
+        ctx(ctx_in) {}
 
   const std::vector<ExprRef>& constraints;
   const Model& hints;
   std::uint64_t max_steps;
   support::CancelToken cancel;  // local copy; poll counters are ours
+  const SolveContext* ctx;      // optional prefix-domain accelerator
   std::uint64_t steps = 0;
   bool cancelled = false;
 
@@ -225,6 +455,7 @@ struct Search {
   std::vector<int> domain_size;
   std::vector<int> assigned;  // -1 = unassigned, else the value
   Model assignment;           // offset → value (mirrors `assigned`)
+  std::vector<bool> prefiltered;  // unary constraints folded at init
 
   struct TrailEntry {
     std::size_t var;
@@ -261,6 +492,64 @@ struct Search {
     for (auto& d : domain) d.fill(true);
     domain_size.assign(vars.size(), 256);
     assigned.assign(vars.size(), -1);
+
+    // Unary prefilter: every constraint over a single variable folds
+    // into that variable's *initial* domain here, rather than through
+    // the propagation queue. When the caller supplies a SolveContext
+    // that already applied some of these constraints, its recorded
+    // domain seeds the fold and those constraints' 256-probe
+    // evaluations are skipped — the incremental-prefix saving. The
+    // final domains are identical either way (filtering is idempotent
+    // and intersection commutes), so context presence cannot change
+    // the search outcome. Prefilter probes are setup, not search, and
+    // do not count toward the step budget.
+    prefiltered.assign(constraints.size(), false);
+    Model probe;
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      bool any_unary = false;
+      for (const std::size_t c : var_constraints[v]) {
+        if (cvars[c].size() == 1) {
+          any_unary = true;
+          break;
+        }
+      }
+      if (!any_unary) continue;
+      auto& dom = domain[v];
+      const std::uint32_t off = vars[v];
+      const SolveContext::VarEntry* seed =
+          ctx != nullptr ? ctx->Find(off) : nullptr;
+      if (seed != nullptr) {
+        int size = 0;
+        for (int value = 0; value < 256; ++value) {
+          dom[value] = seed->domain.Test(static_cast<unsigned>(value));
+          size += dom[value] ? 1 : 0;
+        }
+        domain_size[v] = size;
+      }
+      for (const std::size_t c : var_constraints[v]) {
+        if (cvars[c].size() != 1) continue;
+        prefiltered[c] = true;
+        if (seed != nullptr &&
+            std::binary_search(seed->applied.begin(), seed->applied.end(),
+                               constraints[c].get())) {
+          continue;  // already folded into the seeded domain
+        }
+        int size = 0;
+        std::uint8_t& cell = probe[off];
+        for (int value = 0; value < 256; ++value) {
+          if (!dom[value]) continue;
+          cell = static_cast<std::uint8_t>(value);
+          if (Eval(constraints[c], probe) != 0) {
+            ++size;
+          } else {
+            dom[value] = false;
+          }
+        }
+        probe.erase(off);
+        domain_size[v] = size;
+      }
+      if (domain_size[v] == 0) return false;
+    }
     return true;
   }
 
@@ -345,7 +634,7 @@ struct Search {
   std::deque<std::size_t> InitialUnits() {
     std::deque<std::size_t> queue;
     for (std::size_t c = 0; c < constraints.size(); ++c) {
-      if (unassigned_count[c] == 1) queue.push_back(c);
+      if (unassigned_count[c] == 1 && !prefiltered[c]) queue.push_back(c);
     }
     return queue;
   }
@@ -380,7 +669,7 @@ struct Search {
   }
 
   Outcome Run() {
-    Init();
+    if (!Init()) return Outcome::kUnsat;
     if (!Propagate(InitialUnits())) return Outcome::kUnsat;
     if (cancelled) return Outcome::kCancelled;
     if (steps > max_steps) return Outcome::kBudget;
@@ -483,7 +772,8 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
       return result;
     }
   }
-  Search search{all, options_.hints, options_.max_steps, options_.cancel};
+  Search search{all, options_.hints, options_.max_steps, options_.cancel,
+                options_.context};
   const Search::Outcome outcome = search.Run();
   result.steps = search.steps;
   switch (outcome) {

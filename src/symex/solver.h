@@ -27,6 +27,7 @@
 
 #include "support/deadline.h"
 #include "symex/expr.h"
+#include "symex/solve_context.h"
 
 namespace octopocs::symex {
 
@@ -53,6 +54,13 @@ struct SolverOptions {
   /// Cooperative wall-clock bound, polled inside the search loops.
   /// Tripping aborts with kCancelled.
   support::CancelToken cancel;
+  /// Optional incremental prefix state: seeds the search's per-variable
+  /// domains with filtering work the owning state already did, instead
+  /// of re-evaluating each applied unary constraint 256 times per query.
+  /// Results are bit-identical with or without a context (the search
+  /// always prefilters every unary constraint; the context only skips
+  /// evaluations whose outcome it has already recorded).
+  const SolveContext* context = nullptr;
 };
 
 class ByteSolver {
@@ -83,9 +91,19 @@ class ByteSolver {
   Model pins_;
 };
 
+/// Partitions `constraints` into independence slices: the finest
+/// partition such that two constraints sharing an input-byte variable
+/// land in the same slice (union-find over FreeVars). Slices are
+/// returned in order of their first constraint's position, and each
+/// slice preserves the original relative constraint order — which is
+/// what makes a per-slice search behave identically to the monolithic
+/// search restricted to that slice's variables.
+std::vector<std::vector<ExprRef>> SliceConstraints(
+    const std::vector<ExprRef>& constraints);
+
 /// Memoizes ByteSolver verdicts across the repeated feasibility and
 /// concretization queries a directed executor issues along shared path
-/// prefixes. Two mechanisms, both sound by construction:
+/// prefixes. Four mechanisms, all sound by construction:
 ///
 ///   exact memo    keyed by the exact sequence of constraint node
 ///                 addresses. Forked states copy their constraint
@@ -93,24 +111,60 @@ class ByteSolver {
 ///                 canonicalizes structurally-equal nodes, so an exact
 ///                 hit is *provably* the same query; it may return any
 ///                 verdict, including kUnsat.
+///   subsumption   a cached UNSAT *subset* proves any superset query
+///                 UNSAT (adding constraints never makes an
+///                 unsatisfiable system satisfiable). Verdict-only: no
+///                 model is fabricated, and SAT can never come from
+///                 this path, so a SAT verdict can never be flipped.
 ///   model reuse   a path extends its prefix by appending constraints,
 ///                 so the sequence key misses — but a model that
 ///                 satisfied the prefix often still satisfies the
-///                 extension. Lookup overlays the caller's pinned bytes
-///                 onto each recently found model and *evaluates* the
+///                 extension. The cache overlays the caller's pinned
+///                 bytes onto each candidate model and *evaluates* the
 ///                 full constraint set under it; only a model that
 ///                 certifies every constraint is returned, as kSat.
 ///                 kUnsat can never come from reuse, so a cached
-///                 verdict can never contradict a fresh solve.
+///                 verdict can never contradict a fresh solve. With a
+///                 SolveContext the candidate pool is the state's own
+///                 (pure, forked-with-the-state) pool; without one, a
+///                 small global most-recent pool.
+///   slicing       Solve() partitions the query into independence
+///                 slices and caches each slice separately, so a new
+///                 constraint only forces re-solving its own slice —
+///                 KLEE-style counterexample caching. Slice models over
+///                 disjoint variables merge into the full model.
 ///
 /// The cache must not outlive the expressions it indexes: one cache per
-/// executor run, like the InternScope whose lifetime it matches.
+/// executor run (per frontier worker), like the interning scope whose
+/// lifetime it matches.
 class SolverCache {
  public:
   struct Stats {
+    /// Totals: hits + misses == Solve()/Lookup() queries (trivially
+    /// constant-false queries short-circuit before counting).
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Per-mechanism breakdown of `hits`. A sliced query counts as a
+    /// slice hit only when *every* slice came from cache; any fresh
+    /// slice solve makes the query a miss.
+    std::uint64_t exact_hits = 0;
+    std::uint64_t model_reuse_hits = 0;
+    std::uint64_t slice_hits = 0;
+    std::uint64_t subsumption_hits = 0;
   };
+
+  /// Front door for the executor: answers `constraints` (the caller's
+  /// path condition) through, in order: exact memo → context wipeout /
+  /// UNSAT-subset subsumption → certified model reuse → independence
+  /// slicing with per-slice caching → fresh search. kSat/kUnsat results
+  /// are cached (full key and per slice); kUnknown is not (a larger
+  /// budget could improve it) and kCancelled never is. The result is a
+  /// pure function of (constraints, hints) — see DESIGN.md §10 — except
+  /// that subsumption may answer kUnsat where an uncached search would
+  /// have exhausted its step budget.
+  SolveResult Solve(const std::vector<ExprRef>& constraints,
+                    const Model& pins, const SolverOptions& options,
+                    SolveContext* ctx);
 
   /// Cached result for `constraints`, or nullptr. `pins` are the
   /// caller's already-forced byte values (each also present as an
@@ -140,13 +194,25 @@ class SolverCache {
   /// Most-recent-first reuse pool cap: candidates beyond this are
   /// evicted, bounding Lookup's evaluation work.
   static constexpr std::size_t kMaxReuseModels = 16;
+  /// UNSAT-core pool cap for subsumption checks.
+  static constexpr std::size_t kMaxUnsatCores = 64;
 
   static std::uint64_t HashKey(const std::vector<ExprRef>& constraints);
   static bool KeyEquals(const std::vector<const Expr*>& key,
                         const std::vector<ExprRef>& constraints);
 
+  const Entry* FindExact(const std::vector<ExprRef>& constraints) const;
+  const SolveResult& StoreEntry(const std::vector<ExprRef>& constraints,
+                                SolveResult result);
+  void RememberUnsat(const std::vector<ExprRef>& constraints);
+  bool TryModelReuse(const std::vector<ExprRef>& constraints,
+                     const Model& pins, const Model& hints,
+                     const std::vector<Model>& pool, Model* out) const;
+
   std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
   std::vector<Model> reuse_models_;  // most recent at the back
+  /// Sorted-unique node-address sets of known-UNSAT constraint systems.
+  std::vector<std::vector<const Expr*>> unsat_cores_;
   SolveResult reuse_scratch_;        // backs model-reuse Lookup returns
   std::size_t entries_ = 0;
   Stats stats_;

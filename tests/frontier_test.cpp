@@ -1,0 +1,249 @@
+// Work-stealing frontier parallelism: deque/coordinator primitives and
+// the headline property — a frontier run with any worker count produces
+// the *same* result as the serial directed-DFS drive loop, byte for
+// byte. The container this test suite runs in may have a single CPU;
+// that is deliberate: frontier_jobs is not clamped to the hardware, and
+// determinism has to hold oversubscribed, where steals and interleavings
+// are at their most adversarial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+#include "support/thread_pool.h"
+#include "symex/executor.h"
+#include "vm/asm.h"
+
+namespace octopocs {
+namespace {
+
+// -- WorkStealingDeque ------------------------------------------------------
+
+TEST(WorkStealingDequeTest, OwnerPopsLifoThievesStealFifo) {
+  support::WorkStealingDeque<int> dq;
+  dq.PushBottom(1);
+  dq.PushBottom(2);
+  dq.PushBottom(3);
+  EXPECT_EQ(dq.size(), 3u);
+
+  int v = 0;
+  ASSERT_TRUE(dq.PopBottom(&v));
+  EXPECT_EQ(v, 3) << "owner end is LIFO (depth-first locality)";
+  ASSERT_TRUE(dq.StealTop(&v));
+  EXPECT_EQ(v, 1) << "thief end is FIFO (oldest = largest subtree)";
+  ASSERT_TRUE(dq.PopBottom(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(dq.PopBottom(&v));
+  EXPECT_FALSE(dq.StealTop(&v));
+  EXPECT_EQ(dq.size(), 0u);
+}
+
+TEST(WorkStealingDequeTest, ConcurrentStealsLoseNoItems) {
+  support::WorkStealingDeque<int> dq;
+  constexpr int kItems = 2000;
+  for (int i = 0; i < kItems; ++i) dq.PushBottom(i);
+
+  std::atomic<int> taken{0};
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  const auto drain = [&](bool owner) {
+    int v = 0;
+    while (owner ? dq.PopBottom(&v) : dq.StealTop(&v)) {
+      seen[static_cast<std::size_t>(v)].fetch_add(1);
+      taken.fetch_add(1);
+    }
+  };
+  std::thread a(drain, true), b(drain, false), c(drain, false);
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(taken.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " taken exactly once";
+  }
+}
+
+// -- StealCoordinator -------------------------------------------------------
+
+TEST(StealCoordinatorTest, DrainsWhenPendingHitsZero) {
+  support::StealCoordinator coord;
+  coord.NoteEnqueued();
+  EXPECT_EQ(coord.pending(), 1u);
+  coord.NoteDone();
+  EXPECT_EQ(coord.pending(), 0u);
+  // Drained pool: a worker that failed to find work must exit, not park.
+  EXPECT_FALSE(coord.WaitForWork(coord.Version()));
+  EXPECT_FALSE(coord.aborted());
+}
+
+TEST(StealCoordinatorTest, StaleVersionMeansRetryWithoutParking) {
+  support::StealCoordinator coord;
+  coord.NoteEnqueued();
+  const std::uint64_t seen = coord.Version();
+  coord.NoteEnqueued();  // bumps version: something changed since `seen`
+  EXPECT_TRUE(coord.WaitForWork(seen))
+      << "version moved between the failed steal and the wait, so the "
+         "worker must loop back and retry instead of sleeping";
+  coord.NoteDone();
+  coord.NoteDone();
+}
+
+TEST(StealCoordinatorTest, AbortWakesParkedWorkers) {
+  support::StealCoordinator coord;
+  coord.NoteEnqueued();  // pending work that will never complete
+  // Current version + pending work + no new enqueues → the worker
+  // parks (or sees the abort immediately); either way it must return
+  // false rather than sleep forever.
+  std::atomic<bool> wait_result{true};
+  std::thread parked(
+      [&] { wait_result.store(coord.WaitForWork(coord.Version())); });
+  coord.Abort();
+  parked.join();
+  EXPECT_FALSE(wait_result.load());
+  EXPECT_TRUE(coord.aborted());
+  EXPECT_FALSE(coord.WaitForWork(coord.Version()))
+      << "after abort every wait returns false immediately";
+}
+
+// -- Frontier executor determinism ------------------------------------------
+
+// A branchy probe: two viable directions at the first branch, each
+// imposing a different requirement on byte 1, then a shared second
+// check on byte 2. Serial directed DFS commits one specific goal state
+// (and hence one specific witness); every frontier schedule must commit
+// the same one.
+const char* kBranchyProgram = R"(
+  func main()
+    movi %n, 4
+    alloc %buf, %n
+    read %got, %buf, %n
+    load.1 %a, %buf, 0
+    load.1 %b, %buf, 1
+    load.1 %c, %buf, 2
+    movi %five, 5
+    cmpeq %isa, %a, %five
+    br %isa, lo, hi
+  lo:
+    movi %w1, 7
+    cmpeq %c1, %b, %w1
+    br %c1, mid, dead
+  hi:
+    movi %w2, 9
+    cmpeq %c2, %b, %w2
+    br %c2, mid, dead
+  mid:
+    movi %w3, 3
+    cmpeq %c3, %c, %w3
+    br %c3, go, dead
+  dead:
+    ret %a
+  go:
+    call %v, ep_fn(%c)
+    ret %v
+  func ep_fn(x)
+    ret %x
+)";
+
+symex::SymexResult RunBranchy(std::uint32_t frontier_jobs) {
+  const vm::Program t = vm::Assemble(kBranchyProgram);
+  const cfg::Cfg graph = cfg::Cfg::Build(t);
+  symex::ExecutorOptions opts;
+  opts.frontier_jobs = frontier_jobs;
+  symex::SymExecutor exec(t, graph, t.FindFunction("ep_fn"), opts);
+  return exec.ReachEp(/*directed=*/true);
+}
+
+TEST(FrontierExecutorTest, MatchesSerialWitnessByteForByte) {
+  const symex::SymexResult serial = RunBranchy(1);
+  ASSERT_EQ(serial.status, symex::SymexStatus::kReachedEp);
+
+  for (const std::uint32_t jobs : {2u, 3u, 8u}) {
+    const symex::SymexResult par = RunBranchy(jobs);
+    EXPECT_EQ(par.status, serial.status) << "jobs=" << jobs;
+    EXPECT_EQ(par.poc, serial.poc)
+        << "jobs=" << jobs
+        << ": frontier must commit the serial run's goal state";
+    EXPECT_EQ(par.detail, serial.detail) << "jobs=" << jobs;
+    EXPECT_EQ(par.loop_dead_observed, serial.loop_dead_observed)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(FrontierExecutorTest, RepeatedRunsAreDeterministic) {
+  const symex::SymexResult first = RunBranchy(3);
+  ASSERT_EQ(first.status, symex::SymexStatus::kReachedEp);
+  for (int run = 0; run < 4; ++run) {
+    const symex::SymexResult again = RunBranchy(3);
+    EXPECT_EQ(again.status, first.status) << "run " << run;
+    EXPECT_EQ(again.poc, first.poc) << "run " << run;
+    EXPECT_EQ(again.detail, first.detail) << "run " << run;
+  }
+}
+
+TEST(FrontierExecutorTest, ProgramDeadVerdictsSurviveParallelism) {
+  // ep guarded by an impossible byte equality: the frontier must drain
+  // and report the same program-dead/unsat classification as serial.
+  const vm::Program t = vm::Assemble(R"(
+    func main()
+      movi %n, 2
+      alloc %buf, %n
+      read %got, %buf, %n
+      load.1 %a, %buf, 0
+      movi %big, 300
+      cmpeq %hit, %a, %big
+      br %hit, call_ep, out
+    call_ep:
+      call %v, ep_fn(%a)
+      ret %v
+    out:
+      ret %a
+    func ep_fn(x)
+      ret %x
+  )");
+  const cfg::Cfg graph = cfg::Cfg::Build(t);
+
+  const auto run = [&](std::uint32_t jobs) {
+    symex::ExecutorOptions opts;
+    opts.frontier_jobs = jobs;
+    symex::SymExecutor exec(t, graph, t.FindFunction("ep_fn"), opts);
+    return exec.ReachEp(/*directed=*/true);
+  };
+  const symex::SymexResult serial = run(1);
+  const symex::SymexResult par = run(4);
+  EXPECT_EQ(par.status, serial.status);
+  EXPECT_EQ(par.detail, serial.detail);
+}
+
+// -- Full-pipeline identity --------------------------------------------------
+
+TEST(FrontierPipelineTest, VerifyPairMatchesSerial) {
+  // One Triggered pair and the corpus's directed-symex NotTriggerable
+  // pair: reformed PoC, verdict, classification, and detail must all be
+  // byte-identical between the serial and frontier drives.
+  for (const int idx : {1, 14}) {
+    const corpus::Pair pair = corpus::BuildPair(idx);
+
+    const core::VerificationReport serial = core::VerifyPair(pair, {});
+
+    core::PipelineOptions par_opts;
+    par_opts.symex.frontier_jobs = 3;
+    const core::VerificationReport par = core::VerifyPair(pair, par_opts);
+
+    EXPECT_EQ(par.verdict, serial.verdict) << "pair " << idx;
+    EXPECT_EQ(par.type, serial.type) << "pair " << idx;
+    EXPECT_EQ(par.symex_status, serial.symex_status) << "pair " << idx;
+    EXPECT_EQ(par.detail, serial.detail) << "pair " << idx;
+    EXPECT_EQ(par.reformed_poc, serial.reformed_poc) << "pair " << idx;
+    EXPECT_EQ(par.bunch_offsets, serial.bunch_offsets) << "pair " << idx;
+    EXPECT_EQ(par.observed_trap, serial.observed_trap) << "pair " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace octopocs

@@ -74,5 +74,44 @@ TEST(ParallelVerifyTest, ParallelIsByteIdenticalToSerial) {
   }
 }
 
+TEST(ParallelVerifyTest, CostHintsChangeScheduleNotResults) {
+  // Longest-pair-first scheduling consumes recorded wall times that may
+  // be stale — or outright garbage — so the hints must only permute the
+  // launch order, never the per-slot report. Reports are written by
+  // input index, which is what makes any permutation safe.
+  const std::vector<corpus::Pair> pairs = corpus::BuildCorpus();
+  const core::PipelineOptions opts;
+
+  const auto baseline = core::VerifyCorpus(pairs, opts, 4);
+
+  // Reverse-sorted, uniform, and nonsense hints (wrong sign, NaN-free
+  // but meaningless) must all reproduce the baseline byte for byte.
+  std::vector<std::vector<double>> hint_sets;
+  std::vector<double> ascending, uniform, garbage;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ascending.push_back(static_cast<double>(i));
+    uniform.push_back(1.0);
+    garbage.push_back(i % 2 == 0 ? -7.5 : 1e18);
+  }
+  hint_sets.push_back(ascending);
+  hint_sets.push_back(uniform);
+  hint_sets.push_back(garbage);
+  hint_sets.push_back({1.0, 2.0});  // wrong size: hints ignored entirely
+
+  for (std::size_t h = 0; h < hint_sets.size(); ++h) {
+    SCOPED_TRACE("hint set " + std::to_string(h));
+    const auto hinted = core::VerifyCorpus(pairs, opts, 4, 0, &hint_sets[h]);
+    ASSERT_EQ(hinted.size(), baseline.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      SCOPED_TRACE(pairs[i].s_name);
+      EXPECT_EQ(baseline[i].verdict, hinted[i].verdict);
+      EXPECT_EQ(baseline[i].type, hinted[i].type);
+      EXPECT_EQ(baseline[i].detail, hinted[i].detail);
+      EXPECT_EQ(baseline[i].reformed_poc, hinted[i].reformed_poc);
+      EXPECT_EQ(baseline[i].bunch_offsets, hinted[i].bunch_offsets);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace octopocs

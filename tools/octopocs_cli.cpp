@@ -31,13 +31,15 @@
 //       Materialize a corpus pair (1-21) as s.asm / t.asm / poc.bin /
 //       shared.txt so the other subcommands can chew on it.
 //   corpus [--jobs N] [--extended] [--adaptive-theta]
-//          [--pair-deadline-ms N]
+//          [--pair-deadline-ms N] [--frontier-jobs N]
 //       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
 //       --extended) with N pipeline runs in flight at once. Reports are
 //       printed in pair order and are byte-identical to a serial run
 //       regardless of N. --pair-deadline-ms bounds each pair's
 //       wall-clock time; a pair over budget degrades to Failure while
-//       the rest of the corpus finishes.
+//       the rest of the corpus finishes. --frontier-jobs additionally
+//       parallelizes *within* each pair's directed symbolic execution
+//       (work-stealing frontier; results stay byte-identical).
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -114,7 +116,7 @@ int CmdVerify(int argc, char** argv) {
                          "[--shared f1,f2] [--out FILE] [--context-free] "
                          "[--theta N] [--adaptive-theta] [--static-cfg] "
                          "[--fix-angr] [--deadline-ms N] [--cfg-fallback] "
-                         "[--solver-retry]\n");
+                         "[--solver-retry] [--frontier-jobs N]\n");
     return 2;
   }
   const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
@@ -147,6 +149,9 @@ int CmdVerify(int argc, char** argv) {
       opts.cfg_fallback_to_static = true;
     } else if (arg == "--solver-retry") {
       opts.solver_budget_retry = true;
+    } else if (arg == "--frontier-jobs" && i + 1 < argc) {
+      opts.symex.frontier_jobs =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
@@ -188,6 +193,14 @@ int CmdVerify(int argc, char** argv) {
               static_cast<unsigned long long>(r.symex_stats.expr_intern_hits),
               static_cast<unsigned long long>(
                   r.symex_stats.expr_intern_nodes));
+  std::printf("  by kind: exact %llu | model-reuse %llu | sliced %llu | "
+              "subsumed %llu\n",
+              static_cast<unsigned long long>(r.symex_stats.solver_exact_hits),
+              static_cast<unsigned long long>(
+                  r.symex_stats.solver_model_reuse_hits),
+              static_cast<unsigned long long>(r.symex_stats.solver_slice_hits),
+              static_cast<unsigned long long>(
+                  r.symex_stats.solver_subsumption_hits));
   std::printf("detail:    %s\n", r.detail.c_str());
   // A retry rung can succeed (empty failed_phase but the substitution
   // happened) — the verdict then rests on weaker footing and the user
@@ -318,6 +331,9 @@ int CmdCorpus(int argc, char** argv) {
       opts.adaptive_theta = true;
     } else if (arg == "--pair-deadline-ms" && i + 1 < argc) {
       pair_deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--frontier-jobs" && i + 1 < argc) {
+      opts.symex.frontier_jobs =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
