@@ -24,6 +24,13 @@
 //               launch longest-first (LPT) — the fix for the tail-pair
 //               convoy that made --jobs *slower* than serial when the
 //               longest pair started last.
+//   artifacts   the content-addressed store (DESIGN.md §11): a cold
+//               corpus pass (cross-pair reuse only — pairs sharing an
+//               origin S or target T hit each other's artifacts) and a
+//               warm pass over the same store, both byte-identical to
+//               the cache-off baseline. Reports the reuse rate and the
+//               wall-time of the origin-sharing pairs with and without
+//               a warm cache.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/artifact_store.h"
 #include "core/parallel_verify.h"
 #include "corpus/pairs.h"
 #include "symex/state.h"
@@ -88,6 +96,23 @@ struct ForkCost {
   double deep_ns = 0;
   double speedup = 0;
 };
+
+/// The byte-identity predicate every alternative execution strategy
+/// (parallel jobs, artifact cache) is held to against the serial
+/// cache-off baseline.
+bool ReportsIdentical(const std::vector<core::VerificationReport>& a,
+                      const std::vector<core::VerificationReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].verdict != b[i].verdict || a[i].type != b[i].type ||
+        a[i].reformed_poc != b[i].reformed_poc ||
+        a[i].bunch_offsets != b[i].bunch_offsets ||
+        a[i].detail != b[i].detail) {
+      return false;
+    }
+  }
+  return true;
+}
 
 ForkCost MeasureForkCost(int iterations) {
   symex::InternScope intern;  // executor-realistic expression sharing
@@ -197,14 +222,7 @@ int main(int argc, char** argv) {
                                            &pair_seconds);
   const double parallel_seconds = SecondsSince(par_start);
 
-  bool identical = serial.size() == parallel.size();
-  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
-    identical = serial[i].verdict == parallel[i].verdict &&
-                serial[i].type == parallel[i].type &&
-                serial[i].reformed_poc == parallel[i].reformed_poc &&
-                serial[i].bunch_offsets == parallel[i].bunch_offsets &&
-                serial[i].detail == parallel[i].detail;
-  }
+  const bool identical = ReportsIdentical(serial, parallel);
   const double speedup =
       parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -217,6 +235,55 @@ int main(int argc, char** argv) {
               hw, hw == 1 ? "" : "s");
   std::printf("determinism:  parallel results %s serial\n\n",
               identical ? "byte-identical to" : "DIVERGED from");
+
+  // -- Artifact-cache legs: cold (cross-pair reuse), then warm --------------
+  core::ArtifactStore store;
+  core::PipelineOptions cached_opts;
+  cached_opts.artifacts = &store;
+
+  const auto cold_start = Clock::now();
+  const auto cache_cold = core::VerifyCorpus(pairs, cached_opts, 1);
+  const double cache_cold_seconds = SecondsSince(cold_start);
+  const core::ArtifactStore::Stats cold_stats = store.stats();
+
+  const auto warm_start = Clock::now();
+  const auto cache_warm = core::VerifyCorpus(pairs, cached_opts, 1);
+  const double cache_warm_seconds = SecondsSince(warm_start);
+  const core::ArtifactStore::Stats total_stats = store.stats();
+
+  const unsigned long long warm_hits = total_stats.hits - cold_stats.hits;
+  const unsigned long long warm_misses =
+      total_stats.misses - cold_stats.misses;
+  const double reuse_rate =
+      warm_hits + warm_misses > 0
+          ? static_cast<double>(warm_hits) / (warm_hits + warm_misses)
+          : 0;
+  const bool artifact_identical = ReportsIdentical(serial, cache_cold) &&
+                                  ReportsIdentical(serial, cache_warm);
+
+  // Wall time spent on the pairs that share their origin S (or target T)
+  // with another pair — the population the store exists for.
+  const bool shared_origin[16] = {false, true, true,  false, false, false,
+                                  true,  true, false, false, true,  true,
+                                  true,  true, true,  false};
+  double shared_baseline_seconds = 0, shared_warm_seconds = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].idx < 16 && shared_origin[pairs[i].idx]) {
+      shared_baseline_seconds += serial[i].timings.total_seconds;
+      shared_warm_seconds += cache_warm[i].timings.total_seconds;
+    }
+  }
+
+  std::printf("artifacts:    cold %.3f s (%llu cross-pair hit%s) | warm "
+              "%.3f s (%llu hit / %llu miss, %.0f%% reuse)\n",
+              cache_cold_seconds,
+              static_cast<unsigned long long>(cold_stats.hits),
+              cold_stats.hits == 1 ? "" : "s", cache_warm_seconds, warm_hits,
+              warm_misses, reuse_rate * 100);
+  std::printf("  shared-origin pairs: %.3f s baseline -> %.3f s warm\n",
+              shared_baseline_seconds, shared_warm_seconds);
+  std::printf("  identity:   cached results %s the cache-off baseline\n\n",
+              artifact_identical ? "byte-identical to" : "DIVERGED from");
 
   // -- Machine-readable trajectory ------------------------------------------
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -253,10 +320,25 @@ int main(int argc, char** argv) {
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"parallel_speedup\": %.3f,\n"
                  "  \"parallel_identical_to_serial\": %s,\n"
+                 "  \"artifact_cache_cold_seconds\": %.4f,\n"
+                 "  \"artifact_cache_warm_seconds\": %.4f,\n"
+                 "  \"artifact_cold_hits\": %llu,\n"
+                 "  \"artifact_warm_hits\": %llu,\n"
+                 "  \"artifact_warm_misses\": %llu,\n"
+                 "  \"artifact_reuse_rate\": %.4f,\n"
+                 "  \"artifact_identical_to_baseline\": %s,\n"
+                 "  \"artifact_shared_origin_baseline_seconds\": %.4f,\n"
+                 "  \"artifact_shared_origin_warm_seconds\": %.4f,\n"
                  "  \"smoke\": %s\n"
                  "}\n",
                  parallel_seconds, jobs, hw, speedup,
-                 identical ? "true" : "false", smoke ? "true" : "false");
+                 identical ? "true" : "false", cache_cold_seconds,
+                 cache_warm_seconds,
+                 static_cast<unsigned long long>(cold_stats.hits), warm_hits,
+                 warm_misses, reuse_rate,
+                 artifact_identical ? "true" : "false",
+                 shared_baseline_seconds, shared_warm_seconds,
+                 smoke ? "true" : "false");
     std::fclose(out);
     std::printf("wrote %s\n", out_path.c_str());
   }
@@ -266,6 +348,18 @@ int main(int argc, char** argv) {
   // reported but not gated — it is a property of the host's core count.
   if (!identical) {
     std::printf("FAIL: parallel verification diverged from serial\n");
+    return 1;
+  }
+  if (!artifact_identical) {
+    std::printf("FAIL: artifact-cached verification diverged from the "
+                "cache-off baseline\n");
+    return 1;
+  }
+  if (cold_stats.hits == 0 || warm_hits == 0) {
+    std::printf("FAIL: artifact store saw no reuse (cold %llu, warm %llu "
+                "hits) — keys are unstable or phases stopped consulting "
+                "the store\n",
+                static_cast<unsigned long long>(cold_stats.hits), warm_hits);
     return 1;
   }
   if (!smoke && fork.speedup < 5.0) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate a structured-trace JSONL file (support/trace.h schema).
+
+Usage: validate_trace.py TRACE.jsonl
+
+Checks, line by line:
+  - each line is a standalone JSON object;
+  - "type" is one of begin/end/counter;
+  - the fixed key set is present ("name", "tid", "seq", "ts_ns", plus
+    "arg" for spans and "value" for counters) with the right types;
+  - "seq" values are unique and strictly increasing down the file
+    (Snapshot() emits the global merge order);
+  - per thread, begin/end events obey stack discipline: every end
+    matches the innermost open begin of the same name, and nothing is
+    left open at EOF.
+
+Exits 0 and prints a summary on success, 1 with the first offending
+line otherwise.
+"""
+import json
+import sys
+
+
+def fail(lineno, msg):
+    print(f"FAIL line {lineno}: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+
+    span_keys = {"type", "name", "tid", "seq", "ts_ns", "arg"}
+    counter_keys = {"type", "name", "tid", "seq", "ts_ns", "value"}
+
+    events = 0
+    last_seq = -1
+    stacks = {}  # tid -> [open span names]
+    counts = {"begin": 0, "end": 0, "counter": 0}
+
+    with open(sys.argv[1], encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(lineno, "blank line")
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"not valid JSON: {e}")
+            if not isinstance(ev, dict):
+                fail(lineno, "line is not a JSON object")
+
+            kind = ev.get("type")
+            if kind not in counts:
+                fail(lineno, f"unknown type {kind!r}")
+            counts[kind] += 1
+
+            want = counter_keys if kind == "counter" else span_keys
+            if set(ev) != want:
+                fail(lineno, f"keys {sorted(ev)} != expected {sorted(want)}")
+            if not isinstance(ev["name"], str) or not ev["name"]:
+                fail(lineno, "name must be a non-empty string")
+            for num_key in want - {"type", "name"}:
+                if not isinstance(ev[num_key], int):
+                    fail(lineno, f"{num_key} must be an integer")
+            if ev["tid"] < 0 or ev["ts_ns"] < 0:
+                fail(lineno, "tid/ts_ns must be non-negative")
+
+            if ev["seq"] <= last_seq:
+                fail(lineno, f"seq {ev['seq']} not strictly increasing "
+                             f"(previous {last_seq})")
+            last_seq = ev["seq"]
+
+            stack = stacks.setdefault(ev["tid"], [])
+            if kind == "begin":
+                stack.append(ev["name"])
+            elif kind == "end":
+                if not stack:
+                    fail(lineno, f"end {ev['name']!r} with no open span "
+                                 f"on tid {ev['tid']}")
+                if stack[-1] != ev["name"]:
+                    fail(lineno, f"end {ev['name']!r} does not match "
+                                 f"innermost open span {stack[-1]!r}")
+                stack.pop()
+            events += 1
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail("EOF", f"tid {tid} left spans open: {stack}")
+    if events == 0:
+        fail("EOF", "trace contains no events")
+
+    print(f"OK: {events} event(s) — {counts['begin']} begin / "
+          f"{counts['end']} end / {counts['counter']} counter, "
+          f"{len(stacks)} thread(s), balanced spans")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,14 @@ Cfg Cfg::Build(const vm::Program& program, const CfgOptions& options) {
   return cfg;
 }
 
+Cfg Cfg::FromEdges(const vm::Program& program, Edges edges) {
+  Cfg cfg(program);
+  cfg.succs_ = std::move(edges.succs);
+  cfg.dynamic_edge_count_ = edges.dynamic_edge_count;
+  cfg.ComputeBackEdges();
+  return cfg;
+}
+
 void Cfg::BuildStaticEdges() {
   const vm::Program& p = *program_;
   succs_.resize(p.functions.size());

@@ -103,6 +103,23 @@ class Cfg {
 
   const vm::Program& program() const { return *program_; }
 
+  /// Portable edge data for content-addressed caching (DESIGN.md §11):
+  /// everything construction discovered, with no pointer back into the
+  /// Program object it was built from. A cached Cfg itself would dangle
+  /// once the originating corpus pair is destroyed; the edge set plus a
+  /// structurally identical program rebuilds an equivalent Cfg.
+  struct Edges {
+    std::vector<std::vector<std::vector<Node>>> succs;
+    std::size_t dynamic_edge_count = 0;
+  };
+  Edges ExportEdges() const { return {succs_, dynamic_edge_count_}; }
+
+  /// Rebinds exported edges to `program`, which must be structurally
+  /// identical to the program the edges were built from (the artifact
+  /// key guarantees this). Back edges are recomputed — they derive
+  /// deterministically from the program's terminators.
+  static Cfg FromEdges(const vm::Program& program, Edges edges);
+
  private:
   explicit Cfg(const vm::Program& program) : program_(&program) {}
 

@@ -1,0 +1,128 @@
+#include "core/artifact_store.h"
+
+#include "vm/ir.h"
+
+namespace octopocs::core {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}
+
+ArtifactHasher& ArtifactHasher::Bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h1_ = (h1_ ^ p[i]) * kFnvPrime;
+    // The second lane sees the byte mixed with the running position so
+    // the lanes stay independent under any input.
+    h2_ = (h2_ ^ (p[i] + 0x9eULL + (h2_ << 6) + (h2_ >> 2))) * kFnvPrime;
+  }
+  return *this;
+}
+
+ArtifactHasher& ArtifactHasher::U64(std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return Bytes(buf, sizeof buf);
+}
+
+ArtifactHasher& ArtifactHasher::Str(std::string_view s) {
+  U64(s.size());
+  return Bytes(s.data(), s.size());
+}
+
+ArtifactHasher& ArtifactHasher::Program(const vm::Program& program) {
+  Str(program.name);
+  U32(program.entry);
+  U64(program.functions.size());
+  for (const vm::Function& fn : program.functions) {
+    Str(fn.name);
+    U8(fn.num_params);
+    U8(fn.num_regs);
+    U64(fn.blocks.size());
+    for (const vm::Block& block : fn.blocks) {
+      U64(block.instrs.size());
+      for (const vm::Instr& ins : block.instrs) {
+        U8(static_cast<std::uint8_t>(ins.op));
+        U8(ins.a);
+        U8(ins.b);
+        U8(ins.c);
+        U8(ins.width);
+        U64(ins.imm);
+        U64(ins.args.size());
+        for (const vm::Reg r : ins.args) U8(r);
+      }
+      const vm::Terminator& t = block.term;
+      U8(static_cast<std::uint8_t>(t.kind));
+      U8(t.cond);
+      Bool(t.returns_value);
+      U32(t.target);
+      U32(t.fallthrough);
+    }
+  }
+  U64(program.rodata.size());
+  Bytes(program.rodata.data(), program.rodata.size());
+  U64(program.rodata_symbols.size());
+  for (const vm::RodataSymbol& sym : program.rodata_symbols) {
+    Str(sym.name);
+    U64(sym.offset);
+    U64(sym.size);
+  }
+  return *this;
+}
+
+ArtifactKey ArtifactHasher::Finish(std::string_view kind) const {
+  ArtifactHasher tagged = *this;
+  tagged.Str(kind);
+  return ArtifactKey{tagged.h1_, tagged.h2_};
+}
+
+ArtifactStore::ArtifactStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const void> ArtifactStore::GetErased(const ArtifactKey& key,
+                                                     std::type_index type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.type != type) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.value;
+}
+
+void ArtifactStore::PutErased(const ArtifactKey& key,
+                              std::shared_ptr<const void> value,
+                              std::type_index type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: last writer wins (values for one key are byte-identical
+    // by construction; this only updates recency).
+    it->second.value = std::move(value);
+    it->second.type = type;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), type, lru_.begin()});
+  ++stats_.insertions;
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace octopocs::core

@@ -1,0 +1,135 @@
+// Content-addressed artifact store (DESIGN.md §11).
+//
+// Corpus pairs frequently share their origin program S and PoC — the
+// paper's setting is one vulnerable origin fanning out to many targets —
+// so every origin-side artifact the pipeline computes (ep discovery,
+// crash primitives, a target's CFG edge set) is redundant work when
+// recomputed per pair. The store maps a 128-bit content key to an
+// immutable artifact; phases consult it before computing and publish
+// after.
+//
+// Keys are content hashes: the full IR structure of the program(s) the
+// artifact was derived from, the PoC bytes, and every option that can
+// affect the artifact's value (and nothing else — observability knobs
+// like the tracer pointer never enter a key). Two Program objects with
+// identical structure hash identically, which is what makes cross-run
+// and cross-pair reuse work: BuildCorpus() constructs fresh objects on
+// every call, but the content — and therefore the key — is stable.
+//
+// Soundness: an artifact is only stored when it was produced by a
+// deterministic, completed computation — never after a tripped deadline/
+// cancellation or an injected fault — so a hit returns exactly the bytes
+// a recomputation would produce and cached results are byte-identical to
+// uncached ones (the invariant the corpus identity test enforces).
+//
+// The store is thread-safe (VerifyCorpus workers share one instance) and
+// bounds memory with LRU eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <typeindex>
+#include <vector>
+
+namespace octopocs::vm {
+struct Program;
+}
+
+namespace octopocs::core {
+
+/// 128-bit content key. Collisions are possible in principle; with a
+/// 128-bit state over full program structure they are negligible against
+/// every other failure mode of the pipeline.
+struct ArtifactKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const ArtifactKey&, const ArtifactKey&) = default;
+  friend auto operator<=>(const ArtifactKey&, const ArtifactKey&) = default;
+};
+
+/// Incremental FNV-1a-style hasher over two independent 64-bit lanes.
+/// Feed every input that can affect the artifact, then Finish() with a
+/// kind tag so different artifact types derived from the same inputs
+/// can never alias.
+class ArtifactHasher {
+ public:
+  ArtifactHasher& Bytes(const void* data, std::size_t size);
+  ArtifactHasher& U64(std::uint64_t v);
+  ArtifactHasher& U32(std::uint32_t v) { return U64(v); }
+  ArtifactHasher& U8(std::uint8_t v) { return U64(v); }
+  ArtifactHasher& Bool(bool v) { return U64(v ? 1 : 0); }
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  ArtifactHasher& Str(std::string_view s);
+  /// Full structural walk of a MiniVM program: name, entry, every
+  /// function/block/instruction/terminator, rodata and its symbols.
+  ArtifactHasher& Program(const vm::Program& program);
+
+  ArtifactKey Finish(std::string_view kind) const;
+
+ private:
+  std::uint64_t h1_ = 0xcbf29ce484222325ULL;   // FNV-1a offset basis
+  std::uint64_t h2_ = 0x84222325cbf29ce4ULL;   // independent lane
+};
+
+/// Typed, thread-safe, LRU-bounded map from ArtifactKey to immutable
+/// artifacts. Values are shared_ptr<const T>: a hit aliases the stored
+/// object, so artifacts must be immutable plain data (no pointers into
+/// caller-owned state — see Cfg::ExportEdges for how the CFG qualifies).
+class ArtifactStore {
+ public:
+  /// `capacity` bounds the number of stored artifacts (LRU eviction).
+  explicit ArtifactStore(std::size_t capacity = 256);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Returns the stored artifact, or nullptr on miss. A stored value of
+  /// a different type counts as a miss (kind tags in keys make this
+  /// practically unreachable, but the store never lies about types).
+  template <typename T>
+  std::shared_ptr<const T> Get(const ArtifactKey& key) {
+    return std::static_pointer_cast<const T>(
+        GetErased(key, std::type_index(typeid(T))));
+  }
+
+  /// Stores (or refreshes) the artifact and returns the shared handle.
+  template <typename T>
+  std::shared_ptr<const T> Put(const ArtifactKey& key, T value) {
+    auto ptr = std::make_shared<const T>(std::move(value));
+    PutErased(key, ptr, std::type_index(typeid(T)));
+    return ptr;
+  }
+
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::type_index type;
+    std::list<ArtifactKey>::iterator lru_pos;
+  };
+
+  std::shared_ptr<const void> GetErased(const ArtifactKey& key,
+                                        std::type_index type);
+  void PutErased(const ArtifactKey& key, std::shared_ptr<const void> value,
+                 std::type_index type);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<ArtifactKey, Entry> entries_;
+  std::list<ArtifactKey> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace octopocs::core

@@ -3,8 +3,19 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <type_traits>
+
+#include "core/artifact_store.h"
+#include "core/phase.h"
+#include "support/trace.h"
 
 namespace octopocs::core {
+
+// Reports cross thread and container boundaries constantly (corpus
+// workers, bench legs); they must move without deep-copying the
+// reformed PoC or the stats payloads.
+static_assert(std::is_nothrow_move_constructible_v<VerificationReport>);
+static_assert(std::is_nothrow_move_assignable_v<VerificationReport>);
 
 namespace {
 
@@ -32,6 +43,106 @@ class FirstSharedEntry : public vm::ExecutionObserver {
   std::set<vm::FuncId> shared_;
   std::optional<vm::FuncId> first_;
 };
+
+// -- Artifact keys (DESIGN.md §11) -------------------------------------------
+//
+// Every input that can change the artifact's value goes into its key;
+// observability state (tracer, store pointers) never does. Cancellation
+// state never does either — instead, results are only *published* when
+// their token did not trip, so a stored artifact is always the value of
+// the completed, deterministic computation.
+
+/// Preprocessing output: whether ep exists and which function it is.
+/// FuncIds index Program::functions, so they are stable across
+/// structurally identical programs — exactly the equivalence the key
+/// hashes.
+struct EpArtifact {
+  bool found = false;
+  vm::FuncId ep = vm::kInvalidFunc;
+};
+
+void HashExec(ArtifactHasher& h, const vm::ExecOptions& exec) {
+  h.U64(exec.fuel).U64(exec.max_call_depth).U64(exec.heap_limit);
+}
+
+void HashBytes(ArtifactHasher& h, const Bytes& bytes) {
+  h.U64(bytes.size()).Bytes(bytes.data(), bytes.size());
+}
+
+ArtifactKey EpKey(const PhaseContext& ctx) {
+  ArtifactHasher h;
+  h.Program(ctx.s);
+  HashBytes(h, ctx.poc);
+  // ep discovery treats ℓ as a set; sort so the caller's ordering
+  // cannot split otherwise identical keys.
+  std::vector<std::string> names(ctx.shared);
+  std::sort(names.begin(), names.end());
+  h.U64(names.size());
+  for (const std::string& name : names) h.Str(name);
+  HashExec(h, ctx.options.verify_exec);
+  return h.Finish("ep");
+}
+
+ArtifactKey P1Key(const PhaseContext& ctx, vm::FuncId ep_in_s) {
+  ArtifactHasher h;
+  h.Program(ctx.s);
+  HashBytes(h, ctx.poc);
+  h.U32(ep_in_s);
+  h.Bool(ctx.options.taint.context_aware);
+  // Mirror ExtractPrimitives' fuel clamp so the key matches the options
+  // the extraction actually ran with.
+  vm::ExecOptions exec = ctx.options.taint.exec;
+  if (exec.fuel < ctx.options.verify_exec.fuel) {
+    exec.fuel = ctx.options.verify_exec.fuel;
+  }
+  HashExec(h, exec);
+  return h.Finish("p1");
+}
+
+ArtifactKey CfgKey(const PhaseContext& ctx, const cfg::CfgOptions& opts) {
+  ArtifactHasher h;
+  h.Program(ctx.t);
+  h.Bool(opts.use_dynamic);
+  h.Bool(opts.resolve_obfuscated_icalls);
+  h.U64(opts.seed_inputs.size());
+  for (const Bytes& seed : opts.seed_inputs) HashBytes(h, seed);
+  HashExec(h, opts.exec);
+  return h.Finish("cfg");
+}
+
+void CountArtifact(PhaseContext& ctx, const char* name) {
+  if (ctx.tracer != nullptr) ctx.tracer->Counter(name, 1);
+}
+
+/// Type-I/II classification of a Triggered verdict (paper Table II).
+ResultType ClassifyReformed(const Bytes& original, const Bytes& reformed,
+                            const std::vector<std::uint32_t>& bunch_offsets,
+                            const std::vector<taint::Bunch>& bunches) {
+  // Type-I: every crash-primitive byte stayed at its original offset
+  // (the relocation was the identity) and the guiding region of poc'
+  // byte-matches the original PoC. Anything else means the PoC was
+  // genuinely reformed — Type-II. Note poc' may legitimately be shorter
+  // than poc (the paper observed reformed PoCs dropping unnecessary
+  // trailing bytes); only bytes poc' actually contains are compared.
+  std::set<std::uint32_t> sources;
+  for (const taint::Bunch& bunch : bunches) {
+    for (const auto& [off, val] : bunch.bytes) {
+      // Pre-ep bytes travel through ep's parameters, not placement;
+      // only relocatable bytes participate in the identity check.
+      if (off >= bunch.file_pos_at_ep) sources.insert(off);
+    }
+  }
+  const std::set<std::uint32_t> targets(bunch_offsets.begin(),
+                                        bunch_offsets.end());
+  if (sources != targets) return ResultType::kTypeII;
+  for (std::uint32_t off = 0; off < reformed.size(); ++off) {
+    if (targets.count(off) != 0) continue;  // crash primitive
+    if (off >= original.size() || reformed[off] != original[off]) {
+      return ResultType::kTypeII;
+    }
+  }
+  return ResultType::kTypeI;
+}
 
 }  // namespace
 
@@ -101,128 +212,93 @@ taint::ExtractionResult Octopocs::ExtractPrimitives(vm::FuncId ep_in_s,
   return taint::ExtractCrashPrimitives(s_, poc_, ep_in_s, opts);
 }
 
-ResultType Octopocs::ClassifyTriggered(
-    const symex::SymexResult& result,
-    const std::vector<taint::Bunch>& bunches) const {
-  // Type-I: every crash-primitive byte stayed at its original offset
-  // (the relocation was the identity) and the guiding region of poc'
-  // byte-matches the original PoC. Anything else means the PoC was
-  // genuinely reformed — Type-II. Note poc' may legitimately be shorter
-  // than poc (the paper observed reformed PoCs dropping unnecessary
-  // trailing bytes); only bytes poc' actually contains are compared.
-  std::set<std::uint32_t> sources;
-  for (const taint::Bunch& bunch : bunches) {
-    for (const auto& [off, val] : bunch.bytes) {
-      // Pre-ep bytes travel through ep's parameters, not placement;
-      // only relocatable bytes participate in the identity check.
-      if (off >= bunch.file_pos_at_ep) sources.insert(off);
-    }
-  }
-  const std::set<std::uint32_t> targets(result.bunch_offsets.begin(),
-                                        result.bunch_offsets.end());
-  if (sources != targets) return ResultType::kTypeII;
-  for (std::uint32_t off = 0; off < result.poc.size(); ++off) {
-    if (targets.count(off) != 0) continue;  // crash primitive
-    if (off >= poc_.size() || result.poc[off] != poc_[off]) {
-      return ResultType::kTypeII;
-    }
-  }
-  return ResultType::kTypeI;
-}
+// -- CrashPrimitivePhase: Preprocessing + P1 ---------------------------------
 
-VerificationReport Octopocs::Verify() {
+PhaseStatus CrashPrimitivePhase::Run(PhaseContext& ctx) {
   using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
-  VerificationReport report;
-  std::string phase = "preprocessing";
-  try {
-    VerifyImpl(report, phase);
-  } catch (const std::exception& e) {
-    // Containment boundary: any phase exception — a tooling crash, an
-    // injected FaultError — degrades to a well-formed kFailure report
-    // that keeps whatever stats the completed phases already recorded.
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.failed_phase = phase;
-    report.exception_contained = true;
-    report.detail = "contained exception during " + phase + ": " + e.what();
-  } catch (...) {
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.failed_phase = phase;
-    report.exception_contained = true;
-    report.detail = "contained non-standard exception during " + phase;
-  }
-  report.timings.total_seconds = Seconds(t0, Clock::now());
-  return report;
-}
-
-void Octopocs::VerifyImpl(VerificationReport& report, std::string& phase) {
-  using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
-
-  const support::Deadline whole =
-      options_.deadline_ms == 0
-          ? support::Deadline::Never()
-          : support::Deadline::AfterMillis(options_.deadline_ms);
-  const auto phase_token = [&](std::uint64_t phase_ms) {
-    const support::Deadline own =
-        phase_ms == 0 ? support::Deadline::Never()
-                      : support::Deadline::AfterMillis(phase_ms);
-    return support::CancelToken(support::Deadline::Sooner(whole, own),
-                                options_.cancel_flag);
-  };
-  const auto deadline_failure = [&](const std::string& which) {
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.failed_phase = which;
-    report.deadline_expired = true;
-    report.detail = "wall-clock deadline expired during " + which;
-  };
-  const auto tool_failure = [&](const std::string& which,
-                                std::string detail) {
-    report.verdict = Verdict::kFailure;
-    report.type = ResultType::kFailure;
-    report.failed_phase = which;
-    report.detail = std::move(detail);
-  };
+  VerificationReport& report = ctx.report;
 
   // -- Preprocessing: locate ep --------------------------------------------
-  support::CancelToken pre_tok = phase_token(options_.preprocess_deadline_ms);
-  const std::optional<vm::FuncId> ep_s = DiscoverEp(pre_tok);
-  const auto t1 = Clock::now();
-  report.timings.preprocess_seconds = Seconds(t0, t1);
+  ctx.attribution = "preprocessing";
+  const auto t0 = Clock::now();
+  support::CancelToken pre_tok = ctx.deadlines.Token(DeadlineGroup::kPreprocess);
+
+  std::optional<vm::FuncId> ep_s;
+  ArtifactKey ep_key{};
+  bool resolved = false;
+  if (ctx.artifacts != nullptr) {
+    ep_key = EpKey(ctx);
+    if (auto hit = ctx.artifacts->Get<EpArtifact>(ep_key)) {
+      if (hit->found) ep_s = hit->ep;
+      resolved = true;
+      CountArtifact(ctx, "artifact.ep.hit");
+    } else {
+      CountArtifact(ctx, "artifact.ep.miss");
+    }
+  }
+  if (!resolved) {
+    ep_s = ctx.pipeline.DiscoverEp(pre_tok);
+    // "Not found" is a deterministic statement about (S, poc) and is
+    // cached too — but only when the clock did not cut the run short.
+    if (ctx.artifacts != nullptr && !pre_tok.Check()) {
+      ctx.artifacts->Put(ep_key,
+                         EpArtifact{ep_s.has_value(),
+                                    ep_s.value_or(vm::kInvalidFunc)});
+    }
+  }
+  report.timings.preprocess_seconds = Seconds(t0, Clock::now());
   if (!ep_s) {
     // A cancelled run ends in kDeadline, which is not a crash, so ep
     // discovery comes back empty — attribute that to the clock, not to
     // the PoC.
     if (pre_tok.Check()) {
-      deadline_failure("preprocessing");
-      return;
+      ctx.FailDeadline("preprocessing");
+      return PhaseStatus::kDone;
     }
-    tool_failure("preprocessing",
+    ctx.FailTool("preprocessing",
                  "preprocessing failed: the PoC does not crash S inside ℓ");
-    return;
+    return PhaseStatus::kDone;
   }
   report.ep_in_s = *ep_s;
-  report.ep_name = s_.Fn(*ep_s).name;
-  const auto renamed = t_names_.find(report.ep_name);
-  report.ep_in_t = t_.FindFunction(
-      renamed != t_names_.end() ? renamed->second : report.ep_name);
+  report.ep_name = ctx.s.Fn(*ep_s).name;
+  const auto renamed = ctx.t_names.find(report.ep_name);
+  report.ep_in_t = ctx.t.FindFunction(
+      renamed != ctx.t_names.end() ? renamed->second : report.ep_name);
   if (report.ep_in_t == vm::kInvalidFunc) {
     // The clone is not even present — trivially not triggerable.
     report.verdict = Verdict::kNotTriggerable;
     report.type = ResultType::kTypeIII;
     report.detail = "ep '" + report.ep_name + "' does not exist in T";
-    return;
+    return PhaseStatus::kDone;
   }
 
   // -- P1: crash primitives --------------------------------------------------
-  phase = "P1";
-  support::CancelToken p1_tok = phase_token(options_.p1_deadline_ms);
-  const taint::ExtractionResult p1 = ExtractPrimitives(*ep_s, p1_tok);
-  const auto t2 = Clock::now();
-  report.timings.p1_seconds = Seconds(t1, t2);
+  ctx.attribution = "P1";
+  const auto t1 = Clock::now();
+  support::CancelToken p1_tok = ctx.deadlines.Token(DeadlineGroup::kP1);
+
+  ArtifactKey p1_key{};
+  if (ctx.artifacts != nullptr) {
+    p1_key = P1Key(ctx, *ep_s);
+    if (auto hit = ctx.artifacts->Get<taint::ExtractionResult>(p1_key)) {
+      ctx.primitives = std::move(hit);
+      CountArtifact(ctx, "artifact.p1.hit");
+    } else {
+      CountArtifact(ctx, "artifact.p1.miss");
+    }
+  }
+  if (ctx.primitives == nullptr) {
+    taint::ExtractionResult extracted =
+        ctx.pipeline.ExtractPrimitives(*ep_s, p1_tok);
+    if (ctx.artifacts != nullptr && !p1_tok.Check()) {
+      ctx.primitives = ctx.artifacts->Put(p1_key, std::move(extracted));
+    } else {
+      ctx.primitives = std::make_shared<const taint::ExtractionResult>(
+          std::move(extracted));
+    }
+  }
+  const taint::ExtractionResult& p1 = *ctx.primitives;
+  report.timings.p1_seconds = Seconds(t1, Clock::now());
   report.ep_encounters_in_s = p1.ep_encounters;
   report.bunch_count = p1.bunches.size();
   for (const taint::Bunch& b : p1.bunches) {
@@ -230,91 +306,129 @@ void Octopocs::VerifyImpl(VerificationReport& report, std::string& phase) {
   }
   if (!p1.Crashed() || p1.bunches.empty()) {
     if (p1_tok.Check()) {
-      deadline_failure("P1");
-      return;
+      ctx.FailDeadline("P1");
+      return PhaseStatus::kDone;
     }
-    tool_failure("P1", "P1 failed: no crash primitives extracted");
-    return;
+    ctx.FailTool("P1", "P1 failed: no crash primitives extracted");
+    return PhaseStatus::kDone;
   }
+  return PhaseStatus::kContinue;
+}
 
-  // -- CFG of T (P2 precondition) --------------------------------------------
-  phase = "cfg";
-  support::CancelToken p23_tok = phase_token(options_.p23_deadline_ms);
-  cfg::CfgOptions cfg_opts = options_.cfg;
-  if (options_.poc_as_cfg_seed) cfg_opts.seed_inputs.push_back(poc_);
+// -- GuidingInputPhase: CFG of T (P2 precondition) ---------------------------
+
+PhaseStatus GuidingInputPhase::Run(PhaseContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  VerificationReport& report = ctx.report;
+
+  ctx.attribution = "cfg";
+  const auto t0 = Clock::now();
+  support::CancelToken p23_tok = ctx.deadlines.Token(DeadlineGroup::kP23);
+  cfg::CfgOptions cfg_opts = ctx.options.cfg;
+  if (ctx.options.poc_as_cfg_seed) cfg_opts.seed_inputs.push_back(ctx.poc);
   cfg_opts.exec.cancel = p23_tok;
-  std::optional<cfg::Cfg> graph;
-  try {
-    graph.emplace(cfg::Cfg::Build(t_, cfg_opts));
-  } catch (const cfg::CfgError& e) {
-    if (p23_tok.Check()) {
-      deadline_failure("cfg");
-      return;
-    }
-    if (!options_.cfg_fallback_to_static || !cfg_opts.use_dynamic) {
-      // The paper's Idx-15 outcome: CFG recovery failed, verification is
-      // impossible (a tooling failure, not a verdict about T).
-      tool_failure("cfg", e.what());
-      return;
-    }
-    // Degradation ladder, rung 1: retry with static edges only. The
-    // static CFG misses dynamically-discovered indirect-call edges, so
-    // the verdict may weaken — the report records the substitution.
-    report.cfg_static_fallback = true;
-    cfg::CfgOptions static_opts = cfg_opts;
-    static_opts.use_dynamic = false;
-    try {
-      graph.emplace(cfg::Cfg::Build(t_, static_opts));
-    } catch (const cfg::CfgError& e2) {
-      tool_failure("cfg", std::string(e.what()) +
-                              "; static fallback also failed: " + e2.what());
-      return;
-    }
-  }
 
-  // -- P2 + P3: guiding inputs and combining ----------------------------------
-  phase = "P2/P3";
-  symex::ExecutorOptions sym_opts = options_.symex;
-  // Hint the solver with the original PoC so reformed PoCs stay as
-  // close to the original as the constraints allow.
-  for (std::uint32_t off = 0; off < poc_.size(); ++off) {
-    sym_opts.solver.hints.emplace(off, poc_[off]);
+  ArtifactKey cfg_key{};
+  bool rehydrated = false;
+  if (ctx.artifacts != nullptr) {
+    cfg_key = CfgKey(ctx, cfg_opts);
+    if (auto hit = ctx.artifacts->Get<cfg::Cfg::Edges>(cfg_key)) {
+      ctx.graph.emplace(cfg::Cfg::FromEdges(ctx.t, *hit));
+      rehydrated = true;
+      CountArtifact(ctx, "artifact.cfg.hit");
+    } else {
+      CountArtifact(ctx, "artifact.cfg.miss");
+    }
   }
-  sym_opts.cancel = p23_tok;
-  sym_opts.solver.cancel = p23_tok;
-  symex::SymexResult sym;
+  if (!rehydrated) {
+    try {
+      ctx.graph.emplace(cfg::Cfg::Build(ctx.t, cfg_opts));
+      if (ctx.artifacts != nullptr && !p23_tok.Check()) {
+        ctx.artifacts->Put(cfg_key, ctx.graph->ExportEdges());
+      }
+    } catch (const cfg::CfgError& e) {
+      if (p23_tok.Check()) {
+        ctx.FailDeadline("cfg");
+        return PhaseStatus::kDone;
+      }
+      if (!ctx.options.cfg_fallback_to_static || !cfg_opts.use_dynamic) {
+        // The paper's Idx-15 outcome: CFG recovery failed, verification
+        // is impossible (a tooling failure, not a verdict about T).
+        ctx.FailTool("cfg", e.what());
+        return PhaseStatus::kDone;
+      }
+      // Degradation ladder, rung 1: retry with static edges only. The
+      // static CFG misses dynamically-discovered indirect-call edges, so
+      // the verdict may weaken — the report records the substitution.
+      // Fallback builds are never published to the artifact store.
+      report.cfg_static_fallback = true;
+      cfg::CfgOptions static_opts = cfg_opts;
+      static_opts.use_dynamic = false;
+      try {
+        ctx.graph.emplace(cfg::Cfg::Build(ctx.t, static_opts));
+      } catch (const cfg::CfgError& e2) {
+        ctx.FailTool("cfg", std::string(e.what()) +
+                                "; static fallback also failed: " + e2.what());
+        return PhaseStatus::kDone;
+      }
+    }
+  }
+  report.timings.p23_seconds += Seconds(t0, Clock::now());
+  return PhaseStatus::kContinue;
+}
+
+// -- CombinePhase: P2 + P3 ---------------------------------------------------
+
+PhaseStatus CombinePhase::Run(PhaseContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  VerificationReport& report = ctx.report;
+
+  ctx.attribution = "P2/P3";
+  const auto t0 = Clock::now();
+  support::CancelToken p23_tok = ctx.deadlines.Token(DeadlineGroup::kP23);
+  if (!sym_opts_) {
+    sym_opts_ = ctx.options.symex;
+    // Hint the solver with the original PoC so reformed PoCs stay as
+    // close to the original as the constraints allow.
+    for (std::uint32_t off = 0; off < ctx.poc.size(); ++off) {
+      sym_opts_->solver.hints.emplace(off, ctx.poc[off]);
+    }
+    sym_opts_->tracer = ctx.tracer;
+  }
+  // Tokens are sticky value types: retries must re-request one so a
+  // fresh attempt polls the live group deadline, not a spent copy.
+  sym_opts_->cancel = p23_tok;
+  sym_opts_->solver.cancel = p23_tok;
+
+  symex::SymExecutor executor(ctx.t, *ctx.graph, report.ep_in_t, *sym_opts_);
+  symex::SymexResult sym = executor.GeneratePoc(ctx.primitives->bunches);
+  report.timings.p23_seconds += Seconds(t0, Clock::now());
+
   bool theta_ceiling_hit = false;
-  bool solver_retried = false;
-  for (;;) {
-    symex::SymExecutor executor(t_, *graph, report.ep_in_t, sym_opts);
-    sym = executor.GeneratePoc(p1.bunches);
-    // Out of wall-clock: no retry of any kind can run to completion.
-    if (sym.status == symex::SymexStatus::kDeadline) break;
+  // Out of wall-clock: no retry of any kind can run to completion.
+  if (sym.status != symex::SymexStatus::kDeadline) {
     // Adaptive θ: a program-dead verdict caused (possibly) by the loop
     // cap is retried with a doubled cap until the verdict stabilises.
-    if (options_.adaptive_theta &&
+    if (ctx.options.adaptive_theta &&
         sym.status == symex::SymexStatus::kProgramDead &&
         sym.loop_dead_observed) {
-      if (sym_opts.theta >= options_.adaptive_theta_max) {
+      if (sym_opts_->theta >= ctx.options.adaptive_theta_max) {
         theta_ceiling_hit = true;
-        break;
+      } else {
+        sym_opts_->theta *= 2;
+        return PhaseStatus::kRetry;
       }
-      sym_opts.theta *= 2;
-      continue;
-    }
-    // Degradation ladder, rung 2: a solver step-budget failure gets one
-    // retry with the budget doubled before the pipeline gives up.
-    if (options_.solver_budget_retry && !solver_retried &&
-        sym.status == symex::SymexStatus::kSolverFailure) {
-      solver_retried = true;
+    } else if (ctx.options.solver_budget_retry && !solver_retried_ &&
+               sym.status == symex::SymexStatus::kSolverFailure) {
+      // Degradation ladder, rung 2: a solver step-budget failure gets
+      // one retry with the budget doubled before the pipeline gives up.
+      solver_retried_ = true;
       report.solver_budget_retried = true;
-      sym_opts.solver.max_steps *= 2;
-      continue;
+      sym_opts_->solver.max_steps *= 2;
+      return PhaseStatus::kRetry;
     }
-    break;
   }
-  const auto t3 = Clock::now();
-  report.timings.p23_seconds = Seconds(t2, t3);
+
   report.symex_status = sym.status;
   report.symex_stats = sym.stats;
   report.detail = sym.detail;
@@ -325,53 +439,63 @@ void Octopocs::VerifyImpl(VerificationReport& report, std::string& phase) {
     case symex::SymexStatus::kCfgUnreachable:
       report.verdict = Verdict::kNotTriggerable;  // case (ii)
       report.type = ResultType::kTypeIII;
-      return;
+      return PhaseStatus::kDone;
     case symex::SymexStatus::kProgramDead:  // case (iii)
       if (theta_ceiling_hit) {
         // The search was cut by the loop cap even at the adaptive
         // ceiling: refusing to call this NotTriggerable avoids the
         // wrong-verdict failure mode §VII warns about.
-        tool_failure("P2/P3", "loop cap ceiling reached without a verdict");
-        return;
+        ctx.FailTool("P2/P3", "loop cap ceiling reached without a verdict");
+        return PhaseStatus::kDone;
       }
       [[fallthrough]];
     case symex::SymexStatus::kUnsat:        // P3.3 / parameter mismatch
       report.verdict = Verdict::kNotTriggerable;
       report.type = ResultType::kTypeIII;
-      return;
+      return PhaseStatus::kDone;
     case symex::SymexStatus::kBudget:
     case symex::SymexStatus::kSolverFailure:
     case symex::SymexStatus::kReachedEp:
       report.verdict = Verdict::kFailure;
       report.type = ResultType::kFailure;
       report.failed_phase = "P2/P3";
-      return;
+      return PhaseStatus::kDone;
     case symex::SymexStatus::kDeadline:
-      deadline_failure("P2/P3");
+      ctx.FailDeadline("P2/P3");
       if (!sym.detail.empty()) report.detail += " (" + sym.detail + ")";
-      return;
+      return PhaseStatus::kDone;
   }
 
   report.poc_generated = true;
-  report.reformed_poc = sym.poc;
-  report.bunch_offsets = sym.bunch_offsets;
+  report.reformed_poc = std::move(sym.poc);
+  report.bunch_offsets = std::move(sym.bunch_offsets);
+  return PhaseStatus::kContinue;
+}
 
-  // -- P4: verification --------------------------------------------------------
-  phase = "P4";
-  support::CancelToken p4_tok = phase_token(options_.p4_deadline_ms);
-  vm::ExecOptions verify_exec = options_.verify_exec;
+// -- ConcreteVerifyPhase: P4 -------------------------------------------------
+
+PhaseStatus ConcreteVerifyPhase::Run(PhaseContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  VerificationReport& report = ctx.report;
+
+  ctx.attribution = "P4";
+  const auto t0 = Clock::now();
+  support::CancelToken p4_tok = ctx.deadlines.Token(DeadlineGroup::kP4);
+  vm::ExecOptions verify_exec = ctx.options.verify_exec;
   verify_exec.cancel = p4_tok;
   const vm::ExecResult verify =
-      vm::RunProgram(t_, report.reformed_poc, verify_exec);
-  report.timings.p4_seconds = Seconds(t3, Clock::now());
+      vm::RunProgram(ctx.t, report.reformed_poc, verify_exec);
+  report.timings.p4_seconds = Seconds(t0, Clock::now());
   report.observed_trap = verify.trap;
   if (verify.trap == vm::TrapKind::kDeadline) {
-    deadline_failure("P4");
-    return;
+    ctx.FailDeadline("P4");
+    return PhaseStatus::kDone;
   }
   if (vm::IsVulnerabilityCrash(verify.trap)) {
     report.verdict = Verdict::kTriggered;  // case (i)
-    report.type = ClassifyTriggered(sym, p1.bunches);
+    report.type = ClassifyReformed(ctx.poc, report.reformed_poc,
+                                   report.bunch_offsets,
+                                   ctx.primitives->bunches);
     report.detail = "poc' crashed T: " + std::string(vm::TrapName(verify.trap)) +
                     " (" + verify.trap_message + ")";
   } else {
@@ -380,6 +504,78 @@ void Octopocs::VerifyImpl(VerificationReport& report, std::string& phase) {
     report.failed_phase = "P4";
     report.detail = "generated poc' did not reproduce the crash in T";
   }
+  return PhaseStatus::kDone;
+}
+
+// -- Driver ------------------------------------------------------------------
+
+void RunPhaseGraph(PhaseContext& ctx, std::span<Phase* const> phases) {
+  for (Phase* phase : phases) {
+    for (std::int64_t attempt = 0;; ++attempt) {
+      PhaseStatus status;
+      {
+        support::TraceSpan span(ctx.tracer, phase->name(), attempt);
+        status = phase->Run(ctx);
+      }
+      if (status == PhaseStatus::kRetry) {
+        if (ctx.tracer != nullptr) ctx.tracer->Counter("phase.retry", 1);
+        continue;
+      }
+      if (status == PhaseStatus::kDone) return;
+      break;  // kContinue → next phase
+    }
+  }
+}
+
+VerificationReport Octopocs::Verify() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  VerificationReport report;
+  DeadlinePolicy deadlines(options_);
+  PhaseContext ctx{*this,
+                   s_,
+                   t_,
+                   shared_,
+                   poc_,
+                   t_names_,
+                   options_,
+                   report,
+                   deadlines,
+                   options_.tracer,
+                   options_.artifacts,
+                   /*primitives=*/nullptr,
+                   /*graph=*/std::nullopt,
+                   /*attribution=*/"preprocessing"};
+
+  CrashPrimitivePhase crash_primitive;
+  GuidingInputPhase guiding_input;
+  CombinePhase combine;
+  ConcreteVerifyPhase concrete_verify;
+  Phase* const phases[] = {&crash_primitive, &guiding_input, &combine,
+                           &concrete_verify};
+
+  support::TraceSpan verify_span(options_.tracer, "verify");
+  try {
+    RunPhaseGraph(ctx, phases);
+  } catch (const std::exception& e) {
+    // Containment boundary: any phase exception — a tooling crash, an
+    // injected FaultError — degrades to a well-formed kFailure report
+    // that keeps whatever stats the completed phases already recorded.
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = ctx.attribution;
+    report.exception_contained = true;
+    report.detail =
+        "contained exception during " + ctx.attribution + ": " + e.what();
+  } catch (...) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = ctx.attribution;
+    report.exception_contained = true;
+    report.detail = "contained non-standard exception during " + ctx.attribution;
+  }
+  report.timings.total_seconds = Seconds(t0, Clock::now());
+  return report;
 }
 
 VerificationReport VerifyPair(const corpus::Pair& pair,

@@ -47,7 +47,13 @@
 #include "taint/crash_primitive.h"
 #include "vm/interp.h"
 
+namespace octopocs::support {
+class Tracer;
+}
+
 namespace octopocs::core {
+
+class ArtifactStore;
 
 enum class Verdict : std::uint8_t {
   kTriggered,       // poc' reproduces the crash in T (patch urgently)
@@ -168,6 +174,21 @@ struct PipelineOptions {
   /// by default so budget-sensitivity experiments see the configured
   /// budget exactly.
   bool solver_budget_retry = false;
+
+  // -- Observability and artifact reuse (DESIGN.md §11) ---------------------
+
+  /// Structured-tracing sink threaded through every layer (phase spans,
+  /// executor counters). Not owned, may be null, must outlive Verify().
+  /// Pure observability: never affects verdicts or determinism.
+  support::Tracer* tracer = nullptr;
+  /// Content-addressed artifact store. When set, phases consult it
+  /// before recomputing origin-side artifacts (ep discovery, crash
+  /// primitives, T's CFG edges) and publish completed results, so
+  /// corpus pairs sharing an origin S (or a target T) reuse work.
+  /// Results are byte-identical with and without the store (enforced by
+  /// tests and the perf gate). Not owned, may be null, may be shared
+  /// across threads, must outlive Verify(). Never enters artifact keys.
+  ArtifactStore* artifacts = nullptr;
 };
 
 class Octopocs {
@@ -181,7 +202,9 @@ class Octopocs {
            PipelineOptions options = {},
            std::map<std::string, std::string> t_names = {});
 
-  /// Runs the full pipeline.
+  /// Runs the full pipeline by executing the phase graph (core/phase.h):
+  /// CrashPrimitivePhase → GuidingInputPhase → CombinePhase →
+  /// ConcreteVerifyPhase, under one deadline/containment policy.
   VerificationReport Verify();
 
   // -- Individual phases, exposed for the ablation benches ------------------
@@ -197,14 +220,6 @@ class Octopocs {
                                             support::CancelToken cancel = {});
 
  private:
-  ResultType ClassifyTriggered(const symex::SymexResult& result,
-                               const std::vector<taint::Bunch>& bunches) const;
-
-  /// Verify() minus the exception boundary: fills `report` in place and
-  /// keeps `phase` naming the phase currently running, so the outer
-  /// catch can attribute a thrown exception without torn state.
-  void VerifyImpl(VerificationReport& report, std::string& phase);
-
   const vm::Program& s_;
   const vm::Program& t_;
   std::vector<std::string> shared_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace octopocs::core {
 
@@ -76,6 +77,11 @@ std::vector<VerificationReport> VerifyCorpus(
       started_at[i].store(Clock::now().time_since_epoch().count(),
                           std::memory_order_relaxed);
     }
+    // One span per pair, tagged with the input-order index, so a trace
+    // of a corpus run shows which pair each nested phase span belongs
+    // to and how the pool interleaved them.
+    support::TraceSpan pair_span(options.tracer, "pair",
+                                 static_cast<std::int64_t>(i));
     reports[i] = VerifyPair(pairs[i], per_pair);
     if (watched) started_at[i].store(-1, std::memory_order_relaxed);
   });

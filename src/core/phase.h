@@ -1,0 +1,203 @@
+// The phase graph (DESIGN.md §11): the pipeline's control flow as data.
+//
+// Verify() used to be one monolithic function that interleaved four
+// concerns — the paper's phase sequence, wall-clock budgeting, failure
+// attribution, and graceful degradation. This header factors the phase
+// sequence into first-class Phase objects executed by a small driver
+// (RunPhaseGraph), so the cross-cutting policy lives in exactly one
+// place each:
+//
+//   DeadlinePolicy   owns every deadline: the whole-pipeline budget is
+//                    anchored once at construction; each phase *group*
+//                    anchors its own budget lazily on first use, so the
+//                    CFG build and the symbolic run share one P2/P3
+//                    budget exactly as the monolith did.
+//   PhaseContext     the blackboard between phases: the pair under
+//                    verification, the report being filled, the slots
+//                    one phase produces and the next consumes, and the
+//                    attribution string the exception-containment
+//                    boundary in Verify() reads when a phase throws.
+//   RunPhaseGraph    runs phases in order; a phase answers kContinue
+//                    (next phase), kDone (verdict reached — stop), or
+//                    kRetry (re-run me: adaptive θ, solver-budget
+//                    retry). Every attempt gets a trace span.
+//
+// The four phases map onto the paper (§III) as:
+//
+//   CrashPrimitivePhase   Preprocessing + P1: discover ep on S(poc)'s
+//                         crash callstack, then extract crash
+//                         primitives by context-aware taint. Failure
+//                         attribution transitions "preprocessing" →
+//                         "P1" internally (the report's failed_phase
+//                         vocabulary is unchanged).
+//   GuidingInputPhase     builds T's CFG — the precondition for
+//                         backward path finding ("cfg" attribution,
+//                         P2/P3 deadline group).
+//   CombinePhase          P2+P3: directed symbolic execution with
+//                         inline bunch pinning, then the final solve.
+//                         Adaptive-θ and solver-budget retries surface
+//                         as kRetry.
+//   ConcreteVerifyPhase   P4: run T concretely on poc' and classify.
+//
+// Phases read and publish origin-side artifacts through an optional
+// content-addressed ArtifactStore (core/artifact_store.h); a null store
+// means every pair computes everything, byte-identically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/artifact_store.h"
+#include "core/octopocs.h"
+#include "support/deadline.h"
+#include "symex/executor.h"
+#include "taint/crash_primitive.h"
+
+namespace octopocs::core {
+
+enum class PhaseStatus : std::uint8_t {
+  kContinue,  // phase succeeded; run the next phase
+  kDone,      // the report holds a final verdict; stop the graph
+  kRetry,     // re-run this phase (it adjusted its own knobs)
+};
+
+/// Deadline groups. cfg and P2/P3 deliberately share kP23: the CFG
+/// build is P2's precondition and the paper budgets them together.
+enum class DeadlineGroup : std::uint8_t { kPreprocess, kP1, kP23, kP4 };
+
+/// Owns every wall-clock budget of one Verify() run. The whole-pipeline
+/// deadline starts ticking at construction; a group's own budget starts
+/// ticking the first time any phase asks for that group's token, and
+/// later requests for the same group see the same anchor (retries and
+/// group-mates spend from one budget, they do not refresh it).
+class DeadlinePolicy {
+ public:
+  explicit DeadlinePolicy(const PipelineOptions& options)
+      : whole_(options.deadline_ms == 0
+                   ? support::Deadline::Never()
+                   : support::Deadline::AfterMillis(options.deadline_ms)),
+        cancel_flag_(options.cancel_flag),
+        budgets_ms_{options.preprocess_deadline_ms, options.p1_deadline_ms,
+                    options.p23_deadline_ms, options.p4_deadline_ms} {}
+
+  support::CancelToken Token(DeadlineGroup group) {
+    const auto i = static_cast<std::size_t>(group);
+    if (!anchored_[i]) {
+      group_[i] = budgets_ms_[i] == 0
+                      ? support::Deadline::Never()
+                      : support::Deadline::AfterMillis(budgets_ms_[i]);
+      anchored_[i] = true;
+    }
+    return support::CancelToken(support::Deadline::Sooner(whole_, group_[i]),
+                                cancel_flag_);
+  }
+
+ private:
+  const support::Deadline whole_;
+  const std::atomic<bool>* cancel_flag_;
+  std::uint64_t budgets_ms_[4];
+  support::Deadline group_[4];
+  bool anchored_[4] = {false, false, false, false};
+};
+
+/// The blackboard shared by the phases of one Verify() run.
+struct PhaseContext {
+  // The pair under verification (borrowed from the Octopocs instance).
+  Octopocs& pipeline;
+  const vm::Program& s;
+  const vm::Program& t;
+  const std::vector<std::string>& shared;
+  const Bytes& poc;
+  const std::map<std::string, std::string>& t_names;
+  const PipelineOptions& options;
+
+  VerificationReport& report;
+  DeadlinePolicy& deadlines;
+  support::Tracer* tracer = nullptr;
+  ArtifactStore* artifacts = nullptr;
+
+  // -- Slots: produced by one phase, consumed by later ones -----------------
+  /// P1 output (shared with the artifact store on a cache hit).
+  std::shared_ptr<const taint::ExtractionResult> primitives;
+  /// T's CFG (rehydrated from cached edges on a hit).
+  std::optional<cfg::Cfg> graph;
+
+  /// Failure attribution for Verify()'s exception-containment boundary:
+  /// always names the phase currently running, in the report's
+  /// failed_phase vocabulary ("preprocessing", "P1", "cfg", "P2/P3",
+  /// "P4").
+  std::string attribution = "preprocessing";
+
+  /// Wall-clock failure: the named phase's deadline (or the kill
+  /// switch) tripped before a verdict.
+  void FailDeadline(const std::string& which) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = which;
+    report.deadline_expired = true;
+    report.detail = "wall-clock deadline expired during " + which;
+  }
+
+  /// Tooling failure: the named phase could not decide the pair.
+  void FailTool(const std::string& which, std::string detail) {
+    report.verdict = Verdict::kFailure;
+    report.type = ResultType::kFailure;
+    report.failed_phase = which;
+    report.detail = std::move(detail);
+  }
+};
+
+class Phase {
+ public:
+  virtual ~Phase() = default;
+  /// Static-lifetime phase label (also the trace span name).
+  virtual const char* name() const = 0;
+  virtual PhaseStatus Run(PhaseContext& ctx) = 0;
+};
+
+/// Preprocessing + P1: locate ep, extract crash primitives.
+class CrashPrimitivePhase : public Phase {
+ public:
+  const char* name() const override { return "crash_primitive"; }
+  PhaseStatus Run(PhaseContext& ctx) override;
+};
+
+/// CFG of T — the precondition for backward path finding.
+class GuidingInputPhase : public Phase {
+ public:
+  const char* name() const override { return "guiding_input"; }
+  PhaseStatus Run(PhaseContext& ctx) override;
+};
+
+/// P2+P3: directed symex, inline combining, final solve. Holds the
+/// retry state (doubled θ, doubled solver budget) across kRetry
+/// re-entries.
+class CombinePhase : public Phase {
+ public:
+  const char* name() const override { return "combine"; }
+  PhaseStatus Run(PhaseContext& ctx) override;
+
+ private:
+  std::optional<symex::ExecutorOptions> sym_opts_;
+  bool solver_retried_ = false;
+};
+
+/// P4: concrete verification of poc' and Type-I/II classification.
+class ConcreteVerifyPhase : public Phase {
+ public:
+  const char* name() const override { return "concrete_verify"; }
+  PhaseStatus Run(PhaseContext& ctx) override;
+};
+
+/// Runs `phases` in order, re-invoking a phase while it answers kRetry
+/// and stopping at the first kDone. Emits one trace span per attempt.
+void RunPhaseGraph(PhaseContext& ctx, std::span<Phase* const> phases);
+
+}  // namespace octopocs::core

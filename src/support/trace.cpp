@@ -1,0 +1,177 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <unordered_map>
+
+namespace octopocs::support {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t NextTracerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* KindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBegin: return "begin";
+    case TraceEventKind::kEnd: return "end";
+    case TraceEventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+/// JSON string escaping for event names. Names are static literals and
+/// almost always plain identifiers; the escape path exists so an odd
+/// character can never produce malformed JSONL.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[c >> 4] << hex[c & 0xF];
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Tracer::ThreadBuffer::Append(const TraceEvent& event) {
+  Chunk* chunk = nullptr;
+  {
+    // The list mutation is rare (once per kChunkEvents appends) but the
+    // *read* of the current tail must also be consistent with Snapshot's
+    // enumeration, so both go under the chunk-list mutex. Only the
+    // owning thread appends, so the slot write below needs no lock.
+    std::lock_guard<std::mutex> lock(chunks_mu);
+    if (chunks.empty() ||
+        chunks.back()->used.load(std::memory_order_relaxed) >= kChunkEvents) {
+      chunks.push_back(std::make_unique<Chunk>());
+    }
+    chunk = chunks.back().get();
+  }
+  const std::size_t slot = chunk->used.load(std::memory_order_relaxed);
+  chunk->events[slot] = event;
+  // Publish: a reader that acquires `used` sees the slot contents.
+  chunk->used.store(slot + 1, std::memory_order_release);
+}
+
+Tracer::Tracer() : tracer_id_(NextTracerId()), epoch_ns_(NowNs()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  // Cache the (tracer id → buffer) association per thread. Keying on the
+  // process-unique id — never the Tracer address — means a stale entry
+  // for a destroyed tracer can never be confused with a new tracer that
+  // reuses the same address.
+  thread_local std::unordered_map<std::uint64_t, ThreadBuffer*> cache;
+  auto it = cache.find(tracer_id_);
+  if (it != cache.end()) return *it->second;
+
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  cache.emplace(tracer_id_, raw);
+  return *raw;
+}
+
+void Tracer::Record(TraceEventKind kind, const char* name,
+                    std::int64_t value) {
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.kind = kind;
+  event.name = name;
+  event.tid = buffer.tid;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.ts_ns = NowNs() - epoch_ns_;
+  event.value = value;
+  buffer.Append(event);
+}
+
+void Tracer::Begin(const char* name, std::int64_t arg) {
+  Record(TraceEventKind::kBegin, name, arg);
+}
+
+void Tracer::End(const char* name, std::int64_t arg) {
+  Record(TraceEventKind::kEnd, name, arg);
+}
+
+void Tracer::Counter(const char* name, std::int64_t value) {
+  Record(TraceEventKind::kCounter, name, value);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunk_lock(buffer->chunks_mu);
+    for (const auto& chunk : buffer->chunks) {
+      const std::size_t used = chunk->used.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < used; ++i) out.push_back(chunk->events[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  for (const TraceEvent& e : Snapshot()) {
+    os << "{\"type\":\"" << KindName(e.kind) << "\",\"name\":";
+    WriteJsonString(os, e.name);
+    os << ",\"tid\":" << e.tid << ",\"seq\":" << e.seq
+       << ",\"ts_ns\":" << e.ts_ns;
+    if (e.kind == TraceEventKind::kCounter) {
+      os << ",\"value\":" << e.value;
+    } else {
+      os << ",\"arg\":" << e.value;
+    }
+    os << "}\n";
+  }
+}
+
+bool Tracer::WriteJsonlFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteJsonl(os);
+  return static_cast<bool>(os);
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunk_lock(buffer->chunks_mu);
+    for (const auto& chunk : buffer->chunks) {
+      n += chunk->used.load(std::memory_order_acquire);
+    }
+  }
+  return n;
+}
+
+}  // namespace octopocs::support

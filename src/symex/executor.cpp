@@ -10,6 +10,8 @@
 
 #include "support/fault.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
+#include "vm/op_info.h"
 
 namespace octopocs::symex {
 
@@ -125,6 +127,7 @@ struct SymExecutor::Run {
   std::atomic<std::uint64_t> live_states{0};  // queued + in flight
   std::atomic<std::uint64_t> peak_live_states{0};
   std::atomic<std::uint64_t> peak_memory_bytes{0};
+  std::atomic<std::uint64_t> frontier_steals_total{0};
 
   SymexStats stats;
   support::CancelToken cancel;  // serial drive loop's copy
@@ -1026,7 +1029,9 @@ struct SymExecutor::Run {
       case Op::kICall:
         return StepCall(w, s, ins, result);
       default:
-        if (vm::IsBinaryAlu(ins.op)) {
+        // Classified via the shared metadata table (vm/op_info.h) so the
+        // symbolic dispatch cannot drift from the interpreter's.
+        if (vm::GetOpInfo(ins.op).is_binary_alu) {
           regs[ins.a] = MakeBinOp(ins.op, regs[ins.b], regs[ins.c]);
           return true;
         }
@@ -1129,6 +1134,7 @@ struct SymExecutor::Run {
       bool got = w.deque->PopBottom(&s);
       for (std::size_t i = 1; i < n && !got; ++i) {
         got = deques[(w.id + i) % n]->StealTop(&s);
+        if (got) frontier_steals_total.fetch_add(1, std::memory_order_relaxed);
       }
       if (!got) {
         if (!coord->WaitForWork(seen)) return;
@@ -1321,6 +1327,20 @@ struct SymExecutor::Run {
         frontier ? shared->stats() : scope->stats();
     stats.expr_intern_hits = is.hits;
     stats.expr_intern_nodes = is.nodes;
+    stats.frontier_steals = frontier_steals_total.load();
+    if (opts.tracer != nullptr) {
+      support::Tracer& tr = *opts.tracer;
+      const auto i64 = [](std::uint64_t v) {
+        return static_cast<std::int64_t>(v);
+      };
+      tr.Counter("symex.instructions", i64(stats.instructions));
+      tr.Counter("symex.states_created", i64(stats.states_created));
+      tr.Counter("symex.solver_steps", i64(stats.solver_steps));
+      tr.Counter("symex.solver_cache_hits", i64(stats.solver_cache_hits));
+      tr.Counter("symex.solver_cache_misses", i64(stats.solver_cache_misses));
+      tr.Counter("symex.expr_intern_hits", i64(stats.expr_intern_hits));
+      tr.Counter("symex.frontier_steals", i64(stats.frontier_steals));
+    }
     result.stats = stats;
     // A goal commit reconstructs the serial view: a loop-dead kill only
     // "happened" if the serial run would have executed it before

@@ -35,6 +35,10 @@
 #include "symex/state.h"
 #include "taint/crash_primitive.h"
 
+namespace octopocs::support {
+class Tracer;
+}
+
 namespace octopocs::symex {
 
 enum class SymexStatus : std::uint8_t {
@@ -72,6 +76,9 @@ struct SymexStats {
   std::uint64_t expr_intern_nodes = 0;
   /// Peak of Σ FootprintBytes() over the live worklist (Table IV "RAM").
   std::uint64_t peak_memory_bytes = 0;
+  /// Successful work-steals between frontier workers (0 when
+  /// frontier_jobs == 1 — the serial drive loop never steals).
+  std::uint64_t frontier_steals = 0;
   double elapsed_seconds = 0;
 };
 
@@ -131,6 +138,9 @@ struct ExecutorOptions {
   /// should set solver.cancel to the same deadline. Tripping yields
   /// SymexStatus::kDeadline — never a Type-III-style verdict.
   support::CancelToken cancel;
+  /// Structured-tracing sink (not owned, may be null). Pure
+  /// observability: never participates in determinism or verdicts.
+  support::Tracer* tracer = nullptr;
 };
 
 class SymExecutor {

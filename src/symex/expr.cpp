@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "vm/op_info.h"
+
 namespace octopocs::symex {
 
 // ---------------------------------------------------------------------------
@@ -129,26 +131,10 @@ SharedInternBinding::SharedInternBinding(SharedInternTable& table)
 SharedInternBinding::~SharedInternBinding() { g_shared = prev_; }
 
 std::uint64_t ApplyBinOp(vm::Op op, std::uint64_t a, std::uint64_t b) {
-  using vm::Op;
-  switch (op) {
-    case Op::kAdd: return a + b;
-    case Op::kSub: return a - b;
-    case Op::kMul: return a * b;
-    case Op::kDivU: return b == 0 ? 0 : a / b;
-    case Op::kRemU: return b == 0 ? 0 : a % b;
-    case Op::kAnd: return a & b;
-    case Op::kOr: return a | b;
-    case Op::kXor: return a ^ b;
-    case Op::kShl: return a << (b & 63);
-    case Op::kShr: return a >> (b & 63);
-    case Op::kCmpEq: return a == b ? 1 : 0;
-    case Op::kCmpNe: return a != b ? 1 : 0;
-    case Op::kCmpLtU: return a < b ? 1 : 0;
-    case Op::kCmpLeU: return a <= b ? 1 : 0;
-    case Op::kCmpGtU: return a > b ? 1 : 0;
-    case Op::kCmpGeU: return a >= b ? 1 : 0;
-    default: return 0;
-  }
+  // Shared with the concrete interpreter via vm/op_info.h — one place
+  // defines what each binary ALU form computes (div/rem by zero yield 0
+  // here; the interpreter traps before evaluating).
+  return vm::EvalAlu(op, a, b);
 }
 
 namespace {

@@ -1,6 +1,7 @@
 #include "taint/taint_engine.h"
 
 #include "support/fault.h"
+#include "vm/op_info.h"
 
 namespace octopocs::taint {
 
@@ -39,72 +40,48 @@ TaintSet TaintEngine::MemTaint(std::uint64_t addr, std::uint64_t width) const {
 
 TaintSet TaintEngine::SourceTaint(const vm::Instr& instr,
                                   std::uint64_t eff_addr) const {
-  using vm::Op;
+  // Table-driven (vm/op_info.h): the roles encode, per opcode, which
+  // operands are data-flow sources — e.g. kRead *uses* its destination
+  // pointer and count (a tainted length driving an overflowing read is a
+  // crash primitive; several corpus CVEs have exactly this shape), and a
+  // kLoad reads both the addressed bytes and the pointer itself.
+  const vm::OpInfo& info = vm::GetOpInfo(instr.op);
   TaintSet out;
-  switch (instr.op) {
-    case Op::kMov:
-    case Op::kNot:
-    case Op::kAddImm:
-      out.UnionWith(RegTaint(instr.b));
-      break;
-    case Op::kLoad:
-      out.UnionWith(MemTaint(eff_addr, instr.width));
-      out.UnionWith(RegTaint(instr.b));  // the pointer itself
-      break;
-    case Op::kStore:
-      out.UnionWith(RegTaint(instr.a));
-      out.UnionWith(RegTaint(instr.b));
-      break;
-    case Op::kAssert:
-    case Op::kFree:
-      out.UnionWith(RegTaint(instr.a));
-      break;
-    case Op::kAlloc:
-    case Op::kSeek:
-      out.UnionWith(RegTaint(instr.b));
-      break;
-    case Op::kRead:
-      // A file read *uses* its destination pointer and count — a
-      // tainted length driving an overflowing read is a crash
-      // primitive (several corpus CVEs have exactly this shape).
-      out.UnionWith(RegTaint(instr.b));
-      out.UnionWith(RegTaint(instr.c));
-      break;
-    default:
-      if (vm::IsBinaryAlu(instr.op)) {
-        out.UnionWith(RegTaint(instr.b));
-        out.UnionWith(RegTaint(instr.c));
-      }
-      break;
-  }
+  if (info.src_a) out.UnionWith(RegTaint(instr.a));
+  if (info.src_b) out.UnionWith(RegTaint(instr.b));
+  if (info.src_c) out.UnionWith(RegTaint(instr.c));
+  if (info.src_mem) out.UnionWith(MemTaint(eff_addr, instr.width));
   return out;
 }
 
 void TaintEngine::OnInstr(vm::FuncId, vm::BlockId, std::size_t,
                           const vm::Instr& instr, std::uint64_t eff_addr,
                           std::uint64_t) {
-  using vm::Op;
   support::fault::MaybeThrow(support::FaultSite::kTaintStep);
   if (frames_.empty()) return;
   auto& regs = Top();
-  switch (instr.op) {
-    case Op::kMovImm:
-    case Op::kAlloc:     // fresh pointer: clean by policy
-    case Op::kMMap:      // the mapping base is a clean pointer too
-    case Op::kTell:
-    case Op::kFileSize:
-    case Op::kFnAddr:
+  // Algorithm 1's transfer function, driven by the shared destination
+  // policy (vm/op_info.h) so this classification cannot drift from the
+  // interpreter's and the symbolic executor's views of the same ops.
+  switch (vm::GetOpInfo(instr.op).dest) {
+    case vm::TaintDest::kClean:
+      // Immediates, fresh pointers (kAlloc/kMMap), lengths and file
+      // positions (kRead's count, kTell/kFileSize) are clean by policy.
       regs[instr.a].Clear();
       break;
-    case Op::kMov:
-    case Op::kNot:
-    case Op::kAddImm:
+    case vm::TaintDest::kCopyB:
       regs[instr.a] = regs[instr.b];
       break;
-    case Op::kLoad:
+    case vm::TaintDest::kUnionBC: {
+      TaintSet t = regs[instr.b];
+      t.UnionWith(regs[instr.c]);
+      regs[instr.a] = std::move(t);
+      break;
+    }
+    case vm::TaintDest::kFromMem:
       regs[instr.a] = MemTaint(eff_addr, instr.width);
       break;
-    case Op::kStore: {
+    case vm::TaintDest::kMemStore: {
       // Strong update per written byte: tainted source propagates, clean
       // source erases (Algorithm 1 lines 8-11).
       const TaintSet& src = regs[instr.a];
@@ -117,16 +94,7 @@ void TaintEngine::OnInstr(vm::FuncId, vm::BlockId, std::size_t,
       }
       break;
     }
-    case Op::kRead:
-      // The count of bytes read is a length, not content.
-      regs[instr.a].Clear();
-      break;
-    default:
-      if (vm::IsBinaryAlu(instr.op)) {
-        TaintSet t = regs[instr.b];
-        t.UnionWith(regs[instr.c]);
-        regs[instr.a] = std::move(t);
-      }
+    case vm::TaintDest::kNone:
       break;
   }
 }

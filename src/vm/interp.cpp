@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/fault.h"
+#include "vm/op_info.h"
 
 namespace octopocs::vm {
 
@@ -191,6 +192,23 @@ bool Interpreter::Step() {
   std::uint64_t eff_addr = 0;
   std::uint64_t value = 0;
 
+  // Binary-ALU forms share one evaluator (vm/op_info.h); only the
+  // division-by-zero trap is interpreter-specific and must fire before
+  // EvalAlu's total-function fallback (which yields 0) could mask it.
+  if (GetOpInfo(ins.op).is_binary_alu) {
+    if ((ins.op == Op::kDivU || ins.op == Op::kRemU) && regs[ins.c] == 0) {
+      SetTrap(TrapKind::kDivByZero, 0,
+              ins.op == Op::kDivU ? "division by zero" : "remainder by zero");
+      return false;
+    }
+    value = regs[ins.a] = EvalAlu(ins.op, regs[ins.b], regs[ins.c]);
+    for (auto* o : observers_) {
+      o->OnInstr(frames_.back().fn, frames_.back().block, ip, ins, eff_addr,
+                 value);
+    }
+    return true;
+  }
+
   switch (ins.op) {
     case Op::kMovImm:
       value = regs[ins.a] = ins.imm;
@@ -198,67 +216,11 @@ bool Interpreter::Step() {
     case Op::kMov:
       value = regs[ins.a] = regs[ins.b];
       break;
-    case Op::kAdd:
-      value = regs[ins.a] = regs[ins.b] + regs[ins.c];
-      break;
-    case Op::kSub:
-      value = regs[ins.a] = regs[ins.b] - regs[ins.c];
-      break;
-    case Op::kMul:
-      value = regs[ins.a] = regs[ins.b] * regs[ins.c];
-      break;
-    case Op::kDivU:
-      if (regs[ins.c] == 0) {
-        SetTrap(TrapKind::kDivByZero, 0, "division by zero");
-        return false;
-      }
-      value = regs[ins.a] = regs[ins.b] / regs[ins.c];
-      break;
-    case Op::kRemU:
-      if (regs[ins.c] == 0) {
-        SetTrap(TrapKind::kDivByZero, 0, "remainder by zero");
-        return false;
-      }
-      value = regs[ins.a] = regs[ins.b] % regs[ins.c];
-      break;
-    case Op::kAnd:
-      value = regs[ins.a] = regs[ins.b] & regs[ins.c];
-      break;
-    case Op::kOr:
-      value = regs[ins.a] = regs[ins.b] | regs[ins.c];
-      break;
-    case Op::kXor:
-      value = regs[ins.a] = regs[ins.b] ^ regs[ins.c];
-      break;
-    case Op::kShl:
-      value = regs[ins.a] = regs[ins.b] << (regs[ins.c] & 63);
-      break;
-    case Op::kShr:
-      value = regs[ins.a] = regs[ins.b] >> (regs[ins.c] & 63);
-      break;
     case Op::kNot:
       value = regs[ins.a] = ~regs[ins.b];
       break;
     case Op::kAddImm:
       value = regs[ins.a] = regs[ins.b] + ins.imm;
-      break;
-    case Op::kCmpEq:
-      value = regs[ins.a] = regs[ins.b] == regs[ins.c] ? 1 : 0;
-      break;
-    case Op::kCmpNe:
-      value = regs[ins.a] = regs[ins.b] != regs[ins.c] ? 1 : 0;
-      break;
-    case Op::kCmpLtU:
-      value = regs[ins.a] = regs[ins.b] < regs[ins.c] ? 1 : 0;
-      break;
-    case Op::kCmpLeU:
-      value = regs[ins.a] = regs[ins.b] <= regs[ins.c] ? 1 : 0;
-      break;
-    case Op::kCmpGtU:
-      value = regs[ins.a] = regs[ins.b] > regs[ins.c] ? 1 : 0;
-      break;
-    case Op::kCmpGeU:
-      value = regs[ins.a] = regs[ins.b] >= regs[ins.c] ? 1 : 0;
       break;
     case Op::kLoad: {
       eff_addr = regs[ins.b] + ins.imm;
@@ -397,6 +359,8 @@ bool Interpreter::Step() {
       return false;
     case Op::kNop:
       break;
+    default:
+      break;  // binary ALU handled above the switch
   }
 
   // `frame` may have been invalidated by frames_ growth only on call paths,

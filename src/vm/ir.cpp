@@ -2,31 +2,11 @@
 
 #include <stdexcept>
 
+#include "vm/op_info.h"
+
 namespace octopocs::vm {
 
-bool IsBinaryAlu(Op op) {
-  switch (op) {
-    case Op::kAdd:
-    case Op::kSub:
-    case Op::kMul:
-    case Op::kDivU:
-    case Op::kRemU:
-    case Op::kAnd:
-    case Op::kOr:
-    case Op::kXor:
-    case Op::kShl:
-    case Op::kShr:
-    case Op::kCmpEq:
-    case Op::kCmpNe:
-    case Op::kCmpLtU:
-    case Op::kCmpLeU:
-    case Op::kCmpGtU:
-    case Op::kCmpGeU:
-      return true;
-    default:
-      return false;
-  }
-}
+bool IsBinaryAlu(Op op) { return GetOpInfo(op).is_binary_alu; }
 
 FuncId Program::FindFunction(std::string_view fn_name) const {
   for (FuncId i = 0; i < functions.size(); ++i) {

@@ -1,0 +1,220 @@
+// Content-addressed artifact store: key stability and invalidation,
+// typed access, LRU eviction — and the pipeline-level guarantee that
+// caching never changes a single byte of any corpus verdict.
+#include "core/artifact_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "core/octopocs.h"
+#include "core/parallel_verify.h"
+#include "corpus/pairs.h"
+#include "vm/asm.h"
+
+namespace octopocs::core {
+namespace {
+
+constexpr const char* kProgText = R"(
+  func main()
+    movi %x, 7
+    call %v, helper(%x)
+    ret %v
+  func helper(a)
+    addi %r, %a, 1
+    ret %r
+)";
+
+ArtifactKey KeyOf(const vm::Program& p, std::string_view kind) {
+  ArtifactHasher h;
+  h.Program(p);
+  return h.Finish(kind);
+}
+
+TEST(ArtifactKey, StableAcrossStructurallyIdenticalPrograms) {
+  // BuildCorpus-style reconstruction: two distinct Program objects with
+  // the same content must produce the same key — that is what makes
+  // cross-run and cross-pair reuse work.
+  const vm::Program a = vm::Assemble(kProgText);
+  const vm::Program b = vm::Assemble(kProgText);
+  EXPECT_EQ(KeyOf(a, "k"), KeyOf(b, "k"));
+}
+
+TEST(ArtifactKey, ContentChangeInvalidates) {
+  const vm::Program a = vm::Assemble(kProgText);
+  std::string mutated(kProgText);
+  // One immediate differs: movi %x, 7 → movi %x, 8.
+  mutated.replace(mutated.find(", 7"), 3, ", 8");
+  const vm::Program b = vm::Assemble(mutated);
+  EXPECT_NE(KeyOf(a, "k"), KeyOf(b, "k"));
+}
+
+TEST(ArtifactKey, KindTagSeparatesArtifactTypes) {
+  const vm::Program p = vm::Assemble(kProgText);
+  EXPECT_NE(KeyOf(p, "ep"), KeyOf(p, "cfg"));
+}
+
+TEST(ArtifactKey, StringsAreLengthPrefixed) {
+  ArtifactHasher a;
+  a.Str("ab").Str("c");
+  ArtifactHasher b;
+  b.Str("a").Str("bc");
+  EXPECT_NE(a.Finish("k"), b.Finish("k"));
+}
+
+TEST(ArtifactKey, OptionBitsInvalidate) {
+  ArtifactHasher a;
+  a.Bool(true).U64(100);
+  ArtifactHasher b;
+  b.Bool(false).U64(100);
+  EXPECT_NE(a.Finish("k"), b.Finish("k"));
+}
+
+TEST(ArtifactStore, PutThenGetReturnsTheValue) {
+  ArtifactStore store;
+  const ArtifactKey key{1, 2};
+  store.Put<int>(key, 42);
+  const auto hit = store.Get<int>(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().insertions, 1u);
+}
+
+TEST(ArtifactStore, MissOnAbsentKeyAndOnTypeMismatch) {
+  ArtifactStore store;
+  const ArtifactKey key{1, 2};
+  EXPECT_EQ(store.Get<int>(key), nullptr);
+  store.Put<int>(key, 7);
+  // The store never lies about types: a different T is a miss.
+  EXPECT_EQ(store.Get<double>(key), nullptr);
+  EXPECT_EQ(store.stats().misses, 2u);
+}
+
+TEST(ArtifactStore, RefreshKeepsOneEntry) {
+  ArtifactStore store;
+  const ArtifactKey key{3, 4};
+  store.Put<int>(key, 1);
+  store.Put<int>(key, 2);  // last writer wins, no second slot
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(*store.Get<int>(key), 2);
+}
+
+TEST(ArtifactStore, EvictsLeastRecentlyUsed) {
+  ArtifactStore store(/*capacity=*/2);
+  const ArtifactKey k1{1, 0}, k2{2, 0}, k3{3, 0};
+  store.Put<int>(k1, 1);
+  store.Put<int>(k2, 2);
+  // Touch k1 so k2 becomes the LRU victim.
+  ASSERT_NE(store.Get<int>(k1), nullptr);
+  store.Put<int>(k3, 3);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.Get<int>(k1), nullptr);
+  EXPECT_EQ(store.Get<int>(k2), nullptr);  // evicted
+  EXPECT_NE(store.Get<int>(k3), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(ArtifactStore, HitAliasesAStableObject) {
+  ArtifactStore store(/*capacity=*/1);
+  const ArtifactKey key{9, 9};
+  const auto put = store.Put<std::string>(key, "payload");
+  const auto hit = store.Get<std::string>(key);
+  EXPECT_EQ(put.get(), hit.get());
+  // Eviction must not invalidate outstanding handles.
+  store.Put<int>(ArtifactKey{10, 10}, 1);
+  EXPECT_EQ(*hit, "payload");
+}
+
+// -- CFG edge caching ---------------------------------------------------------
+
+TEST(CfgEdges, ExportAndRehydrateReproduceTheGraph) {
+  const corpus::Pair pair = corpus::BuildPair(8);
+  cfg::CfgOptions opts;
+  opts.seed_inputs.push_back(pair.poc);
+  const cfg::Cfg built = cfg::Cfg::Build(pair.t, opts);
+  const cfg::Cfg rehydrated =
+      cfg::Cfg::FromEdges(pair.t, built.ExportEdges());
+
+  EXPECT_EQ(rehydrated.dynamic_edge_count(), built.dynamic_edge_count());
+  for (vm::FuncId f = 0; f < pair.t.functions.size(); ++f) {
+    for (vm::BlockId b = 0; b < pair.t.Fn(f).blocks.size(); ++b) {
+      EXPECT_EQ(rehydrated.Successors(f, b), built.Successors(f, b))
+          << "fn " << f << " block " << b;
+      for (vm::BlockId to = 0; to < pair.t.Fn(f).blocks.size(); ++to) {
+        EXPECT_EQ(rehydrated.IsBackEdge(f, b, to), built.IsBackEdge(f, b, to));
+      }
+    }
+  }
+}
+
+// -- Pipeline-level reuse and byte identity -----------------------------------
+
+void ExpectReportsIdentical(const VerificationReport& a,
+                            const VerificationReport& b, int idx) {
+  EXPECT_EQ(a.verdict, b.verdict) << "pair " << idx;
+  EXPECT_EQ(a.type, b.type) << "pair " << idx;
+  EXPECT_EQ(a.detail, b.detail) << "pair " << idx;
+  EXPECT_EQ(a.ep_name, b.ep_name) << "pair " << idx;
+  EXPECT_EQ(a.ep_in_s, b.ep_in_s) << "pair " << idx;
+  EXPECT_EQ(a.ep_in_t, b.ep_in_t) << "pair " << idx;
+  EXPECT_EQ(a.bunch_count, b.bunch_count) << "pair " << idx;
+  EXPECT_EQ(a.crash_primitive_bytes, b.crash_primitive_bytes)
+      << "pair " << idx;
+  EXPECT_EQ(a.poc_generated, b.poc_generated) << "pair " << idx;
+  EXPECT_EQ(a.reformed_poc, b.reformed_poc) << "pair " << idx;
+  EXPECT_EQ(a.bunch_offsets, b.bunch_offsets) << "pair " << idx;
+  EXPECT_EQ(a.failed_phase, b.failed_phase) << "pair " << idx;
+  EXPECT_EQ(a.observed_trap, b.observed_trap) << "pair " << idx;
+}
+
+TEST(ArtifactCache, SamePairVerifiedTwiceReusesOriginArtifacts) {
+  const corpus::Pair pair = corpus::BuildPair(8);
+  ArtifactStore store;
+  PipelineOptions options;
+  options.artifacts = &store;
+
+  const VerificationReport cold = VerifyPair(pair, options);
+  const auto cold_stats = store.stats();
+  EXPECT_EQ(cold_stats.hits, 0u);
+  EXPECT_GT(cold_stats.insertions, 0u);
+
+  const VerificationReport warm = VerifyPair(pair, options);
+  // Warm run: ep discovery, P1 extraction and the CFG all come from the
+  // store — three hits, no new insertions.
+  EXPECT_EQ(store.stats().hits, 3u);
+  EXPECT_EQ(store.stats().insertions, cold_stats.insertions);
+  ExpectReportsIdentical(cold, warm, pair.idx);
+  EXPECT_EQ(warm.verdict, Verdict::kTriggered);
+}
+
+TEST(ArtifactCache, CorpusResultsAreByteIdenticalCacheOnVsOff) {
+  const std::vector<corpus::Pair> pairs = corpus::BuildCorpus();
+
+  PipelineOptions plain;
+  const auto baseline = VerifyCorpus(pairs, plain, /*jobs=*/4);
+
+  ArtifactStore store;
+  PipelineOptions cached;
+  cached.artifacts = &store;
+  const auto cold = VerifyCorpus(pairs, cached, /*jobs=*/4);
+  // The corpus contains origin-sharing pairs (e.g. one ghostscript S
+  // fanning out to several targets), so even the cold pass must see
+  // cross-pair reuse.
+  EXPECT_GT(store.stats().hits, 0u);
+
+  const auto warm = VerifyCorpus(pairs, cached, /*jobs=*/4);
+
+  ASSERT_EQ(baseline.size(), pairs.size());
+  ASSERT_EQ(cold.size(), pairs.size());
+  ASSERT_EQ(warm.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ExpectReportsIdentical(baseline[i], cold[i], pairs[i].idx);
+    ExpectReportsIdentical(baseline[i], warm[i], pairs[i].idx);
+  }
+}
+
+}  // namespace
+}  // namespace octopocs::core

@@ -19,6 +19,12 @@
 //                              one instead of reporting Failure
 //         --solver-retry       retry a solver-budget failure once with
 //                              the step budget doubled
+//         --trace-out FILE     write the structured trace (phase spans,
+//                              executor counters) as JSONL to FILE
+//         --artifact-cache=on|off
+//                              consult/populate the content-addressed
+//                              artifact store (default off); results
+//                              are byte-identical either way
 //   detect <s.asm> <t.asm>
 //       Print the function-level clones between two programs.
 //   run <prog.asm> <input.bin> [--trace]
@@ -31,7 +37,8 @@
 //       Materialize a corpus pair (1-21) as s.asm / t.asm / poc.bin /
 //       shared.txt so the other subcommands can chew on it.
 //   corpus [--jobs N] [--extended] [--adaptive-theta]
-//          [--pair-deadline-ms N] [--frontier-jobs N]
+//          [--pair-deadline-ms N] [--frontier-jobs N] [--trace-out FILE]
+//          [--artifact-cache=on|off]
 //       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
 //       --extended) with N pipeline runs in flight at once. Reports are
 //       printed in pair order and are byte-identical to a serial run
@@ -40,6 +47,10 @@
 //       the rest of the corpus finishes. --frontier-jobs additionally
 //       parallelizes *within* each pair's directed symbolic execution
 //       (work-stealing frontier; results stay byte-identical).
+//       --artifact-cache=on shares origin-side artifacts (ep, crash
+//       primitives, CFG edges) across pairs with a common S or T; the
+//       summary then reports the store's hit/miss counts. --trace-out
+//       captures the whole corpus run as one JSONL trace.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -57,11 +68,13 @@
 #include <vector>
 
 #include "clone/detector.h"
+#include "core/artifact_store.h"
 #include "core/minimize.h"
 #include "core/octopocs.h"
 #include "core/parallel_verify.h"
 #include "corpus/extended.h"
 #include "support/hex.h"
+#include "support/trace.h"
 #include "vm/asm.h"
 #include "vm/disasm.h"
 #include "vm/trace.h"
@@ -110,13 +123,58 @@ corpus::Pair LoadPair(int idx) {
   return idx <= 15 ? corpus::BuildPair(idx) : corpus::BuildExtendedPair(idx);
 }
 
+/// The observability options shared by `verify` and `corpus`: a JSONL
+/// trace sink and the content-addressed artifact store.
+struct ObservabilityFlags {
+  std::string trace_out;
+  bool artifact_cache = false;
+
+  /// Consumes --trace-out FILE / --artifact-cache=on|off; returns false
+  /// when `arg` is not one of ours.
+  bool Parse(const std::string& arg, int argc, char** argv, int& i) {
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      return true;
+    }
+    if (arg == "--artifact-cache=on") {
+      artifact_cache = true;
+      return true;
+    }
+    if (arg == "--artifact-cache=off") {
+      artifact_cache = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Points the pipeline at the sinks this invocation enabled.
+  void Wire(core::PipelineOptions& opts, support::Tracer& tracer,
+            core::ArtifactStore& store) const {
+    if (!trace_out.empty()) opts.tracer = &tracer;
+    if (artifact_cache) opts.artifacts = &store;
+  }
+
+  /// Serialises the trace (when requested). Returns false on I/O error.
+  bool FinishTrace(const support::Tracer& tracer) const {
+    if (trace_out.empty()) return true;
+    if (!tracer.WriteJsonlFile(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return false;
+    }
+    std::printf("trace:     %zu event(s) -> %s\n", tracer.event_count(),
+                trace_out.c_str());
+    return true;
+  }
+};
+
 int CmdVerify(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: octopocs verify <s.asm> <t.asm> <poc.bin> "
                          "[--shared f1,f2] [--out FILE] [--context-free] "
                          "[--theta N] [--adaptive-theta] [--static-cfg] "
                          "[--fix-angr] [--deadline-ms N] [--cfg-fallback] "
-                         "[--solver-retry] [--frontier-jobs N]\n");
+                         "[--solver-retry] [--frontier-jobs N] "
+                         "[--trace-out FILE] [--artifact-cache=on|off]\n");
     return 2;
   }
   const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
@@ -127,6 +185,7 @@ int CmdVerify(int argc, char** argv) {
   std::map<std::string, std::string> name_map;
   std::string out_path;
   core::PipelineOptions opts;
+  ObservabilityFlags obs;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shared" && i + 1 < argc) {
@@ -152,6 +211,8 @@ int CmdVerify(int argc, char** argv) {
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       opts.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (obs.Parse(arg, argc, argv, i)) {
+      // consumed
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
@@ -172,6 +233,9 @@ int CmdVerify(int argc, char** argv) {
     }
   }
 
+  support::Tracer tracer;
+  core::ArtifactStore store;
+  obs.Wire(opts, tracer, store);
   core::Octopocs pipeline(s, t, shared, poc, opts, name_map);
   const core::VerificationReport r = pipeline.Verify();
 
@@ -216,6 +280,14 @@ int CmdVerify(int argc, char** argv) {
                 r.solver_budget_retried ? " | solver budget retried" : "");
   }
   std::printf("time:      %.3f ms\n", r.timings.total_seconds * 1e3);
+  if (obs.artifact_cache) {
+    const core::ArtifactStore::Stats st = store.stats();
+    std::printf("artifacts: %llu hit / %llu miss / %llu stored\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.insertions));
+  }
+  obs.FinishTrace(tracer);
   if (r.poc_generated) {
     std::printf("poc' (%zu bytes): %s\n", r.reformed_poc.size(),
                 ToHex(r.reformed_poc).c_str());
@@ -316,6 +388,7 @@ int CmdCorpus(int argc, char** argv) {
   bool extended = false;
   std::uint64_t pair_deadline_ms = 0;
   core::PipelineOptions opts;
+  ObservabilityFlags obs;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
@@ -334,12 +407,17 @@ int CmdCorpus(int argc, char** argv) {
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       opts.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (obs.Parse(arg, argc, argv, i)) {
+      // consumed
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  support::Tracer tracer;
+  core::ArtifactStore store;
+  obs.Wire(opts, tracer, store);
   const std::vector<corpus::Pair> pairs =
       extended ? corpus::BuildExtendedCorpus() : corpus::BuildCorpus();
   const auto start = std::chrono::steady_clock::now();
@@ -381,6 +459,16 @@ int CmdCorpus(int argc, char** argv) {
               "%u job(s) | %.3f s wall\n",
               decisive, pairs.size(), expected_matches, pairs.size(),
               infra_failures, jobs, wall);
+  if (obs.artifact_cache) {
+    const core::ArtifactStore::Stats st = store.stats();
+    std::printf("artifacts: %llu hit / %llu miss / %llu stored / "
+                "%llu evicted\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.insertions),
+                static_cast<unsigned long long>(st.evictions));
+  }
+  obs.FinishTrace(tracer);
   // Exit status keys off the registry's expected result types: the
   // corpus deliberately contains NotTriggerable and Failure pairs, so
   // "all decisive" would never hold for the stock corpus. A verdict
