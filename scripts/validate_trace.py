@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a structured-trace JSONL file (support/trace.h schema).
+"""Validate a structured-trace or crash-journal JSONL file.
 
 Usage: validate_trace.py TRACE.jsonl
+       validate_trace.py --journal JOURNAL.jsonl
 
-Checks, line by line:
+Trace mode (support/trace.h schema) checks, line by line:
   - each line is a standalone JSON object;
   - "type" is one of begin/end/counter;
   - the fixed key set is present ("name", "tid", "seq", "ts_ns", plus
@@ -13,6 +14,18 @@ Checks, line by line:
   - per thread, begin/end events obey stack discipline: every end
     matches the innermost open begin of the same name, and nothing is
     left open at EOF.
+
+Journal mode (core/journal.h schema) checks:
+  - line 1 is a header with version 1, a non-empty options_hash, and a
+    positive pair_count; no other header appears;
+  - every other record is "started" {pair, attempt} or "finished"
+    {pair, report}, with positive integer pair indices;
+  - every finished report carries the full serialized
+    VerificationReport key set (core/report_io.h);
+  - no pair finishes twice (resume must replay, never re-run);
+  - matching core::LoadJournal, a torn *final* record (the writer died
+    mid-write) is reported but tolerated; a malformed record anywhere
+    else fails.
 
 Exits 0 and prints a summary on success, 1 with the first offending
 line otherwise.
@@ -26,7 +39,99 @@ def fail(lineno, msg):
     sys.exit(1)
 
 
+# Every key SerializeReport (src/core/report_io.cpp) writes; extras are
+# allowed for forward compatibility, absences are not.
+REPORT_KEYS = {
+    "verdict", "type", "detail", "ep_name", "ep_in_s", "ep_in_t",
+    "ep_encounters_in_s", "bunch_count", "crash_primitive_bytes",
+    "symex_status", "poc_generated", "reformed_poc", "bunch_offsets",
+    "observed_trap", "failed_phase", "deadline_expired",
+    "exception_contained", "cfg_static_fallback", "solver_budget_retried",
+    "preprocess_seconds", "p1_seconds", "p23_seconds", "p4_seconds",
+    "total_seconds",
+}
+
+
+def validate_journal(path):
+    started = {}   # pair -> attempts seen
+    finished = set()
+    header = None
+    torn = False
+
+    with open(path, "rb") as f:
+        data = f.read()
+    lines = data.split(b"\n")
+    # A file ending in \n splits into [.., b""]; anything else means the
+    # writer died mid-record.
+    complete, tail = lines[:-1], lines[-1]
+
+    for lineno, raw in enumerate(complete, 1):
+        is_last = lineno == len(complete) and not tail
+        try:
+            rec = json.loads(raw.decode("utf-8"))
+            if not isinstance(rec, dict):
+                raise ValueError("record is not a JSON object")
+        except (ValueError, UnicodeDecodeError) as e:
+            # Same tolerance as core::LoadJournal: garbage is only
+            # acceptable as the very last record (a torn write).
+            if is_last:
+                torn = True
+                break
+            fail(lineno, f"malformed journal record: {e}")
+
+        kind = rec.get("type")
+        if lineno == 1:
+            if kind != "header":
+                fail(lineno, f"first record must be the header, got {kind!r}")
+            if rec.get("version") != 1:
+                fail(lineno, f"unsupported journal version {rec.get('version')!r}")
+            if not isinstance(rec.get("options_hash"), str) or not rec["options_hash"]:
+                fail(lineno, "header options_hash must be a non-empty string")
+            if not isinstance(rec.get("pair_count"), int) or rec["pair_count"] <= 0:
+                fail(lineno, "header pair_count must be a positive integer")
+            header = rec
+            continue
+        if kind == "header":
+            fail(lineno, "duplicate header record")
+        if kind == "started":
+            pair = rec.get("pair")
+            if not isinstance(pair, int) or pair < 1:
+                fail(lineno, f"started record with bad pair {pair!r}")
+            if not isinstance(rec.get("attempt"), int) or rec["attempt"] < 1:
+                fail(lineno, "started record with bad attempt")
+            started[pair] = started.get(pair, 0) + 1
+        elif kind == "finished":
+            pair = rec.get("pair")
+            if not isinstance(pair, int) or pair < 1:
+                fail(lineno, f"finished record with bad pair {pair!r}")
+            if pair in finished:
+                fail(lineno, f"pair {pair} finished twice")
+            report = rec.get("report")
+            if not isinstance(report, dict):
+                fail(lineno, f"finished record for pair {pair} without a report")
+            missing = REPORT_KEYS - set(report)
+            if missing:
+                fail(lineno, f"pair {pair} report missing keys {sorted(missing)}")
+            finished.add(pair)
+        else:
+            fail(lineno, f"unknown journal record type {kind!r}")
+
+    if header is None:
+        fail(1, "journal has no header record")
+    if tail:
+        torn = True
+
+    in_flight = sorted(set(started) - finished)
+    print(f"OK: journal for {header['pair_count']} pair(s), options "
+          f"{header['options_hash']} — {len(finished)} finished, "
+          f"{len(in_flight)} in flight{' ' + str(in_flight) if in_flight else ''}"
+          f"{', torn tail (healed on resume)' if torn else ''}")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--journal":
+        validate_journal(sys.argv[2])
+        return
     if len(sys.argv) != 2:
         print(__doc__)
         sys.exit(2)

@@ -1,0 +1,204 @@
+#include "core/supervisor.h"
+
+#include <chrono>
+#include <thread>
+
+#ifndef _WIN32
+#include <signal.h>
+#endif
+
+#include "core/report_io.h"
+#include "support/rng.h"
+
+namespace octopocs::core {
+
+namespace {
+
+#ifndef _WIN32
+constexpr int kSigXcpu = SIGXCPU;
+constexpr int kSigKill = SIGKILL;
+#else
+constexpr int kSigXcpu = 24;
+constexpr int kSigKill = 9;
+#endif
+
+VerificationReport InfraFailureReport(std::string detail,
+                                      bool deadline_expired,
+                                      bool exception_contained) {
+  VerificationReport report;
+  report.verdict = Verdict::kFailure;
+  report.type = ResultType::kFailure;
+  report.detail = std::move(detail);
+  report.failed_phase = "worker";
+  report.deadline_expired = deadline_expired;
+  report.exception_contained = exception_contained;
+  return report;
+}
+
+}  // namespace
+
+std::string_view ChildOutcomeName(ChildOutcome outcome) {
+  switch (outcome) {
+    case ChildOutcome::kCleanReport: return "clean-report";
+    case ChildOutcome::kMalformedReport: return "malformed-report";
+    case ChildOutcome::kNonzeroExit: return "nonzero-exit";
+    case ChildOutcome::kCrashSignal: return "crash-signal";
+    case ChildOutcome::kResourceKill: return "resource-kill";
+    case ChildOutcome::kTimeout: return "timeout";
+    case ChildOutcome::kInterrupted: return "interrupted";
+    case ChildOutcome::kSpawnError: return "spawn-error";
+  }
+  return "?";
+}
+
+bool IsRetryableOutcome(ChildOutcome outcome) {
+  switch (outcome) {
+    case ChildOutcome::kMalformedReport:
+    case ChildOutcome::kNonzeroExit:
+    case ChildOutcome::kCrashSignal:
+    case ChildOutcome::kSpawnError:
+      return true;
+    case ChildOutcome::kCleanReport:
+    case ChildOutcome::kResourceKill:
+    case ChildOutcome::kTimeout:
+    case ChildOutcome::kInterrupted:
+      return false;
+  }
+  return false;
+}
+
+ChildOutcome ClassifyChild(const support::SubprocessResult& result,
+                           VerificationReport* report) {
+  switch (result.status) {
+    case support::SubprocessStatus::kInterrupted:
+      return ChildOutcome::kInterrupted;
+    case support::SubprocessStatus::kKilledByDeadline:
+      return ChildOutcome::kTimeout;
+    case support::SubprocessStatus::kSpawnError:
+      return ChildOutcome::kSpawnError;
+    case support::SubprocessStatus::kSignaled:
+      // SIGXCPU is the CPU rlimit's soft cap; SIGKILL is its hard cap
+      // (or the kernel OOM killer) — a cap firing is deterministic, so
+      // these are final, not transient. Every other signal is a worker
+      // crash worth retrying.
+      return (result.term_signal == kSigXcpu ||
+              result.term_signal == kSigKill)
+                 ? ChildOutcome::kResourceKill
+                 : ChildOutcome::kCrashSignal;
+    case support::SubprocessStatus::kExited: {
+      if (result.exit_code != 0) return ChildOutcome::kNonzeroExit;
+      std::string error;
+      VerificationReport parsed;
+      if (!UnmarshalWorkerReport(result.output, &parsed, &error)) {
+        return ChildOutcome::kMalformedReport;
+      }
+      if (report != nullptr) *report = std::move(parsed);
+      return ChildOutcome::kCleanReport;
+    }
+  }
+  return ChildOutcome::kSpawnError;
+}
+
+std::uint64_t RetryBackoffMs(int pair_idx, unsigned attempt) {
+  constexpr std::uint64_t kBaseMs = 20;
+  constexpr std::uint64_t kCapMs = 250;
+  std::uint64_t base = kBaseMs << (attempt < 8 ? attempt : 8);
+  if (base > kCapMs) base = kCapMs;
+  // ±50% jitter, deterministic per (pair, attempt).
+  Rng rng((static_cast<std::uint64_t>(static_cast<std::uint32_t>(pair_idx))
+           << 32) ^
+          (attempt + 0x9E3779B97F4A7C15ULL));
+  const std::uint64_t half = base / 2;
+  return half + rng.Below(base + 1);  // [base/2, 3*base/2]
+}
+
+SupervisedResult RunSupervisedPair(const corpus::Pair& pair,
+                                   const IsolationOptions& isolation,
+                                   const std::atomic<int>* interrupt) {
+  std::vector<std::string> argv;
+  argv.reserve(3 + isolation.worker_args.size());
+  argv.push_back(isolation.worker_binary);
+  argv.push_back("pair-worker");
+  argv.push_back(std::to_string(pair.idx));
+  for (const std::string& arg : isolation.worker_args) argv.push_back(arg);
+
+  support::SubprocessLimits limits;
+  limits.rlimit_mb = isolation.rlimit_mb;
+  limits.cpu_seconds = isolation.cpu_seconds;
+  limits.deadline_ms = isolation.deadline_ms;
+
+  SupervisedResult result;
+  for (unsigned attempt = 0;; ++attempt) {
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_relaxed) != 0) {
+      result.report = InfraFailureReport(
+          "interrupted before the worker could start", true, false);
+      result.last_outcome = ChildOutcome::kInterrupted;
+      result.interrupted = true;
+      return result;
+    }
+
+    const support::SubprocessResult child =
+        support::RunProcess(argv, limits, interrupt);
+    ++result.attempts;
+    const ChildOutcome outcome = ClassifyChild(child, &result.report);
+    result.last_outcome = outcome;
+
+    switch (outcome) {
+      case ChildOutcome::kCleanReport:
+        return result;
+      case ChildOutcome::kTimeout:
+        result.report = InfraFailureReport(
+            "worker killed at the " + std::to_string(isolation.deadline_ms) +
+                "ms wall-clock cap",
+            true, false);
+        return result;
+      case ChildOutcome::kResourceKill:
+        result.report = InfraFailureReport(
+            std::string("worker killed by a resource cap (signal ") +
+                std::to_string(child.term_signal) + ")",
+            true, false);
+        return result;
+      case ChildOutcome::kInterrupted:
+        result.report =
+            InfraFailureReport("interrupted mid-pair; worker killed",
+                               true, false);
+        result.interrupted = true;
+        return result;
+      default:
+        break;  // retryable
+    }
+
+    if (attempt >= isolation.max_retries) {
+      std::string why(ChildOutcomeName(outcome));
+      if (outcome == ChildOutcome::kCrashSignal) {
+        why += " " + std::to_string(child.term_signal);
+      } else if (outcome == ChildOutcome::kNonzeroExit) {
+        why += " " + std::to_string(child.exit_code);
+      } else if (outcome == ChildOutcome::kSpawnError) {
+        why += ": " + child.error;
+      }
+      result.report = InfraFailureReport(
+          "quarantined after " + std::to_string(result.attempts) +
+              " worker attempt(s): " + why,
+          false, true);
+      result.quarantined = true;
+      return result;
+    }
+
+    // Capped exponential backoff with deterministic jitter, sliced into
+    // 10ms naps so an interrupt drains promptly even mid-backoff.
+    std::uint64_t nap_ms = RetryBackoffMs(pair.idx, attempt);
+    while (nap_ms > 0) {
+      if (interrupt != nullptr &&
+          interrupt->load(std::memory_order_relaxed) != 0) {
+        break;
+      }
+      const std::uint64_t slice = nap_ms < 10 ? nap_ms : 10;
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      nap_ms -= slice;
+    }
+  }
+}
+
+}  // namespace octopocs::core

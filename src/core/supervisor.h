@@ -1,0 +1,99 @@
+// Supervised per-pair worker processes: spawn, classify, retry,
+// quarantine.
+//
+// With isolation on, each corpus pair runs as `octopocs pair-worker
+// <idx>` in its own sandboxed child (support/subprocess.h) and the
+// supervisor turns whatever happens to that child into exactly one
+// well-formed VerificationReport:
+//
+//   child exits 0 with a framed report  -> the pair's verdict, verbatim
+//   child killed at the wall-clock cap  -> kFailure, deadline_expired
+//   child killed by RLIMIT_CPU          -> kFailure, deadline_expired
+//     (SIGXCPU at the soft cap, SIGKILL at the hard cap — both are the
+//     budget firing deterministically, so retrying is pointless)
+//   child crashed (SIGSEGV/SIGABRT/…),
+//   exited nonzero, or tore its report
+//   mid-write (pipe EOF)                -> transient infrastructure
+//     failure: retried with capped exponential backoff + deterministic
+//     jitter; after max_retries the pair is QUARANTINED — reported as a
+//     contained failure — so one poisoned input can never wedge the
+//     fleet by crashing its worker forever.
+//
+// The whole classification is a pure function (ClassifyChild) so tests
+// can drive every exit path without spawning anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+#include "support/subprocess.h"
+
+namespace octopocs::core {
+
+struct IsolationOptions {
+  /// Path of the octopocs CLI to exec as the worker (normally
+  /// /proc/self/exe).
+  std::string worker_binary;
+  /// Extra argv appended after `pair-worker <idx>` — pipeline flags the
+  /// worker needs to reproduce the in-process verdict, plus test hooks.
+  std::vector<std::string> worker_args;
+  /// Transient-failure retries per pair before quarantine.
+  unsigned max_retries = 2;
+  /// RLIMIT_AS cap per worker, MiB (0 = unlimited).
+  std::uint64_t rlimit_mb = 0;
+  /// Hard wall-clock kill per attempt, ms (0 = unlimited). The worker's
+  /// own cooperative deadline should be tighter: this is the backstop
+  /// for a worker too wedged to honor it.
+  std::uint64_t deadline_ms = 0;
+  /// RLIMIT_CPU soft cap per worker, seconds (0 = unlimited).
+  std::uint64_t cpu_seconds = 0;
+};
+
+enum class ChildOutcome : std::uint8_t {
+  kCleanReport,      // exit 0 + well-formed framed report
+  kMalformedReport,  // exit 0 but the report is missing/torn (retryable)
+  kNonzeroExit,      // worker exited with an error code (retryable)
+  kCrashSignal,      // SIGSEGV/SIGABRT/SIGBUS/… (retryable)
+  kResourceKill,     // SIGXCPU / SIGKILL — a resource cap fired (final)
+  kTimeout,          // supervisor killed it at the wall-clock cap (final)
+  kInterrupted,      // supervisor is draining on SIGINT/SIGTERM (final)
+  kSpawnError,       // fork/exec failed (retryable: transient EAGAIN)
+};
+
+std::string_view ChildOutcomeName(ChildOutcome outcome);
+
+/// True for outcomes the supervisor retries before quarantining.
+bool IsRetryableOutcome(ChildOutcome outcome);
+
+/// Pure classification of one finished child. On kCleanReport, `*report`
+/// holds the parsed worker report; otherwise it is untouched.
+ChildOutcome ClassifyChild(const support::SubprocessResult& result,
+                           VerificationReport* report);
+
+/// Backoff before retry `attempt` (0-based): 20ms · 2^attempt, capped at
+/// 250ms, with ±50% deterministic jitter keyed on (pair_idx, attempt) so
+/// a fleet of retrying supervisors never thunders in lockstep yet every
+/// run of the same corpus sleeps identically.
+std::uint64_t RetryBackoffMs(int pair_idx, unsigned attempt);
+
+struct SupervisedResult {
+  VerificationReport report;
+  unsigned attempts = 0;  // child spawns, including the successful one
+  ChildOutcome last_outcome = ChildOutcome::kSpawnError;
+  bool quarantined = false;
+  bool interrupted = false;
+};
+
+/// Runs `pair` to a report through supervised worker processes.
+/// `interrupt`, when non-null and nonzero, drains promptly: the running
+/// child is SIGKILLed and the result is marked interrupted (callers
+/// must not journal it as finished).
+SupervisedResult RunSupervisedPair(const corpus::Pair& pair,
+                                   const IsolationOptions& isolation,
+                                   const std::atomic<int>* interrupt);
+
+}  // namespace octopocs::core

@@ -1,6 +1,8 @@
 #include "support/fault.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace octopocs::support {
@@ -16,6 +18,21 @@ std::string_view FaultSiteName(FaultSite site) {
   return "?";
 }
 
+bool FaultSiteFromName(std::string_view name, FaultSite* out) {
+  static constexpr FaultSite kSites[] = {
+      FaultSite::kCfgBuild, FaultSite::kSolverStep, FaultSite::kTaintStep,
+      FaultSite::kStateFork, FaultSite::kAllocation};
+  static constexpr std::string_view kEnumNames[] = {
+      "kCfgBuild", "kSolverStep", "kTaintStep", "kStateFork", "kAllocation"};
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    if (name == FaultSiteName(kSites[i]) || name == kEnumNames[i]) {
+      *out = kSites[i];
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace fault {
 
 namespace {
@@ -27,6 +44,7 @@ namespace {
 std::atomic<int> g_site{-1};
 std::atomic<std::int64_t> g_countdown{0};
 std::atomic<std::uint64_t> g_fired{0};
+std::atomic<bool> g_abort_on_fire{false};
 
 std::uint64_t SplitMix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -55,6 +73,11 @@ void Disarm() {
   g_site.store(-1, std::memory_order_relaxed);
   g_countdown.store(0, std::memory_order_relaxed);
   g_fired.store(0, std::memory_order_relaxed);
+  g_abort_on_fire.store(false, std::memory_order_relaxed);
+}
+
+void AbortOnFire(bool enabled) {
+  g_abort_on_fire.store(enabled, std::memory_order_relaxed);
 }
 
 bool armed() { return g_site.load(std::memory_order_relaxed) >= 0; }
@@ -73,6 +96,12 @@ bool Poll(FaultSite site) {
   // This poll owns the firing; disarm so later polls are free again.
   g_site.store(-1, std::memory_order_relaxed);
   g_fired.fetch_add(1, std::memory_order_relaxed);
+  if (g_abort_on_fire.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "injected hard fault at site %.*s: aborting\n",
+                 static_cast<int>(FaultSiteName(site).size()),
+                 FaultSiteName(site).data());
+    std::abort();
+  }
   return true;
 }
 

@@ -39,6 +39,10 @@ inline constexpr std::size_t kFaultSiteCount = 5;
 
 std::string_view FaultSiteName(FaultSite site);
 
+/// Inverse of FaultSiteName; also accepts the enumerator spelling
+/// ("kAllocation") so CLI test hooks can name sites either way.
+bool FaultSiteFromName(std::string_view name, FaultSite* out);
+
 /// What injected faults throw. Deliberately a plain std::runtime_error
 /// subtype: containment must work for *any* exception type, so tests
 /// injecting FaultError exercise the same catch paths real tooling
@@ -59,6 +63,13 @@ void Arm(FaultSite site, std::uint64_t skip = 0);
 FaultSite ArmSeeded(std::uint64_t seed);
 
 void Disarm();
+
+/// When enabled, a firing poll writes a one-line note to stderr and
+/// calls std::abort() instead of reporting the fault to its caller —
+/// the process-death analogue (heap corruption, the OOM killer) of the
+/// catchable tooling faults above. Used by the CLI worker mode to prove
+/// the supervisor's retry path end to end; reset by Disarm().
+void AbortOnFire(bool enabled);
 
 bool armed();
 

@@ -1,0 +1,71 @@
+// Sandboxed child processes with resource caps and kill-on-deadline.
+//
+// The isolation layer (DESIGN.md §12) runs each corpus pair in its own
+// forked worker so that a misbehaving subject — an OOMing symbolic
+// state, a wild store in the VM, an injected tooling abort — takes down
+// one process instead of the whole corpus run. This header is the
+// primitive underneath the supervisor: fork/exec an argv, cap the child
+// with RLIMIT_AS / RLIMIT_CPU (and always RLIMIT_CORE=0 so crashing
+// workers never litter core files), capture its stdout over a pipe, and
+// SIGKILL it when a wall-clock deadline or an external interrupt flag
+// says so. The parent drains the pipe while the child runs, so a worker
+// that writes more than one pipe buffer cannot deadlock against its
+// supervisor.
+//
+// POSIX-only by nature (fork/exec/waitpid); on non-POSIX builds
+// RunProcess reports kSpawnError so callers degrade to in-process
+// execution instead of failing to compile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace octopocs::support {
+
+struct SubprocessLimits {
+  /// RLIMIT_AS cap in MiB (0 = unlimited). Allocations past the cap
+  /// fail inside the child (malloc returns NULL / bad_alloc), which is
+  /// exactly the memory-pressure failure mode the pipeline's
+  /// containment layer is built for.
+  std::uint64_t rlimit_mb = 0;
+  /// RLIMIT_CPU soft cap in seconds (0 = unlimited). The kernel sends
+  /// SIGXCPU at the soft limit and SIGKILL at soft+2s.
+  std::uint64_t cpu_seconds = 0;
+  /// Wall-clock budget in milliseconds (0 = unlimited). On expiry the
+  /// parent SIGKILLs the child and reports kKilledByDeadline.
+  std::uint64_t deadline_ms = 0;
+};
+
+enum class SubprocessStatus : std::uint8_t {
+  kExited,            // child called exit(); exit_code is valid
+  kSignaled,          // child died from a signal; signal is valid
+  kKilledByDeadline,  // parent SIGKILLed it at the wall-clock budget
+  kInterrupted,       // parent SIGKILLed it because `interrupt` tripped
+  kSpawnError,        // fork/exec never produced a child; error is set
+};
+
+std::string_view SubprocessStatusName(SubprocessStatus status);
+
+struct SubprocessResult {
+  SubprocessStatus status = SubprocessStatus::kSpawnError;
+  int exit_code = -1;   // valid for kExited
+  int term_signal = 0;  // valid for kSignaled
+  /// Everything the child wrote to stdout before exiting (possibly a
+  /// truncated prefix when the child died mid-write).
+  std::string output;
+  std::string error;  // human-readable spawn failure, kSpawnError only
+  double wall_seconds = 0;
+};
+
+/// Runs `argv` (argv[0] is the executable path, resolved via PATH) to
+/// completion under `limits`. `interrupt`, when non-null, is polled
+/// while the child runs; a nonzero value SIGKILLs the child and yields
+/// kInterrupted — this is how a Ctrl-C on the supervisor drains its
+/// worker fleet promptly. Never throws; every failure mode is a status.
+SubprocessResult RunProcess(const std::vector<std::string>& argv,
+                            const SubprocessLimits& limits,
+                            const std::atomic<int>* interrupt = nullptr);
+
+}  // namespace octopocs::support

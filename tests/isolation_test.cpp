@@ -1,0 +1,560 @@
+// Process isolation, supervision, and crash journaling (DESIGN.md §12).
+//
+// Three layers under test, bottom up:
+//   - support/subprocess.h: fork/exec with rlimits, pipe capture, and
+//     kill-on-deadline — exercised against /bin/sh so every
+//     SubprocessStatus is reachable without a cooperating binary;
+//   - core/supervisor.h: the pure child-outcome classification
+//     (ClassifyChild on every exit path), the deterministic backoff,
+//     and the retry/quarantine loop end to end via shell-script shim
+//     workers (a worker that crashes once and then reports cleanly
+//     must be retried to success; one that always crashes must be
+//     quarantined into a contained kFailure report);
+//   - core/journal.h + core/report_io.h: report serialization must
+//     round-trip every verdict-bearing field, and the journal loader
+//     must replay finished pairs, tolerate a torn trailing record at
+//     *any* byte truncation point (the torn-write property test), and
+//     refuse corruption anywhere else.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
+#include "core/journal.h"
+#include "core/octopocs.h"
+#include "core/parallel_verify.h"
+#include "core/report_io.h"
+#include "core/supervisor.h"
+#include "corpus/pairs.h"
+#include "support/subprocess.h"
+
+namespace octopocs::core {
+namespace {
+
+using support::RunProcess;
+using support::SubprocessLimits;
+using support::SubprocessResult;
+using support::SubprocessStatus;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "octopocs_isolation_" + name;
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << text;
+}
+
+std::string ReadText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+/// A report with every serialized field away from its default, so a
+/// round-trip that drops a field cannot pass by accident.
+VerificationReport FullReport() {
+  VerificationReport r;
+  r.verdict = Verdict::kTriggered;
+  r.type = ResultType::kTypeII;
+  r.detail = "tricky \"detail\"\nwith\tescapes\x01and bytes";
+  r.ep_name = "png_read_chunk";
+  r.ep_in_s = 3;
+  r.ep_in_t = 5;
+  r.ep_encounters_in_s = 2;
+  r.bunch_count = 2;
+  r.crash_primitive_bytes = 12;
+  r.symex_status = symex::SymexStatus::kPocGenerated;
+  r.poc_generated = true;
+  r.reformed_poc = {0x25, 0x50, 0x00, 0xff};
+  r.bunch_offsets = {6, 7, 1000};
+  r.observed_trap = vm::TrapKind::kOutOfBounds;
+  r.failed_phase = "P2/P3";
+  r.deadline_expired = true;
+  r.exception_contained = true;
+  r.cfg_static_fallback = true;
+  r.solver_budget_retried = true;
+  r.timings.preprocess_seconds = 0.125;
+  r.timings.p1_seconds = 1.5;
+  r.timings.p23_seconds = 2.25;
+  r.timings.p4_seconds = 0.0625;
+  r.timings.total_seconds = 3.9375;
+  return r;
+}
+
+void ExpectReportsEqual(const VerificationReport& a,
+                        const VerificationReport& b) {
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.ep_name, b.ep_name);
+  EXPECT_EQ(a.ep_in_s, b.ep_in_s);
+  EXPECT_EQ(a.ep_in_t, b.ep_in_t);
+  EXPECT_EQ(a.ep_encounters_in_s, b.ep_encounters_in_s);
+  EXPECT_EQ(a.bunch_count, b.bunch_count);
+  EXPECT_EQ(a.crash_primitive_bytes, b.crash_primitive_bytes);
+  EXPECT_EQ(a.symex_status, b.symex_status);
+  EXPECT_EQ(a.poc_generated, b.poc_generated);
+  EXPECT_EQ(a.reformed_poc, b.reformed_poc);
+  EXPECT_EQ(a.bunch_offsets, b.bunch_offsets);
+  EXPECT_EQ(a.observed_trap, b.observed_trap);
+  EXPECT_EQ(a.failed_phase, b.failed_phase);
+  EXPECT_EQ(a.deadline_expired, b.deadline_expired);
+  EXPECT_EQ(a.exception_contained, b.exception_contained);
+  EXPECT_EQ(a.cfg_static_fallback, b.cfg_static_fallback);
+  EXPECT_EQ(a.solver_budget_retried, b.solver_budget_retried);
+  EXPECT_DOUBLE_EQ(a.timings.preprocess_seconds, b.timings.preprocess_seconds);
+  EXPECT_DOUBLE_EQ(a.timings.p1_seconds, b.timings.p1_seconds);
+  EXPECT_DOUBLE_EQ(a.timings.p23_seconds, b.timings.p23_seconds);
+  EXPECT_DOUBLE_EQ(a.timings.p4_seconds, b.timings.p4_seconds);
+  EXPECT_DOUBLE_EQ(a.timings.total_seconds, b.timings.total_seconds);
+}
+
+// -- Report (de)serialization -------------------------------------------------
+
+TEST(ReportIoTest, RoundTripsEveryField) {
+  const VerificationReport original = FullReport();
+  VerificationReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReport(SerializeReport(original), &parsed, &error))
+      << error;
+  ExpectReportsEqual(original, parsed);
+}
+
+TEST(ReportIoTest, RoundTripsARealPipelineReport) {
+  const VerificationReport original = VerifyPair(corpus::BuildPair(1));
+  VerificationReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReport(SerializeReport(original), &parsed, &error))
+      << error;
+  ExpectReportsEqual(original, parsed);
+}
+
+TEST(ReportIoTest, WorkerFramingRoundTrips) {
+  const VerificationReport original = FullReport();
+  // Supervisors tolerate worker chatter before the framed report.
+  const std::string wire =
+      "some stray diagnostic line\n" + MarshalWorkerReport(original);
+  VerificationReport parsed;
+  std::string error;
+  ASSERT_TRUE(UnmarshalWorkerReport(wire, &parsed, &error)) << error;
+  ExpectReportsEqual(original, parsed);
+}
+
+TEST(ReportIoTest, TornFramingIsRejected) {
+  const std::string wire = MarshalWorkerReport(FullReport());
+  VerificationReport parsed;
+  // Cut anywhere inside the report line or before the DONE sentinel
+  // lands: a worker that died mid-write must never yield a report.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, wire.size() / 2, wire.size() - 2}) {
+    std::string error;
+    EXPECT_FALSE(
+        UnmarshalWorkerReport(wire.substr(0, keep), &parsed, &error))
+        << "accepted a torn wire at " << keep;
+  }
+}
+
+TEST(MiniJsonTest, RejectsTrailingGarbageAndTruncation) {
+  minijson::Value value;
+  std::string error;
+  EXPECT_TRUE(minijson::Parse(R"({"a":[1,2.5,"x"],"b":true})", &value,
+                              &error));
+  EXPECT_FALSE(minijson::Parse(R"({"a":1} trailing)", &value, &error));
+  EXPECT_FALSE(minijson::Parse(R"({"a":)", &value, &error));
+  EXPECT_FALSE(minijson::Parse(R"({"a")", &value, &error));
+  EXPECT_FALSE(minijson::Parse("", &value, &error));
+}
+
+TEST(MiniJsonTest, EscapeRoundTripsControlBytes) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  minijson::Value value;
+  std::string error;
+  ASSERT_TRUE(minijson::Parse("\"" + minijson::Escape(nasty) + "\"", &value,
+                              &error))
+      << error;
+  EXPECT_EQ(value.text, nasty);
+}
+
+// -- Subprocess primitive -----------------------------------------------------
+
+#ifndef _WIN32
+
+TEST(SubprocessTest, CapturesOutputAndExitCode) {
+  const SubprocessResult r = RunProcess(
+      {"/bin/sh", "-c", "echo hello-from-child; exit 7"}, {});
+  EXPECT_EQ(r.status, SubprocessStatus::kExited);
+  EXPECT_EQ(r.exit_code, 7);
+  EXPECT_NE(r.output.find("hello-from-child"), std::string::npos);
+}
+
+TEST(SubprocessTest, LargeOutputDoesNotDeadlock) {
+  // Well past any pipe buffer: the parent must drain while the child
+  // writes.
+  const SubprocessResult r = RunProcess(
+      {"/bin/sh", "-c",
+       "i=0; while [ $i -lt 400 ]; do "
+       "printf '%01024d' 0; i=$((i+1)); done"},
+      {});
+  EXPECT_EQ(r.status, SubprocessStatus::kExited);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.size(), 400u * 1024u);
+}
+
+TEST(SubprocessTest, ReportsTerminationSignal) {
+  const SubprocessResult r =
+      RunProcess({"/bin/sh", "-c", "kill -SEGV $$"}, {});
+  EXPECT_EQ(r.status, SubprocessStatus::kSignaled);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+}
+
+TEST(SubprocessTest, DeadlineKillsAHungChild) {
+  SubprocessLimits limits;
+  limits.deadline_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult r = RunProcess({"/bin/sh", "-c", "sleep 30"}, limits);
+  EXPECT_EQ(r.status, SubprocessStatus::kKilledByDeadline);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            10.0);
+}
+
+TEST(SubprocessTest, InterruptFlagKillsTheChild) {
+  std::atomic<int> interrupt{0};
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    interrupt.store(1);
+  });
+  const SubprocessResult r =
+      RunProcess({"/bin/sh", "-c", "sleep 30"}, {}, &interrupt);
+  trip.join();
+  EXPECT_EQ(r.status, SubprocessStatus::kInterrupted);
+}
+
+TEST(SubprocessTest, EmptyArgvIsASpawnError) {
+  const SubprocessResult r = RunProcess({}, {});
+  EXPECT_EQ(r.status, SubprocessStatus::kSpawnError);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(SubprocessTest, ExecFailureExitsWithShellConvention) {
+  const SubprocessResult r =
+      RunProcess({"/definitely/not/a/real/binary"}, {});
+  EXPECT_EQ(r.status, SubprocessStatus::kExited);
+  EXPECT_EQ(r.exit_code, 127);
+}
+
+#endif  // !_WIN32
+
+// -- Child-outcome classification (pure, no processes) ------------------------
+
+TEST(SupervisorTest, ClassifiesEveryExitPath) {
+  VerificationReport report;
+  SubprocessResult r;
+
+  r.status = SubprocessStatus::kExited;
+  r.exit_code = 0;
+  r.output = MarshalWorkerReport(FullReport());
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kCleanReport);
+  EXPECT_EQ(report.verdict, Verdict::kTriggered);
+
+  r.output = "garbage with no framing";
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kMalformedReport);
+
+  const std::string wire = MarshalWorkerReport(FullReport());
+  r.output = wire.substr(0, wire.size() / 2);  // torn mid-write
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kMalformedReport);
+
+  r.exit_code = 3;
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kNonzeroExit);
+
+  r = SubprocessResult{};
+  r.status = SubprocessStatus::kSignaled;
+  for (const int crash : {11 /*SEGV*/, 6 /*ABRT*/, 7 /*BUS*/, 4 /*ILL*/}) {
+    r.term_signal = crash;
+    EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kCrashSignal)
+        << "signal " << crash;
+  }
+  for (const int cap : {24 /*XCPU*/, 9 /*KILL*/}) {
+    r.term_signal = cap;
+    EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kResourceKill)
+        << "signal " << cap;
+  }
+
+  r.status = SubprocessStatus::kKilledByDeadline;
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kTimeout);
+  r.status = SubprocessStatus::kInterrupted;
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kInterrupted);
+  r.status = SubprocessStatus::kSpawnError;
+  EXPECT_EQ(ClassifyChild(r, &report), ChildOutcome::kSpawnError);
+}
+
+TEST(SupervisorTest, RetryabilityPolicy) {
+  EXPECT_TRUE(IsRetryableOutcome(ChildOutcome::kMalformedReport));
+  EXPECT_TRUE(IsRetryableOutcome(ChildOutcome::kNonzeroExit));
+  EXPECT_TRUE(IsRetryableOutcome(ChildOutcome::kCrashSignal));
+  EXPECT_TRUE(IsRetryableOutcome(ChildOutcome::kSpawnError));
+  EXPECT_FALSE(IsRetryableOutcome(ChildOutcome::kCleanReport));
+  EXPECT_FALSE(IsRetryableOutcome(ChildOutcome::kResourceKill));
+  EXPECT_FALSE(IsRetryableOutcome(ChildOutcome::kTimeout));
+  EXPECT_FALSE(IsRetryableOutcome(ChildOutcome::kInterrupted));
+}
+
+TEST(SupervisorTest, BackoffIsDeterministicBoundedAndJittered) {
+  bool saw_distinct = false;
+  for (unsigned attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t base =
+        std::min<std::uint64_t>(20ull << std::min(attempt, 8u), 250);
+    for (int pair = 1; pair <= 15; ++pair) {
+      const std::uint64_t ms = RetryBackoffMs(pair, attempt);
+      EXPECT_EQ(ms, RetryBackoffMs(pair, attempt)) << "nondeterministic";
+      EXPECT_GE(ms, base / 2);
+      EXPECT_LE(ms, base + base / 2);
+      if (ms != RetryBackoffMs((pair % 15) + 1, attempt)) saw_distinct = true;
+    }
+  }
+  EXPECT_TRUE(saw_distinct) << "jitter never varied across pairs";
+}
+
+// -- Supervised workers end to end (shell-script shims) -----------------------
+
+#ifndef _WIN32
+
+/// Writes an executable worker shim. The supervisor invokes it as
+/// `script pair-worker <idx> ...`; the scripts ignore their argv.
+std::string WriteWorkerScript(const std::string& name,
+                              const std::string& body) {
+  const std::string path = TempPath(name + ".sh");
+  WriteText(path, "#!/bin/sh\n" + body);
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+corpus::Pair TinyPair() { return corpus::BuildPair(1); }
+
+TEST(SupervisorTest, CleanWorkerReportIsReturnedVerbatim) {
+  const std::string report_path = TempPath("clean_report.txt");
+  WriteText(report_path, MarshalWorkerReport(FullReport()));
+  IsolationOptions iso;
+  iso.worker_binary =
+      WriteWorkerScript("clean", "cat " + report_path + "\n");
+  iso.max_retries = 0;
+  const SupervisedResult r = RunSupervisedPair(TinyPair(), iso, nullptr);
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kCleanReport);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_FALSE(r.quarantined);
+  ExpectReportsEqual(FullReport(), r.report);
+}
+
+TEST(SupervisorTest, CrashingWorkerIsRetriedToSuccess) {
+  const std::string report_path = TempPath("retry_report.txt");
+  const std::string stamp = TempPath("retry_stamp");
+  std::remove(stamp.c_str());
+  WriteText(report_path, MarshalWorkerReport(FullReport()));
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript(
+      "flaky", "if [ ! -e " + stamp + " ]; then : > " + stamp +
+                   "; kill -SEGV $$; fi\ncat " + report_path + "\n");
+  iso.max_retries = 2;
+  const SupervisedResult r = RunSupervisedPair(TinyPair(), iso, nullptr);
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kCleanReport);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_FALSE(r.quarantined);
+  ExpectReportsEqual(FullReport(), r.report);
+}
+
+TEST(SupervisorTest, PersistentCrasherIsQuarantined) {
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript("crasher", "kill -SEGV $$\n");
+  iso.max_retries = 1;
+  const SupervisedResult r = RunSupervisedPair(TinyPair(), iso, nullptr);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_EQ(r.attempts, 2u);  // original + one retry
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kCrashSignal);
+  EXPECT_EQ(r.report.verdict, Verdict::kFailure);
+  EXPECT_TRUE(r.report.exception_contained);
+  EXPECT_NE(r.report.detail.find("quarantined"), std::string::npos);
+}
+
+TEST(SupervisorTest, HungWorkerTimesOutWithoutRetry) {
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript("hang", "sleep 30\n");
+  iso.max_retries = 3;
+  iso.deadline_ms = 100;
+  const SupervisedResult r = RunSupervisedPair(TinyPair(), iso, nullptr);
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kTimeout);
+  EXPECT_EQ(r.attempts, 1u);  // the cap is deterministic: never retried
+  EXPECT_TRUE(r.report.deadline_expired);
+}
+
+TEST(SupervisorTest, InterruptDrainsWithoutSpawning) {
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript("never", "exit 0\n");
+  const std::atomic<int> interrupt{1};
+  const SupervisedResult r = RunSupervisedPair(TinyPair(), iso, &interrupt);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(r.attempts, 0u);
+  EXPECT_EQ(r.report.verdict, Verdict::kFailure);
+}
+
+#endif  // !_WIN32
+
+// -- Crash journal ------------------------------------------------------------
+
+TEST(JournalTest, FingerprintCoversVerdictBearingKnobs) {
+  const PipelineOptions base;
+  const std::string fp =
+      CorpusOptionsFingerprint(base, false, 15, 0, false, 0);
+  EXPECT_EQ(fp, CorpusOptionsFingerprint(base, false, 15, 0, false, 0));
+  EXPECT_NE(fp, CorpusOptionsFingerprint(base, true, 15, 0, false, 0));
+  EXPECT_NE(fp, CorpusOptionsFingerprint(base, false, 6, 0, false, 0));
+  EXPECT_NE(fp, CorpusOptionsFingerprint(base, false, 15, 500, false, 0));
+  EXPECT_NE(fp, CorpusOptionsFingerprint(base, false, 15, 0, true, 0));
+  EXPECT_NE(fp, CorpusOptionsFingerprint(base, false, 15, 0, true, 256));
+  PipelineOptions tweaked = base;
+  tweaked.adaptive_theta = true;
+  EXPECT_NE(fp, CorpusOptionsFingerprint(tweaked, false, 15, 0, false, 0));
+}
+
+#ifndef _WIN32
+
+TEST(JournalTest, WritesAndReloadsStartedAndFinished) {
+  const std::string path = TempPath("basic.jsonl");
+  std::string error;
+  auto journal = Journal::Create(path, "cafe0123", 15, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  journal->Started(1, 1);
+  journal->Finished(1, FullReport());
+  journal->Started(2, 1);
+  journal.reset();  // close + final fsync
+
+  const auto state = LoadJournal(path, &error);
+  ASSERT_TRUE(state.has_value()) << error;
+  EXPECT_EQ(state->options_hash, "cafe0123");
+  EXPECT_EQ(state->pair_count, 15u);
+  EXPECT_FALSE(state->torn_tail);
+  ASSERT_EQ(state->finished.size(), 1u);
+  ExpectReportsEqual(FullReport(), state->finished.at(1));
+  ASSERT_EQ(state->started_unfinished.size(), 1u);
+  EXPECT_EQ(state->started_unfinished.count(2), 1u);
+}
+
+TEST(JournalTest, RefusesCorruptionAwayFromTheTail) {
+  const std::string path = TempPath("corrupt.jsonl");
+  std::string error;
+
+  WriteText(path, "not json\n{\"type\":\"started\",\"pair\":1}\n");
+  EXPECT_FALSE(LoadJournal(path, &error).has_value());
+
+  WriteText(path,
+            "{\"type\":\"header\",\"version\":1,\"options_hash\":\"x\","
+            "\"pair_count\":2}\n"
+            "garbage record\n"
+            "{\"type\":\"started\",\"pair\":1,\"attempt\":1}\n");
+  EXPECT_FALSE(LoadJournal(path, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+
+  // Wrong version, duplicate finished, unknown type: all hard errors.
+  WriteText(path,
+            "{\"type\":\"header\",\"version\":99,\"options_hash\":\"x\","
+            "\"pair_count\":2}\n");
+  EXPECT_FALSE(LoadJournal(path, &error).has_value());
+  WriteText(path,
+            "{\"type\":\"header\",\"version\":1,\"options_hash\":\"x\","
+            "\"pair_count\":2}\n"
+            "{\"type\":\"mystery\"}\n"
+            "{\"type\":\"started\",\"pair\":1,\"attempt\":1}\n");
+  EXPECT_FALSE(LoadJournal(path, &error).has_value());
+}
+
+TEST(JournalTest, EveryTruncationOfTheTailRecordResumesCleanly) {
+  // Build a reference journal, then replay every possible torn write of
+  // its final record: load must succeed, report the torn tail, and
+  // Resume must heal it so an appended record lands on a clean line.
+  const std::string path = TempPath("torn.jsonl");
+  std::string error;
+  {
+    auto journal = Journal::Create(path, "feedbeef", 15, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    journal->Started(1, 1);
+    journal->Finished(1, FullReport());
+    journal->Started(2, 1);
+    journal->Finished(2, FullReport());
+  }
+  const std::string full = ReadText(path);
+  ASSERT_FALSE(full.empty());
+  // Offset where the last record begins (after the 4th newline).
+  std::size_t tail_start = full.size() - 1;
+  while (tail_start > 0 && full[tail_start - 1] != '\n') --tail_start;
+
+  for (std::size_t keep = tail_start; keep < full.size(); ++keep) {
+    WriteText(path, full.substr(0, keep));
+    auto state = LoadJournal(path, &error);
+    ASSERT_TRUE(state.has_value())
+        << "truncation at " << keep << ": " << error;
+    EXPECT_EQ(state->torn_tail, keep != tail_start) << keep;
+    EXPECT_EQ(state->valid_bytes, tail_start) << keep;
+    ASSERT_EQ(state->finished.size(), 1u) << keep;
+    EXPECT_EQ(state->started_unfinished.count(2), 1u) << keep;
+
+    auto journal = Journal::Resume(path, *state, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    journal->Finished(2, FullReport());
+    journal.reset();
+    auto healed = LoadJournal(path, &error);
+    ASSERT_TRUE(healed.has_value()) << error;
+    EXPECT_FALSE(healed->torn_tail);
+    EXPECT_EQ(healed->finished.size(), 2u);
+  }
+}
+
+TEST(JournalTest, CorpusRunJournalsAndResumeReplaysWithoutRerunning) {
+  const std::string path = TempPath("corpus.jsonl");
+  const std::vector<corpus::Pair> pairs = {corpus::BuildPair(1),
+                                           corpus::BuildPair(4)};
+  const PipelineOptions options;
+  std::string error;
+
+  std::vector<VerificationReport> first;
+  {
+    auto journal = Journal::Create(path, "deadf00d", pairs.size(), &error);
+    ASSERT_NE(journal, nullptr) << error;
+    CorpusRunConfig config;
+    config.journal = journal.get();
+    first = VerifyCorpus(pairs, options, config);
+  }
+
+  auto state = LoadJournal(path, &error);
+  ASSERT_TRUE(state.has_value()) << error;
+  ASSERT_EQ(state->finished.size(), pairs.size());
+  EXPECT_TRUE(state->started_unfinished.empty());
+
+  // Resume with every pair finished and a 1ms pair deadline: only a
+  // replay (no re-execution) can reproduce the original reports — a
+  // re-run would come back deadline_expired.
+  CorpusRunConfig resume;
+  resume.pair_deadline_ms = 1;
+  resume.resume_finished = &state->finished;
+  const auto replayed = VerifyCorpus(pairs, options, resume);
+  ASSERT_EQ(replayed.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ExpectReportsEqual(first[i], replayed[i]);
+  }
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace octopocs::core

@@ -177,6 +177,27 @@ TEST(DeadlineUnit, SoonerPicksTheTighterBudget) {
   EXPECT_TRUE(Deadline::Sooner(Deadline::AfterMillis(0), hour).Expired());
 }
 
+TEST(DeadlineUnit, SoonerOfTwoBoundedBudgetsKeepsTheTighterPoint) {
+  // Sooner must select one of its operands, not synthesize a new
+  // instant: the result expires within the tighter operand's hour, in
+  // either argument order.
+  const auto now = Deadline::Clock::now();
+  const Deadline one_hour = Deadline::At(now + std::chrono::hours(1));
+  const Deadline two_hours = Deadline::At(now + std::chrono::hours(2));
+  for (const Deadline& sooner : {Deadline::Sooner(one_hour, two_hours),
+                                 Deadline::Sooner(two_hours, one_hour)}) {
+    EXPECT_FALSE(sooner.unlimited());
+    EXPECT_FALSE(sooner.Expired());
+    EXPECT_NEAR(sooner.RemainingSeconds(), 3600.0, 5.0);
+  }
+  // One bounded side: the bounded one comes back however far away it is.
+  EXPECT_FALSE(Deadline::Sooner(two_hours, Deadline::Never()).unlimited());
+  EXPECT_FALSE(Deadline::Sooner(Deadline::Never(), two_hours).Expired());
+  // Two equal instants collapse to that same instant.
+  EXPECT_NEAR(Deadline::Sooner(one_hour, one_hour).RemainingSeconds(),
+              3600.0, 5.0);
+}
+
 TEST(CancelTokenUnit, DefaultTokenNeverTrips) {
   CancelToken tok;
   EXPECT_FALSE(tok.CanExpire());

@@ -38,7 +38,8 @@
 //       shared.txt so the other subcommands can chew on it.
 //   corpus [--jobs N] [--extended] [--adaptive-theta]
 //          [--pair-deadline-ms N] [--frontier-jobs N] [--trace-out FILE]
-//          [--artifact-cache=on|off]
+//          [--artifact-cache=on|off] [--isolate] [--rlimit-mb N]
+//          [--max-retries N] [--journal FILE] [--resume FILE]
 //       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
 //       --extended) with N pipeline runs in flight at once. Reports are
 //       printed in pair order and are byte-identical to a serial run
@@ -51,6 +52,19 @@
 //       primitives, CFG edges) across pairs with a common S or T; the
 //       summary then reports the store's hit/miss counts. --trace-out
 //       captures the whole corpus run as one JSONL trace.
+//       Production robustness (DESIGN.md §12): --isolate runs every
+//       pair in a sandboxed, supervised worker process (`pair-worker`
+//       mode of this binary) — a crashing or OOMing pair is retried
+//       with backoff and quarantined after --max-retries, never taking
+//       the run down; --rlimit-mb caps each worker's address space.
+//       --journal FILE records a write-ahead fsync'd JSONL crash
+//       journal; --resume FILE replays the finished pairs of an
+//       interrupted run (same options only — the journal's fingerprint
+//       is checked) and re-runs the rest, appending to the journal.
+//   pair-worker <idx> [pipeline flags]
+//       Internal: verify one corpus pair and emit the framed report the
+//       supervisor unmarshals (OCTO-REPORT {...} / OCTO-DONE). Spawned
+//       by `corpus --isolate`; not meant for direct use.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -58,21 +72,34 @@
 // reached a genuinely wrong verdict, and 4 when the only unexpected
 // results are infrastructure failures (deadline expiry / contained
 // faults) — distinguishable so CI can retry timeouts without masking
-// real mismatches.
+// real mismatches. SIGINT/SIGTERM drains gracefully — running pairs
+// are cancelled, workers killed, trace buffers flushed and a partial
+// summary printed — and exits 128+signal.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "clone/detector.h"
 #include "core/artifact_store.h"
+#include "core/journal.h"
 #include "core/minimize.h"
 #include "core/octopocs.h"
 #include "core/parallel_verify.h"
+#include "core/report_io.h"
+#include "core/supervisor.h"
 #include "corpus/extended.h"
+#include "support/fault.h"
 #include "support/hex.h"
 #include "support/trace.h"
 #include "vm/asm.h"
@@ -82,6 +109,31 @@
 using namespace octopocs;
 
 namespace {
+
+// -- Graceful interruption ----------------------------------------------------
+//
+// The handler only touches lock-free atomics (async-signal-safe); the
+// actual drain is cooperative: `verify` polls g_cancel through its
+// cancellation tokens, `corpus` additionally fans the flag out to every
+// running pair's kill switch and to worker processes (SIGKILLed by
+// their supervisors), and the main thread then flushes trace buffers,
+// prints a partial summary, and exits 128+signal — an interrupt no
+// longer loses the whole trace file or the finished pairs' results.
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_cancel{false};
+
+void OnSignal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+}
+
+/// Absolute path of this binary, for respawning as `pair-worker`.
+std::string g_self_exe;
 
 std::string ReadTextFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -236,6 +288,8 @@ int CmdVerify(int argc, char** argv) {
   support::Tracer tracer;
   core::ArtifactStore store;
   obs.Wire(opts, tracer, store);
+  InstallSignalHandlers();
+  opts.cancel_flag = &g_cancel;
   core::Octopocs pipeline(s, t, shared, poc, opts, name_map);
   const core::VerificationReport r = pipeline.Verify();
 
@@ -296,7 +350,96 @@ int CmdVerify(int argc, char** argv) {
       std::printf("written to %s\n", out_path.c_str());
     }
   }
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (sig != 0) {
+    std::printf("interrupted by signal %d — partial report above, trace "
+                "flushed\n", sig);
+    return 128 + sig;
+  }
   return r.verdict == core::Verdict::kFailure ? 1 : 0;
+}
+
+// Worker half of `corpus --isolate`: verify exactly one pair and write
+// the framed report (OCTO-REPORT {...} / OCTO-DONE) to stdout for the
+// supervisor to unmarshal. Pipeline flags mirror the corpus command so
+// the supervisor can forward its configuration verbatim; the verdict is
+// byte-identical to an in-process VerifyPair with the same options.
+//
+// --abort-fault SITE:SKIP:STAMP is a test hook for the CI fault leg:
+// when STAMP does not exist yet, it is created and the named fault site
+// is armed in hard-abort mode, so this worker dies mid-pair (SIGABRT)
+// exactly once per stamp file — the supervisor's retry then runs clean
+// and the corpus result must come out unharmed.
+int CmdPairWorker(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: octopocs pair-worker <idx> "
+                         "[--adaptive-theta] [--frontier-jobs N] "
+                         "[--deadline-ms N] [--theta N] [--context-free] "
+                         "[--static-cfg] [--fix-angr] [--cfg-fallback] "
+                         "[--solver-retry] [--abort-fault SITE:SKIP:STAMP]\n");
+    return 2;
+  }
+  const int idx = std::atoi(argv[0]);
+  core::PipelineOptions opts;
+  std::string abort_fault;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--adaptive-theta") {
+      opts.adaptive_theta = true;
+    } else if (arg == "--frontier-jobs" && i + 1 < argc) {
+      opts.symex.frontier_jobs =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      opts.deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--theta" && i + 1 < argc) {
+      opts.symex.theta = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--context-free") {
+      opts.taint.context_aware = false;
+    } else if (arg == "--static-cfg") {
+      opts.cfg.use_dynamic = false;
+    } else if (arg == "--fix-angr") {
+      opts.cfg.resolve_obfuscated_icalls = true;
+    } else if (arg == "--cfg-fallback") {
+      opts.cfg_fallback_to_static = true;
+    } else if (arg == "--solver-retry") {
+      opts.solver_budget_retry = true;
+    } else if (arg == "--abort-fault" && i + 1 < argc) {
+      abort_fault = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown pair-worker option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!abort_fault.empty()) {
+    const std::size_t c1 = abort_fault.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : abort_fault.find(':', c1 + 1);
+    support::FaultSite site;
+    if (c2 == std::string::npos ||
+        !support::FaultSiteFromName(abort_fault.substr(0, c1), &site)) {
+      std::fprintf(stderr, "bad --abort-fault spec: %s\n",
+                   abort_fault.c_str());
+      return 2;
+    }
+    const std::uint64_t skip = static_cast<std::uint64_t>(
+        std::atoll(abort_fault.substr(c1 + 1, c2 - c1 - 1).c_str()));
+    const std::string stamp = abort_fault.substr(c2 + 1);
+    if (!std::ifstream(stamp).good()) {
+      WriteFile(stamp, std::string("armed\n"));
+      support::fault::Arm(site, skip);
+      support::fault::AbortOnFire(true);
+    }
+  }
+
+  const corpus::Pair pair = LoadPair(idx);
+  const core::VerificationReport report = core::VerifyPair(pair, opts);
+  support::fault::Disarm();
+  const std::string framed = core::MarshalWorkerReport(report);
+  std::fwrite(framed.data(), 1, framed.size(), stdout);
+  std::fflush(stdout);
+  return 0;
 }
 
 int CmdDetect(int argc, char** argv) {
@@ -386,9 +529,18 @@ int CmdDisasm(int argc, char** argv) {
 int CmdCorpus(int argc, char** argv) {
   unsigned jobs = 1;
   bool extended = false;
+  bool isolate = false;
   std::uint64_t pair_deadline_ms = 0;
+  std::uint64_t rlimit_mb = 0;
+  unsigned max_retries = 2;
+  std::string journal_path;
+  std::string resume_path;
+  std::string worker_fault;
   core::PipelineOptions opts;
   ObservabilityFlags obs;
+  // Pipeline flags a worker process must see to reproduce the
+  // in-process verdict, collected verbatim as they are parsed.
+  std::vector<std::string> forwarded;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
@@ -402,11 +554,29 @@ int CmdCorpus(int argc, char** argv) {
       extended = true;
     } else if (arg == "--adaptive-theta") {
       opts.adaptive_theta = true;
+      forwarded.push_back(arg);
     } else if (arg == "--pair-deadline-ms" && i + 1 < argc) {
       pair_deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       opts.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      forwarded.push_back(arg);
+      forwarded.push_back(argv[i]);
+    } else if (arg == "--isolate") {
+      isolate = true;
+    } else if (arg == "--rlimit-mb" && i + 1 < argc) {
+      rlimit_mb = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-retries" && i + 1 < argc) {
+      max_retries = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--journal" && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (arg == "--worker-fault" && i + 1 < argc) {
+      // Test hook (CI fault leg): forwarded to workers as
+      // --abort-fault SITE:SKIP:STAMP — the first worker to see the
+      // missing stamp file aborts mid-pair, its retry runs clean.
+      worker_fault = argv[++i];
     } else if (obs.Parse(arg, argc, argv, i)) {
       // consumed
     } else {
@@ -414,41 +584,139 @@ int CmdCorpus(int argc, char** argv) {
       return 2;
     }
   }
+  if ((!journal_path.empty() || !resume_path.empty()) &&
+      !(journal_path.empty() || resume_path.empty())) {
+    std::fprintf(stderr, "--journal and --resume are exclusive "
+                         "(--resume appends to the resumed journal)\n");
+    return 2;
+  }
+  if (!worker_fault.empty() && !isolate) {
+    std::fprintf(stderr, "--worker-fault requires --isolate\n");
+    return 2;
+  }
 
   support::Tracer tracer;
   core::ArtifactStore store;
   obs.Wire(opts, tracer, store);
   const std::vector<corpus::Pair> pairs =
       extended ? corpus::BuildExtendedCorpus() : corpus::BuildCorpus();
+
+  core::CorpusRunConfig config;
+  config.jobs = jobs;
+  config.pair_deadline_ms = pair_deadline_ms;
+  config.interrupt = &g_signal;
+
+  core::IsolationOptions isolation;
+  if (isolate) {
+    isolation.worker_binary = g_self_exe;
+    isolation.worker_args = forwarded;
+    isolation.max_retries = max_retries;
+    isolation.rlimit_mb = rlimit_mb;
+    if (pair_deadline_ms > 0) {
+      // The worker honors the budget cooperatively via its in-pipeline
+      // deadline; the supervisor's SIGKILL backstop sits 2s above it
+      // for workers too wedged to poll.
+      isolation.worker_args.push_back("--deadline-ms");
+      isolation.worker_args.push_back(std::to_string(pair_deadline_ms));
+      isolation.deadline_ms = pair_deadline_ms + 2000;
+    }
+    if (!worker_fault.empty()) {
+      isolation.worker_args.push_back("--abort-fault");
+      isolation.worker_args.push_back(worker_fault);
+    }
+    config.isolation = &isolation;
+  }
+
+  // The journal fingerprint covers every verdict-bearing knob, so a
+  // resume against different options is refused instead of splicing
+  // incomparable verdicts into one result set.
+  const std::string fingerprint = core::CorpusOptionsFingerprint(
+      opts, extended, pairs.size(), pair_deadline_ms, isolate, rlimit_mb);
+  std::unique_ptr<core::Journal> journal;
+  core::JournalState resume_state;
+  if (!resume_path.empty()) {
+    std::string err;
+    auto state = core::LoadJournal(resume_path, &err);
+    if (!state) {
+      std::fprintf(stderr, "cannot resume: %s\n", err.c_str());
+      return 2;
+    }
+    if (state->options_hash != fingerprint) {
+      std::fprintf(stderr,
+                   "refusing to resume %s: journal options fingerprint %s "
+                   "does not match this invocation's %s\n",
+                   resume_path.c_str(), state->options_hash.c_str(),
+                   fingerprint.c_str());
+      return 2;
+    }
+    if (state->pair_count != pairs.size()) {
+      std::fprintf(stderr,
+                   "refusing to resume %s: journal covers %zu pair(s), "
+                   "this invocation runs %zu\n",
+                   resume_path.c_str(), state->pair_count, pairs.size());
+      return 2;
+    }
+    resume_state = std::move(*state);
+    journal = core::Journal::Resume(resume_path, resume_state, &err);
+    if (!journal) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    config.resume_finished = &resume_state.finished;
+    std::printf("resume:    %zu finished pair(s) replayed, %zu in flight "
+                "at the crash re-run%s\n",
+                resume_state.finished.size(),
+                resume_state.started_unfinished.size(),
+                resume_state.torn_tail ? " (torn tail healed)" : "");
+  } else if (!journal_path.empty()) {
+    std::string err;
+    journal = core::Journal::Create(journal_path, fingerprint, pairs.size(),
+                                    &err);
+    if (!journal) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+  }
+  config.journal = journal.get();
+
+  InstallSignalHandlers();
   const auto start = std::chrono::steady_clock::now();
-  const auto reports = core::VerifyCorpus(pairs, opts, jobs, pair_deadline_ms);
+  const auto reports = core::VerifyCorpus(pairs, opts, config);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  const int sig = g_signal.load(std::memory_order_relaxed);
   int decisive = 0;
   int expected_matches = 0;
   int infra_failures = 0;   // unexpected results caused by timeout/fault
   int wrong_verdicts = 0;   // unexpected results the tool actually decided
+  int interrupted_pairs = 0;  // drain casualties, not statements
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const corpus::Pair& pair = pairs[i];
     const core::VerificationReport& r = reports[i];
-    if (r.verdict != core::Verdict::kFailure) ++decisive;
     const bool as_expected = std::string(core::ResultTypeName(r.type)) ==
                              std::string(corpus::ExpectedResultName(pair.expected));
     const bool infra = r.deadline_expired || r.exception_contained;
+    // On a drain, an unexpected deadline/worker failure says nothing
+    // about the pair — the interrupt killed it, not the budget.
+    const bool interrupted = sig != 0 && !as_expected && infra;
+    if (r.verdict != core::Verdict::kFailure) ++decisive;
     if (as_expected) {
       ++expected_matches;
+    } else if (interrupted) {
+      ++interrupted_pairs;
     } else if (infra) {
       ++infra_failures;
     } else {
       ++wrong_verdicts;
     }
-    const char* marker = as_expected ? ""
-                         : infra     ? (r.deadline_expired
-                                            ? "  [TIMEOUT]"
-                                            : "  [FAULT]")
-                                     : "  [UNEXPECTED]";
+    const char* marker = as_expected  ? ""
+                         : interrupted ? "  [INTERRUPTED]"
+                         : infra       ? (r.deadline_expired
+                                              ? "  [TIMEOUT]"
+                                              : "  [FAULT]")
+                                       : "  [UNEXPECTED]";
     std::printf("pair %2d  %-12s -> %-12s  %-15s %-8s %s%s\n", pair.idx,
                 pair.s_name.c_str(), pair.t_name.c_str(),
                 core::VerdictName(r.verdict).data(),
@@ -469,6 +737,17 @@ int CmdCorpus(int argc, char** argv) {
                 static_cast<unsigned long long>(st.evictions));
   }
   obs.FinishTrace(tracer);
+  // A graceful drain supersedes the verdict-based codes: the partial
+  // summary above is informational (journaled pairs survive for
+  // --resume), and 128+signal tells the caller why the run is partial.
+  if (sig != 0) {
+    std::printf("interrupted by signal %d: %d/%zu pair(s) finished, %d "
+                "cancelled or never started%s\n",
+                sig, expected_matches + infra_failures + wrong_verdicts,
+                pairs.size(), interrupted_pairs,
+                journal != nullptr ? " — resume with --resume" : "");
+    return 128 + sig;
+  }
   // Exit status keys off the registry's expected result types: the
   // corpus deliberately contains NotTriggerable and Failure pairs, so
   // "all decisive" would never hold for the stock corpus. A verdict
@@ -508,13 +787,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "octopocs — propagated-vulnerability verification\n"
                  "subcommands: verify, detect, run, minimize, disasm, "
-                 "export, corpus\n");
+                 "export, corpus, pair-worker\n");
     return 2;
   }
+#ifndef _WIN32
+  {
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      g_self_exe = buf;
+    }
+  }
+#endif
+  if (g_self_exe.empty()) g_self_exe = argv[0];
   const std::string cmd = argv[1];
   try {
     if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
     if (cmd == "corpus") return CmdCorpus(argc - 2, argv + 2);
+    if (cmd == "pair-worker") return CmdPairWorker(argc - 2, argv + 2);
     if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
     if (cmd == "run") return CmdRun(argc - 2, argv + 2);
     if (cmd == "minimize") return CmdMinimize(argc - 2, argv + 2);
