@@ -203,11 +203,28 @@ int main(int argc, char** argv) {
       intern_hits + intern_nodes > 0
           ? static_cast<double>(intern_hits) / (intern_hits + intern_nodes)
           : 0;
+  // Per-mechanism rates over all lookups, so a regression in one cache
+  // tier shows up as a rate shift even when the total hit rate holds.
+  const unsigned long long lookups = cache_hits + cache_misses;
+  const auto rate_of = [lookups](unsigned long long hits) {
+    return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+  };
+  const double exact_rate = rate_of(exact_hits);
+  const double reuse_rate_solver = rate_of(reuse_hits);
+  const double slice_rate = rate_of(slice_hits);
+  const double subsume_rate = rate_of(subsume_hits);
   std::printf("solver cache: %llu hit / %llu miss (%.1f%% hit rate)\n",
               cache_hits, cache_misses, cache_rate * 100);
-  std::printf("  by kind:    exact %llu | model-reuse %llu | sliced %llu "
-              "| subsumed %llu\n",
-              exact_hits, reuse_hits, slice_hits, subsume_hits);
+  std::printf("  by kind:    exact %llu (%.1f%%) | model-reuse %llu (%.1f%%)"
+              " | sliced %llu (%.1f%%) | subsumed %llu (%.1f%%)\n",
+              exact_hits, exact_rate * 100, reuse_hits,
+              reuse_rate_solver * 100, slice_hits, slice_rate * 100,
+              subsume_hits, subsume_rate * 100);
+  if (slice_hits == 0) {
+    std::printf("  WARNING: solver_slice_hits is 0 — the incremental "
+                "slicing tier contributed nothing on this corpus; check "
+                "that constraint slicing is still wired in\n");
+  }
   std::printf("interner:     %llu deduped / %llu distinct (%.1f%% of "
               "constructions)\n\n",
               intern_hits, intern_nodes, intern_rate * 100);
@@ -297,16 +314,21 @@ int main(int argc, char** argv) {
                  "  \"solver_cache_misses\": %llu,\n"
                  "  \"solver_cache_hit_rate\": %.4f,\n"
                  "  \"solver_exact_hits\": %llu,\n"
+                 "  \"solver_exact_hit_rate\": %.4f,\n"
                  "  \"solver_model_reuse_hits\": %llu,\n"
+                 "  \"solver_model_reuse_hit_rate\": %.4f,\n"
                  "  \"solver_slice_hits\": %llu,\n"
+                 "  \"solver_slice_hit_rate\": %.4f,\n"
                  "  \"solver_subsumption_hits\": %llu,\n"
+                 "  \"solver_subsumption_hit_rate\": %.4f,\n"
                  "  \"intern_hits\": %llu,\n"
                  "  \"intern_nodes\": %llu,\n"
                  "  \"corpus_pairs\": %zu,\n"
                  "  \"serial_seconds\": %.4f,\n",
                  fork.cow_ns, fork.deep_ns, fork.speedup, cache_hits,
-                 cache_misses, cache_rate, exact_hits, reuse_hits,
-                 slice_hits, subsume_hits, intern_hits, intern_nodes,
+                 cache_misses, cache_rate, exact_hits, exact_rate,
+                 reuse_hits, reuse_rate_solver, slice_hits, slice_rate,
+                 subsume_hits, subsume_rate, intern_hits, intern_nodes,
                  pairs.size(), serial_seconds);
     std::fprintf(out, "  \"pair_seconds\": [");
     for (std::size_t i = 0; i < pair_seconds.size(); ++i) {

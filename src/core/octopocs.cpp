@@ -62,6 +62,9 @@ struct EpArtifact {
 };
 
 void HashExec(ArtifactHasher& h, const vm::ExecOptions& exec) {
+  // dispatch/fuse are deliberately excluded: the backends produce
+  // byte-identical results, so cached artifacts stay valid across
+  // --vm-dispatch modes (and the dispatch identity tests depend on it).
   h.U64(exec.fuel).U64(exec.max_call_depth).U64(exec.heap_limit);
 }
 
@@ -576,6 +579,12 @@ VerificationReport Octopocs::Verify() {
   }
   report.timings.total_seconds = Seconds(t0, Clock::now());
   return report;
+}
+
+void SetVmDispatch(PipelineOptions& options, vm::DispatchMode mode) {
+  options.taint.exec.dispatch = mode;
+  options.cfg.exec.dispatch = mode;
+  options.verify_exec.dispatch = mode;
 }
 
 VerificationReport VerifyPair(const corpus::Pair& pair,

@@ -191,6 +191,14 @@ struct PipelineOptions {
   ArtifactStore* artifacts = nullptr;
 };
 
+/// Applies one interpreter dispatch backend to every concrete execution
+/// the pipeline performs (P1 taint run, dynamic-CFG seeding, P4 verify).
+/// Verdicts are byte-identical across backends — the CLI's
+/// --vm-dispatch flag exists for A/B measurement and as the portable
+/// fallback, so the mode never enters artifact keys or journal
+/// fingerprints.
+void SetVmDispatch(PipelineOptions& options, vm::DispatchMode mode);
+
 class Octopocs {
  public:
   /// `shared_functions` is ℓ by name (the clone detector's output; both

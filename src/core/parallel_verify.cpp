@@ -170,7 +170,9 @@ std::vector<VerificationReport> VerifyCorpus(
     bool cancelled = false;
     if (isolated) {
       const SupervisedResult supervised =
-          RunSupervisedPair(pair, *config.isolation, config.interrupt);
+          config.worker_pool != nullptr
+              ? config.worker_pool->RunPair(pair, config.interrupt)
+              : RunSupervisedPair(pair, *config.isolation, config.interrupt);
       reports[i] = supervised.report;
       cancelled = supervised.interrupted;
     } else {

@@ -51,6 +51,7 @@ namespace octopocs::core {
 
 struct IsolationOptions;
 class Journal;
+class WorkerPool;
 
 struct CorpusRunConfig {
   /// Pipeline runs in flight at once; <= 1 runs serially.
@@ -64,6 +65,11 @@ struct CorpusRunConfig {
   const std::vector<double>* cost_hints = nullptr;
   /// Non-null runs every pair in a supervised worker process.
   const IsolationOptions* isolation = nullptr;
+  /// Non-null (with `isolation` set) routes isolated pairs through a
+  /// persistent pre-forked worker pool instead of one fork/exec per
+  /// pair. Same containment semantics, byte-identical verdicts; the
+  /// caller owns the pool (and can read its stats afterwards).
+  WorkerPool* worker_pool = nullptr;
   /// Non-null journals started/finished records per pair.
   Journal* journal = nullptr;
   /// Pairs (by pair.idx) already finished in a resumed journal: their

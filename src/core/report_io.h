@@ -80,6 +80,12 @@ bool ParseReport(std::string_view json, VerificationReport* out,
 inline constexpr std::string_view kWorkerReportPrefix = "OCTO-REPORT ";
 inline constexpr std::string_view kWorkerDoneSentinel = "OCTO-DONE";
 
+/// Pool-worker request framing (supervisor -> worker, one line per
+/// request): `OCTO-PAIR <idx>` verifies one pair, `OCTO-EXIT` (or
+/// stdin EOF) shuts the worker down cleanly.
+inline constexpr std::string_view kPoolPairPrefix = "OCTO-PAIR ";
+inline constexpr std::string_view kPoolExitLine = "OCTO-EXIT";
+
 std::string MarshalWorkerReport(const VerificationReport& report);
 
 /// Extracts and parses the report from a worker's captured stdout.

@@ -35,6 +35,37 @@ VerificationReport InfraFailureReport(std::string detail,
   return report;
 }
 
+/// Capped exponential backoff with deterministic jitter, sliced into
+/// 10ms naps so an interrupt drains promptly even mid-backoff.
+void BackoffNap(int pair_idx, unsigned attempt,
+                const std::atomic<int>* interrupt) {
+  std::uint64_t nap_ms = RetryBackoffMs(pair_idx, attempt);
+  while (nap_ms > 0) {
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_relaxed) != 0) {
+      break;
+    }
+    const std::uint64_t slice = nap_ms < 10 ? nap_ms : 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    nap_ms -= slice;
+  }
+}
+
+/// Quarantine detail string shared by both isolation backends.
+std::string QuarantineDetail(unsigned attempts, ChildOutcome outcome,
+                             const support::SubprocessResult& child) {
+  std::string why(ChildOutcomeName(outcome));
+  if (outcome == ChildOutcome::kCrashSignal) {
+    why += " " + std::to_string(child.term_signal);
+  } else if (outcome == ChildOutcome::kNonzeroExit) {
+    why += " " + std::to_string(child.exit_code);
+  } else if (outcome == ChildOutcome::kSpawnError) {
+    why += ": " + child.error;
+  }
+  return "quarantined after " + std::to_string(attempts) +
+         " worker attempt(s): " + why;
+}
+
 }  // namespace
 
 std::string_view ChildOutcomeName(ChildOutcome outcome) {
@@ -170,35 +201,221 @@ SupervisedResult RunSupervisedPair(const corpus::Pair& pair,
     }
 
     if (attempt >= isolation.max_retries) {
-      std::string why(ChildOutcomeName(outcome));
-      if (outcome == ChildOutcome::kCrashSignal) {
-        why += " " + std::to_string(child.term_signal);
-      } else if (outcome == ChildOutcome::kNonzeroExit) {
-        why += " " + std::to_string(child.exit_code);
-      } else if (outcome == ChildOutcome::kSpawnError) {
-        why += ": " + child.error;
-      }
       result.report = InfraFailureReport(
-          "quarantined after " + std::to_string(result.attempts) +
-              " worker attempt(s): " + why,
-          false, true);
+          QuarantineDetail(result.attempts, outcome, child), false, true);
       result.quarantined = true;
       return result;
     }
 
-    // Capped exponential backoff with deterministic jitter, sliced into
-    // 10ms naps so an interrupt drains promptly even mid-backoff.
-    std::uint64_t nap_ms = RetryBackoffMs(pair.idx, attempt);
-    while (nap_ms > 0) {
-      if (interrupt != nullptr &&
-          interrupt->load(std::memory_order_relaxed) != 0) {
-        break;
-      }
-      const std::uint64_t slice = nap_ms < 10 ? nap_ms : 10;
-      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
-      nap_ms -= slice;
+    BackoffNap(pair.idx, attempt, interrupt);
+  }
+}
+
+// -- WorkerPool ---------------------------------------------------------------
+
+WorkerPool::WorkerPool(const IsolationOptions& isolation, unsigned size)
+    : isolation_(isolation) {
+  if (size == 0) size = 1;
+  slots_.reserve(size);
+  for (unsigned i = 0; i < size; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+    free_.push_back(slots_.back().get());
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  // A clean shutdown request first (covers workers mid-write), then the
+  // unconditional kill — the pool must never leave orphans behind.
+  for (auto& slot : slots_) {
+    if (slot->proc.alive()) {
+      slot->proc.WriteLine(std::string(kPoolExitLine));
+      slot->proc.Kill();
     }
   }
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+WorkerPool::Slot* WorkerPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !free_.empty(); });
+  Slot* slot = free_.back();
+  free_.pop_back();
+  return slot;
+}
+
+void WorkerPool::Release(Slot* slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(slot);
+  }
+  cv_.notify_one();
+}
+
+SupervisedResult WorkerPool::RunPair(const corpus::Pair& pair,
+                                     const std::atomic<int>* interrupt) {
+  Slot* slot = Acquire();
+  SupervisedResult result;
+
+  for (unsigned attempt = 0;; ++attempt) {
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_relaxed) != 0) {
+      result.report = InfraFailureReport(
+          "interrupted before the worker could start", true, false);
+      result.last_outcome = ChildOutcome::kInterrupted;
+      result.interrupted = true;
+      break;
+    }
+
+    // (Re)spawn lazily: the first pair a slot serves pays the fork +
+    // warmup; every later pair on a surviving worker rides for free.
+    if (!slot->proc.alive()) {
+      std::vector<std::string> argv;
+      argv.reserve(2 + isolation_.worker_args.size());
+      argv.push_back(isolation_.worker_binary);
+      argv.push_back("pool-worker");
+      for (const std::string& arg : isolation_.worker_args) {
+        argv.push_back(arg);
+      }
+      support::SubprocessLimits limits;
+      limits.rlimit_mb = isolation_.rlimit_mb;
+      limits.cpu_seconds = isolation_.cpu_seconds;
+      std::string error;
+      if (!slot->proc.Spawn(argv, limits, &error)) {
+        ++result.attempts;
+        result.last_outcome = ChildOutcome::kSpawnError;
+        if (attempt >= isolation_.max_retries) {
+          support::SubprocessResult child;
+          child.error = error;
+          result.report = InfraFailureReport(
+              QuarantineDetail(result.attempts, ChildOutcome::kSpawnError,
+                               child),
+              false, true);
+          result.quarantined = true;
+          break;
+        }
+        BackoffNap(pair.idx, attempt, interrupt);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.spawns;
+        if (slot->ever_spawned) ++stats_.respawns;
+      }
+      slot->ever_spawned = true;
+    }
+
+    ++result.attempts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.dispatches;
+    }
+
+    if (!slot->proc.WriteLine(std::string(kPoolPairPrefix) +
+                              std::to_string(pair.idx))) {
+      // The worker died between pairs: a crashed worker, retryable.
+      // Kill() on the zombie preserves its real wait status for the
+      // diagnostics without changing the classification.
+      slot->proc.Kill();
+      result.last_outcome = ChildOutcome::kCrashSignal;
+      if (attempt >= isolation_.max_retries) {
+        support::SubprocessResult child;
+        result.report = InfraFailureReport(
+            QuarantineDetail(result.attempts, ChildOutcome::kCrashSignal,
+                             child),
+            false, true);
+        result.quarantined = true;
+        break;
+      }
+      BackoffNap(pair.idx, attempt, interrupt);
+      continue;
+    }
+
+    std::string frame;
+    const support::PersistentProcess::ReadStatus rs = slot->proc.ReadFrame(
+        kWorkerDoneSentinel, isolation_.deadline_ms, interrupt, &frame);
+
+    support::SubprocessResult child;
+    ChildOutcome outcome;
+    switch (rs) {
+      case support::PersistentProcess::ReadStatus::kOk:
+        // Same classification path as a one-shot worker that exited 0
+        // with this stdout.
+        child.status = support::SubprocessStatus::kExited;
+        child.exit_code = 0;
+        child.output = std::move(frame);
+        outcome = ClassifyChild(child, &result.report);
+        break;
+      case support::PersistentProcess::ReadStatus::kEof:
+        // The worker died mid-pair; its wait status drives the same
+        // crash/resource-kill/nonzero-exit classification as one-shot
+        // isolation. (An exit-0 child with a torn frame classifies as
+        // kMalformedReport.)
+        child = slot->proc.Reap();
+        outcome = ClassifyChild(child, &result.report);
+        break;
+      case support::PersistentProcess::ReadStatus::kTimeout:
+        slot->proc.Kill();
+        outcome = ChildOutcome::kTimeout;
+        break;
+      case support::PersistentProcess::ReadStatus::kInterrupted:
+        slot->proc.Kill();
+        outcome = ChildOutcome::kInterrupted;
+        break;
+      case support::PersistentProcess::ReadStatus::kError:
+      default:
+        slot->proc.Kill();
+        outcome = ChildOutcome::kSpawnError;
+        break;
+    }
+    result.last_outcome = outcome;
+
+    switch (outcome) {
+      case ChildOutcome::kCleanReport:
+        Release(slot);
+        return result;
+      case ChildOutcome::kTimeout:
+        result.report = InfraFailureReport(
+            "worker killed at the " + std::to_string(isolation_.deadline_ms) +
+                "ms wall-clock cap",
+            true, false);
+        Release(slot);
+        return result;
+      case ChildOutcome::kResourceKill:
+        result.report = InfraFailureReport(
+            std::string("worker killed by a resource cap (signal ") +
+                std::to_string(child.term_signal) + ")",
+            true, false);
+        Release(slot);
+        return result;
+      case ChildOutcome::kInterrupted:
+        result.report = InfraFailureReport(
+            "interrupted mid-pair; worker killed", true, false);
+        result.interrupted = true;
+        Release(slot);
+        return result;
+      default:
+        break;  // retryable
+    }
+
+    // A worker that produced a retryable outcome is poisoned (dead, or
+    // alive with a desynced frame stream) — never reuse it.
+    if (slot->proc.alive()) slot->proc.Kill();
+
+    if (attempt >= isolation_.max_retries) {
+      result.report = InfraFailureReport(
+          QuarantineDetail(result.attempts, outcome, child), false, true);
+      result.quarantined = true;
+      break;
+    }
+    BackoffNap(pair.idx, attempt, interrupt);
+  }
+
+  Release(slot);
+  return result;
 }
 
 }  // namespace octopocs::core

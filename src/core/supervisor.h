@@ -24,7 +24,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,5 +98,64 @@ struct SupervisedResult {
 SupervisedResult RunSupervisedPair(const corpus::Pair& pair,
                                    const IsolationOptions& isolation,
                                    const std::atomic<int>* interrupt);
+
+/// A fleet of persistent `pool-worker` processes (the AFL forkserver
+/// idea applied to pair verification): each worker is forked and warmed
+/// once, then fed pair indices over its stdin — `OCTO-PAIR <idx>` per
+/// request — and answers each with the same OCTO-REPORT/OCTO-DONE frame
+/// a one-shot pair-worker writes. Spawn + exec + warmup is paid per
+/// *worker* instead of per *pair*, which is what makes --isolate cheap
+/// enough to leave on.
+///
+/// Crash containment matches RunSupervisedPair exactly: a worker that
+/// crashes, wedges past the deadline backstop, tears a frame, or hits a
+/// resource cap yields the same ChildOutcome classification, the same
+/// capped-backoff retries (on a freshly respawned worker), the same
+/// quarantine after max_retries, and the same infrastructure-failure
+/// reports. Verdicts are byte-identical to one-shot isolation and to
+/// in-process runs.
+///
+/// Thread-safe: RunPair may be called from many corpus threads at once;
+/// each call checks out one worker from the free list (blocking when
+/// all `size` workers are busy) and returns it when done.
+class WorkerPool {
+ public:
+  struct Stats {
+    std::uint64_t spawns = 0;      // worker processes forked, total
+    std::uint64_t respawns = 0;    // spawns that replaced a dead worker
+    std::uint64_t dispatches = 0;  // pair requests written to a worker
+  };
+
+  /// `size` workers, lazily spawned on first use. The options are
+  /// copied; worker_binary/worker_args must describe the `pool-worker`
+  /// subcommand's flags (the pool inserts the subcommand itself).
+  WorkerPool(const IsolationOptions& isolation, unsigned size);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Verifies `pair` on a pooled worker, with RunSupervisedPair's
+  /// retry/quarantine/interrupt semantics.
+  SupervisedResult RunPair(const corpus::Pair& pair,
+                           const std::atomic<int>* interrupt);
+
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    support::PersistentProcess proc;
+    bool ever_spawned = false;
+  };
+
+  Slot* Acquire();
+  void Release(Slot* slot);
+
+  IsolationOptions isolation_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot*> free_;
+  Stats stats_;
+};
 
 }  // namespace octopocs::core

@@ -11,6 +11,7 @@ GreyboxFuzzer::GreyboxFuzzer(const vm::Program& target, vm::FuncId target_fn,
     : target_(target),
       target_fn_(target_fn),
       options_(options),
+      decoded_target_(vm::DecodeProgram(target, /*fuse=*/true)),
       initial_seeds_(std::move(seeds)),
       mutator_(options.rng_seed) {}
 
@@ -25,6 +26,7 @@ GreyboxFuzzer::ExecOutcome GreyboxFuzzer::Execute(const Bytes& input) {
   CoverageObserver cov;
   vm::ExecOptions exec;
   exec.fuel = options_.exec_fuel;
+  exec.predecoded = &decoded_target_;
   vm::Interpreter interp(target_, input, exec);
   interp.AddObserver(&cov);
   const vm::ExecResult run = interp.Run();

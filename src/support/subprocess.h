@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace octopocs::support {
@@ -67,5 +68,73 @@ struct SubprocessResult {
 SubprocessResult RunProcess(const std::vector<std::string>& argv,
                             const SubprocessLimits& limits,
                             const std::atomic<int>* interrupt = nullptr);
+
+/// A long-lived worker child with both its stdin and stdout piped to
+/// the parent (the AFL forkserver idea): spawn once, then exchange
+/// line-framed requests and sentinel-framed responses for many work
+/// items, amortizing fork/exec and per-process warmup over a whole run
+/// instead of paying it per item.
+///
+/// The parent is always the active side: it writes one request line,
+/// then reads until the response sentinel (or EOF / deadline /
+/// interrupt). Response bytes past the sentinel stay buffered for the
+/// next ReadFrame, so a fast worker can never outrun its supervisor's
+/// framing. A dead child is reported as a SubprocessResult through
+/// Reap()/Kill() so callers classify it with the same machinery as
+/// one-shot workers.
+///
+/// POSIX-only like RunProcess; Spawn fails cleanly elsewhere.
+class PersistentProcess {
+ public:
+  PersistentProcess() = default;
+  ~PersistentProcess();
+  PersistentProcess(const PersistentProcess&) = delete;
+  PersistentProcess& operator=(const PersistentProcess&) = delete;
+
+  enum class ReadStatus : std::uint8_t {
+    kOk,           // a complete frame was extracted
+    kEof,          // child closed stdout (died); Reap() for the status
+    kTimeout,      // deadline passed without a complete frame
+    kInterrupted,  // `interrupt` tripped mid-read
+    kError,        // pipe read error
+  };
+
+  /// Forks and execs `argv` under `limits` (rlimit_mb / cpu_seconds;
+  /// deadline_ms is ignored here — deadlines are per-ReadFrame). Any
+  /// previous child is killed first. Returns false with `*error` set
+  /// when no child was produced.
+  bool Spawn(const std::vector<std::string>& argv,
+             const SubprocessLimits& limits, std::string* error);
+
+  bool alive() const { return pid_ > 0; }
+
+  /// Writes `line` plus a newline to the child's stdin. False when the
+  /// child is gone (EPIPE) — the caller should Kill() and classify.
+  bool WriteLine(const std::string& line);
+
+  /// Reads the child's stdout until a line equal to `sentinel` arrives;
+  /// `*frame` then holds everything up to and including that line. A
+  /// frame already buffered from a previous read is returned without
+  /// touching the pipe. `deadline_ms` bounds the wait (0 = unbounded);
+  /// `interrupt`, when non-null and nonzero, aborts it.
+  ReadStatus ReadFrame(std::string_view sentinel, std::uint64_t deadline_ms,
+                       const std::atomic<int>* interrupt, std::string* frame);
+
+  /// SIGKILLs the child (harmless if already dead) and reaps it. The
+  /// result's `output` holds the un-framed bytes buffered since the
+  /// last complete frame.
+  SubprocessResult Kill();
+
+  /// Reaps a child that already exited (after kEof) without signaling.
+  SubprocessResult Reap();
+
+ private:
+  SubprocessResult Finish(bool force_kill);
+
+  long pid_ = -1;  // pid_t, widened so the header stays platform-clean
+  int in_fd_ = -1;   // parent's write end of the child's stdin
+  int out_fd_ = -1;  // parent's read end of the child's stdout
+  std::string buffer_;  // stdout bytes past the last returned frame
+};
 
 }  // namespace octopocs::support

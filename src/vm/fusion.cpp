@@ -1,0 +1,149 @@
+#include "vm/fusion.h"
+
+namespace octopocs::vm {
+
+namespace {
+
+bool IsCompare(Op op) {
+  return op >= Op::kCmpEq && op <= Op::kCmpGeU;
+}
+
+bool IsBinaryAluOp(Op op) { return op >= Op::kAdd && op <= Op::kShr; }
+
+bool IsAluOrCompare(Op op) { return IsBinaryAluOp(op) || IsCompare(op); }
+
+// movi x,C ; alu/cmp a,b,c with x feeding exactly one operand. Division
+// through the b operand is excluded (the divisor stays a runtime value,
+// so the handler would need the div-by-zero trap path); division through
+// the c operand fuses only when the constant divisor is non-zero, which
+// makes the trap statically impossible.
+FusedOp ClassifyMovImmAlu(const Instr& movi, const Instr& alu, bool* ok) {
+  *ok = false;
+  if (movi.op != Op::kMovImm || !IsAluOrCompare(alu.op)) return FusedOp::kMovImmAluB;
+  const bool divides = alu.op == Op::kDivU || alu.op == Op::kRemU;
+  if (alu.c == movi.a) {
+    if (divides && movi.imm == 0) return FusedOp::kMovImmAluC;
+    *ok = true;
+    return FusedOp::kMovImmAluC;
+  }
+  if (alu.b == movi.a) {
+    if (divides) return FusedOp::kMovImmAluB;
+    *ok = true;
+    return FusedOp::kMovImmAluB;
+  }
+  return FusedOp::kMovImmAluB;
+}
+
+bool MatchesAddImmLoad(const Instr& addi, const Instr& load) {
+  return addi.op == Op::kAddImm && load.op == Op::kLoad && load.b == addi.a;
+}
+
+bool MatchesCmpBranch(const Instr& cmp, const Terminator& term) {
+  return IsCompare(cmp.op) && term.kind == TermKind::kBranch &&
+         term.cond == cmp.a;
+}
+
+std::uint16_t TerminatorHandler(TermKind kind) {
+  switch (kind) {
+    case TermKind::kJump: return kHandlerTermJump;
+    case TermKind::kBranch: return kHandlerTermBranch;
+    case TermKind::kReturn: return kHandlerTermReturn;
+  }
+  return kHandlerTermJump;
+}
+
+void DecodeBlock(const Block& block, bool fuse, DecodedBlock& out,
+                 FusionStats& stats) {
+  const std::vector<Instr>& instrs = block.instrs;
+  const std::size_t n = instrs.size();
+  out.code.reserve(n + 1);
+  out.entry_of_ip.assign(n + 1, 0);
+
+  auto emit = [&](DecodedInstr entry) {
+    const auto index = static_cast<std::uint32_t>(out.code.size());
+    for (std::uint8_t k = 0; k < entry.len; ++k) {
+      out.entry_of_ip[entry.ip + k] = index;
+    }
+    out.code.push_back(entry);
+  };
+
+  bool term_fused = false;
+  std::size_t i = 0;
+  while (i < n) {
+    const auto ip = static_cast<std::uint32_t>(i);
+    if (fuse) {
+      // Block-tail triple: movi + cmp + branch.
+      if (i + 2 == n && block.term.kind == TermKind::kBranch) {
+        bool alu_ok = false;
+        const FusedOp kind = ClassifyMovImmAlu(instrs[i], instrs[i + 1], &alu_ok);
+        if (alu_ok && kind == FusedOp::kMovImmAluC &&
+            MatchesCmpBranch(instrs[i + 1], block.term)) {
+          emit({HandlerForFused(FusedOp::kMovImmCmpBranch), 3, ip, &instrs[i],
+                &instrs[i + 1], nullptr, &block.term});
+          ++stats.triples;
+          ++stats.per_kind[static_cast<std::size_t>(FusedOp::kMovImmCmpBranch)];
+          term_fused = true;
+          i = n + 1;  // terminator consumed
+          continue;
+        }
+      }
+      // Block-tail pair: cmp + branch.
+      if (i + 1 == n && MatchesCmpBranch(instrs[i], block.term)) {
+        emit({HandlerForFused(FusedOp::kCmpBranch), 2, ip, &instrs[i], nullptr,
+              nullptr, &block.term});
+        ++stats.pairs;
+        ++stats.per_kind[static_cast<std::size_t>(FusedOp::kCmpBranch)];
+        term_fused = true;
+        i = n + 1;
+        continue;
+      }
+      if (i + 1 < n) {
+        bool alu_ok = false;
+        const FusedOp kind = ClassifyMovImmAlu(instrs[i], instrs[i + 1], &alu_ok);
+        if (alu_ok) {
+          emit({HandlerForFused(kind), 2, ip, &instrs[i], &instrs[i + 1],
+                nullptr, nullptr});
+          ++stats.pairs;
+          ++stats.per_kind[static_cast<std::size_t>(kind)];
+          i += 2;
+          continue;
+        }
+        if (MatchesAddImmLoad(instrs[i], instrs[i + 1])) {
+          emit({HandlerForFused(FusedOp::kAddImmLoad), 2, ip, &instrs[i],
+                &instrs[i + 1], nullptr, nullptr});
+          ++stats.pairs;
+          ++stats.per_kind[static_cast<std::size_t>(FusedOp::kAddImmLoad)];
+          i += 2;
+          continue;
+        }
+      }
+    }
+    emit({HandlerForOp(instrs[i].op), 1, ip, &instrs[i], nullptr, nullptr,
+          nullptr});
+    ++stats.singles;
+    ++i;
+  }
+
+  if (!term_fused) {
+    emit({TerminatorHandler(block.term.kind), 1, static_cast<std::uint32_t>(n),
+          nullptr, nullptr, nullptr, &block.term});
+  }
+}
+
+}  // namespace
+
+DecodedProgram DecodeProgram(const Program& program, bool fuse) {
+  DecodedProgram out;
+  out.source = &program;
+  out.fns.resize(program.functions.size());
+  for (std::size_t f = 0; f < program.functions.size(); ++f) {
+    const Function& fn = program.functions[f];
+    out.fns[f].blocks.resize(fn.blocks.size());
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      DecodeBlock(fn.blocks[b], fuse, out.fns[f].blocks[b], out.stats);
+    }
+  }
+  return out;
+}
+
+}  // namespace octopocs::vm

@@ -1,0 +1,114 @@
+// Pre-execution decode + superinstruction fusion for the threaded
+// interpreter backend.
+//
+// The threaded backend does not execute vm/ir blocks directly: a one-time
+// peephole pass rewrites each block into a DecodedBlock — a flat array of
+// DecodedInstr entries, each carrying a handler id plus borrowed pointers
+// to its constituent original instructions. Fusible adjacent pairs and
+// triples (the decode/compare/branch shapes the src/formats parsers emit
+// in their hot loops) collapse into one entry dispatched once.
+//
+// Transparency contract: a fused handler performs *every* constituent
+// register write in original order, counts every constituent toward the
+// instruction budget, and fires every constituent observer event with
+// the original (fn, block, ip) coordinates — so disasm (which renders
+// the untouched Program), trace, taint, and the dynamic CFG observe a
+// stream byte-identical to unfused execution. Fusion never crosses an
+// instruction that can trap mid-pair except as the *last* constituent,
+// so backtraces and fault attribution are also identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vm/ir.h"
+
+namespace octopocs::vm {
+
+/// Superinstruction kinds. Each has a dedicated handler label in the
+/// threaded dispatch table (vm/interp.cpp), appended after the plain
+/// opcode handlers.
+enum class FusedOp : std::uint8_t {
+  kMovImmAluB,       // movi x,C ; alu a,x,c     (x feeds the b operand)
+  kMovImmAluC,       // movi x,C ; alu a,b,x     (x feeds the c operand)
+  kAddImmLoad,       // addi x,b,C ; load a,x,off
+  kCmpBranch,        // cmp a,b,c ; br a, T, F   (consumes the terminator)
+  kMovImmCmpBranch,  // movi x,C ; cmp a,b,x ; br a, T, F
+};
+inline constexpr std::size_t kFusedOpCount = 5;
+
+/// Dispatch handler id space: plain ops first, then superinstructions,
+/// then the three terminator kinds (terminators are decoded entries too,
+/// which keeps the dispatch loop uniform).
+inline constexpr std::uint16_t kHandlerFusedBase =
+    static_cast<std::uint16_t>(kOpCount);
+inline constexpr std::uint16_t kHandlerTermBase =
+    static_cast<std::uint16_t>(kOpCount + kFusedOpCount);
+inline constexpr std::uint16_t kHandlerTermJump = kHandlerTermBase + 0;
+inline constexpr std::uint16_t kHandlerTermBranch = kHandlerTermBase + 1;
+inline constexpr std::uint16_t kHandlerTermReturn = kHandlerTermBase + 2;
+inline constexpr std::size_t kDispatchTableSize = kOpCount + kFusedOpCount + 3;
+
+inline constexpr std::uint16_t HandlerForOp(Op op) {
+  return static_cast<std::uint16_t>(op);
+}
+inline constexpr std::uint16_t HandlerForFused(FusedOp f) {
+  return static_cast<std::uint16_t>(kHandlerFusedBase +
+                                    static_cast<std::uint16_t>(f));
+}
+
+/// One dispatch unit: a plain instruction, a fused pair/triple, or a
+/// block terminator. Instr/Terminator pointers borrow from the Program,
+/// which must outlive the decoded form.
+struct DecodedInstr {
+  std::uint16_t handler = 0;
+  /// Original units covered (instructions; a fused branch also counts
+  /// its terminator). Drives exact instruction accounting.
+  std::uint8_t len = 1;
+  /// Original ip of the first constituent; terminator entries carry
+  /// block.instrs.size() (the ip the switch backend reports there).
+  std::uint32_t ip = 0;
+  const Instr* i1 = nullptr;
+  const Instr* i2 = nullptr;
+  const Instr* i3 = nullptr;
+  const Terminator* term = nullptr;
+};
+
+struct DecodedBlock {
+  /// Always ends with exactly one terminator-carrying entry.
+  std::vector<DecodedInstr> code;
+  /// Maps every original ip 0..instrs.size() to the index of the decoded
+  /// entry *containing* it (size() maps to the terminator entry). Resume
+  /// points — return-from-call, slow-path re-entry — land here; a resume
+  /// ip strictly inside a fused entry is re-executed one original
+  /// instruction at a time until the next entry boundary.
+  std::vector<std::uint32_t> entry_of_ip;
+};
+
+struct DecodedFunction {
+  std::vector<DecodedBlock> blocks;
+};
+
+/// What the peephole pass did — bench_vm reports these, and the fusion
+/// tests assert fusion actually occurs on the shapes it targets.
+struct FusionStats {
+  std::uint64_t pairs = 0;    // two-instruction superinstructions
+  std::uint64_t triples = 0;  // movi+cmp+branch
+  std::uint64_t singles = 0;  // entries left unfused (excl. terminators)
+  std::uint64_t per_kind[kFusedOpCount] = {};
+};
+
+class DecodedProgram {
+ public:
+  const Program* source = nullptr;
+  std::vector<DecodedFunction> fns;
+  FusionStats stats;
+};
+
+/// Decodes `program` for the threaded backend. With `fuse` false every
+/// entry is a single instruction (the A/B baseline for measuring fusion
+/// in isolation); decoding itself is always performed.
+DecodedProgram DecodeProgram(const Program& program, bool fuse);
+
+}  // namespace octopocs::vm

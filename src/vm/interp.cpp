@@ -1,12 +1,50 @@
 #include "vm/interp.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "support/fault.h"
+#include "vm/fusion.h"
 #include "vm/op_info.h"
 
+// Direct-threaded dispatch needs the GNU computed-goto extension
+// (address-of-label). Elsewhere the threaded backend degrades to a dense
+// switch over the same decoded handler ids — still decoded and fused,
+// just without the per-handler indirect branches.
+#if defined(__GNUC__) || defined(__clang__)
+#define OCTO_VM_COMPUTED_GOTO 1
+#else
+#define OCTO_VM_COMPUTED_GOTO 0
+#endif
+
 namespace octopocs::vm {
+
+namespace {
+
+// Handler ids for the threaded dispatch table, in table order: plain
+// opcodes (enum order), superinstructions (FusedOp order), terminators.
+// The layout must agree with fusion.h's HandlerForOp/HandlerForFused.
+enum : std::uint16_t {
+#define OCTOPOCS_VM_OP_HID(name, mnemonic) kHandler_##name,
+  OCTOPOCS_VM_OPCODES(OCTOPOCS_VM_OP_HID)
+#undef OCTOPOCS_VM_OP_HID
+  kHandler_FuseMovImmAluB,
+  kHandler_FuseMovImmAluC,
+  kHandler_FuseAddImmLoad,
+  kHandler_FuseCmpBranch,
+  kHandler_FuseMovImmCmpBranch,
+  kHandler_TermJump,
+  kHandler_TermBranch,
+  kHandler_TermReturn,
+};
+static_assert(kHandler_FuseMovImmAluB == kHandlerFusedBase);
+static_assert(kHandler_TermJump == kHandlerTermJump);
+static_assert(kHandler_TermBranch == kHandlerTermBranch);
+static_assert(kHandler_TermReturn == kHandlerTermReturn);
+static_assert(kHandler_TermReturn + 1 == kDispatchTableSize);
+
+}  // namespace
 
 std::string_view TrapName(TrapKind kind) {
   switch (kind) {
@@ -26,14 +64,27 @@ std::string_view TrapName(TrapKind kind) {
   return "?";
 }
 
+std::size_t ThreadedDispatchTableSize() { return kDispatchTableSize; }
+
 Interpreter::Interpreter(const Program& program, ByteView input,
                          ExecOptions opts)
     : program_(program), input_(input.begin(), input.end()), opts_(opts) {
+  if (opts_.dispatch == DispatchMode::kThreaded) {
+    if (opts_.predecoded != nullptr && opts_.predecoded->source == &program_) {
+      decoded_ = opts_.predecoded;
+    } else {
+      decoded_owned_ =
+          std::make_unique<DecodedProgram>(DecodeProgram(program_, opts_.fuse));
+      decoded_ = decoded_owned_.get();
+    }
+  }
   Frame entry;
   entry.fn = program_.entry;
   entry.regs.assign(program_.Fn(program_.entry).num_regs, 0);
   frames_.push_back(std::move(entry));
 }
+
+Interpreter::~Interpreter() = default;
 
 void Interpreter::AddObserver(ExecutionObserver* observer) {
   observers_.push_back(observer);
@@ -129,65 +180,57 @@ void Interpreter::StoreMem(std::uint64_t addr, std::uint64_t width,
   }
 }
 
-bool Interpreter::Step() {
-  Frame& frame = frames_.back();
-  const Function& fn = program_.Fn(frame.fn);
-  const Block& block = fn.blocks[frame.block];
-
+bool Interpreter::CheckInterrupts() {
   if (result_.instructions >= opts_.fuel) {
     SetTrap(TrapKind::kFuelExhausted, 0, "instruction budget exhausted");
     return false;
   }
-  if (opts_.cancel.ShouldStop()) {
+  if ((result_.instructions & (kInterpCheckStride - 1)) == 0 &&
+      opts_.cancel.CanExpire() && opts_.cancel.Check()) {
     SetTrap(TrapKind::kDeadline, 0, "wall-clock deadline expired");
     return false;
   }
-  ++result_.instructions;
+  return true;
+}
 
-  // Terminator?
-  if (frame.ip >= block.instrs.size()) {
-    const Terminator& t = block.term;
-    switch (t.kind) {
-      case TermKind::kJump: {
-        const BlockId from = frame.block;
-        frame.block = t.target;
-        frame.ip = 0;
-        for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, t.target);
-        return true;
-      }
-      case TermKind::kBranch: {
-        const BlockId from = frame.block;
-        const BlockId to =
-            frame.regs[t.cond] != 0 ? t.target : t.fallthrough;
-        frame.block = to;
-        frame.ip = 0;
-        for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, to);
-        return true;
-      }
-      case TermKind::kReturn: {
-        const std::uint64_t ret =
-            t.returns_value ? frame.regs[t.cond] : 0;
-        const FuncId callee = frame.fn;
-        const Reg ret_reg = frame.ret_reg;
-        frames_.pop_back();
-        for (auto* o : observers_) {
-          o->OnCallExit(callee, ret, t.returns_value, t.cond, ret_reg);
-        }
-        if (frames_.empty()) {
-          result_.return_value = ret;
-          done_ = true;
-          return false;
-        }
-        frames_.back().regs[ret_reg] = ret;
-        return true;
-      }
+bool Interpreter::ExecTerminator(Frame& frame, const Terminator& t) {
+  switch (t.kind) {
+    case TermKind::kJump: {
+      const BlockId from = frame.block;
+      frame.block = t.target;
+      frame.ip = 0;
+      for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, t.target);
+      return true;
     }
-    return true;
+    case TermKind::kBranch: {
+      const BlockId from = frame.block;
+      const BlockId to = frame.regs[t.cond] != 0 ? t.target : t.fallthrough;
+      frame.block = to;
+      frame.ip = 0;
+      for (auto* o : observers_) o->OnBlockTransfer(frame.fn, from, to);
+      return true;
+    }
+    case TermKind::kReturn: {
+      const std::uint64_t ret = t.returns_value ? frame.regs[t.cond] : 0;
+      const FuncId callee = frame.fn;
+      const Reg ret_reg = frame.ret_reg;
+      frames_.pop_back();
+      for (auto* o : observers_) {
+        o->OnCallExit(callee, ret, t.returns_value, t.cond, ret_reg);
+      }
+      if (frames_.empty()) {
+        result_.return_value = ret;
+        done_ = true;
+        return false;
+      }
+      frames_.back().regs[ret_reg] = ret;
+      return true;
+    }
   }
+  return true;
+}
 
-  const Instr& ins = block.instrs[frame.ip];
-  const std::size_t ip = frame.ip;
-  ++frame.ip;
+bool Interpreter::ExecInstr(Frame& frame, const Instr& ins, std::size_t ip) {
   auto& regs = frame.regs;
   std::uint64_t eff_addr = 0;
   std::uint64_t value = 0;
@@ -372,14 +415,425 @@ bool Interpreter::Step() {
   return true;
 }
 
+bool Interpreter::StepSlow() {
+  if (!CheckInterrupts()) return false;
+  ++result_.instructions;
+
+  Frame& frame = frames_.back();
+  const Function& fn = program_.Fn(frame.fn);
+  const Block& block = fn.blocks[frame.block];
+
+  if (frame.ip >= block.instrs.size()) {
+    return ExecTerminator(frame, block.term);
+  }
+
+  const Instr& ins = block.instrs[frame.ip];
+  const std::size_t ip = frame.ip;
+  ++frame.ip;
+  return ExecInstr(frame, ins, ip);
+}
+
+ExecResult Interpreter::RunSwitch() {
+  while (!done_ && StepSlow()) {
+  }
+  return result_;
+}
+
+// The direct-threaded loop.
+//
+// Execution state is cached in locals (frame/regs/decoded-entry
+// pointers) and only written back where another component can observe
+// it: frame.ip is maintained *lazily* — it is guaranteed current at
+// every point a backtrace can be captured (each potentially-trapping
+// handler stores it first), at call sites (resume position), and on
+// entry to the slow path. Fast-path handlers skip the store entirely.
+//
+// `budget` counts instructions until the next checkpoint (a
+// kInterpCheckStride multiple or the fuel bound). The dispatch site
+// debits each entry's full length up front — matching the switch
+// backend, which counts a unit before executing it — and a checkpoint
+// that would land inside a fused entry routes through StepSlow, retiring
+// constituents one at a time so fuel exhaustion and deadline polls fire
+// at exactly the instruction counts the switch backend produces.
+ExecResult Interpreter::RunThreaded() {
+  const DecodedProgram& dp = *decoded_;
+  Frame* frame = nullptr;
+  const DecodedBlock* db = nullptr;
+  const DecodedInstr* de = nullptr;
+  std::uint64_t* regs = nullptr;
+  std::uint64_t budget = 0;
+
+#if OCTO_VM_COMPUTED_GOTO
+  static const void* const kLabels[] = {
+#define OCTOPOCS_VM_OP_LABEL(name, mnemonic) &&lbl_##name,
+      OCTOPOCS_VM_OPCODES(OCTOPOCS_VM_OP_LABEL)
+#undef OCTOPOCS_VM_OP_LABEL
+      &&lbl_FuseMovImmAluB,
+      &&lbl_FuseMovImmAluC,
+      &&lbl_FuseAddImmLoad,
+      &&lbl_FuseCmpBranch,
+      &&lbl_FuseMovImmCmpBranch,
+      &&lbl_TermJump,
+      &&lbl_TermBranch,
+      &&lbl_TermReturn,
+  };
+  // The dispatch-exhaustiveness guard for this backend: a missing
+  // handler label is a compile error (via the && references above), and
+  // a count mismatch with the handler id space fails here.
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kDispatchTableSize,
+                "threaded dispatch label table out of sync with the op set");
+#define VM_CASE(name) lbl_##name:
+#define VM_DISPATCH_BEGIN goto* kLabels[de->handler];
+#define VM_DISPATCH_END
+#else
+#define VM_CASE(name) case kHandler_##name:
+#define VM_DISPATCH_BEGIN   \
+  switch (de->handler) {    \
+    default:                \
+      std::abort();
+#define VM_DISPATCH_END }
+#endif
+
+// Fires the constituent OnInstr events fused handlers owe their
+// observers; `frame` is current by construction on every path here.
+#define VM_EMIT_INSTR(insptr, ipval, effv, valv)                            \
+  do {                                                                      \
+    if (!observers_.empty()) {                                              \
+      for (auto* o : observers_) {                                          \
+        o->OnInstr(frame->fn, frame->block, (ipval), *(insptr), (effv),     \
+                   (valv));                                                 \
+      }                                                                     \
+    }                                                                       \
+  } while (0)
+
+  goto reenter;
+
+dispatch:
+  if (budget < de->len) goto boundary;
+  budget -= de->len;
+  result_.instructions += de->len;
+  VM_DISPATCH_BEGIN
+
+  VM_CASE(MovImm) {
+    const Instr& I = *de->i1;
+    regs[I.a] = I.imm;
+    VM_EMIT_INSTR(&I, de->ip, 0, I.imm);
+    ++de;
+    goto dispatch;
+  }
+  VM_CASE(Mov) {
+    const Instr& I = *de->i1;
+    const std::uint64_t val = regs[I.b];
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, 0, val);
+    ++de;
+    goto dispatch;
+  }
+  VM_CASE(Not) {
+    const Instr& I = *de->i1;
+    const std::uint64_t val = ~regs[I.b];
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, 0, val);
+    ++de;
+    goto dispatch;
+  }
+  VM_CASE(AddImm) {
+    const Instr& I = *de->i1;
+    const std::uint64_t val = regs[I.b] + I.imm;
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, 0, val);
+    ++de;
+    goto dispatch;
+  }
+
+#define VM_ALU_CASE(name, expr)                           \
+  VM_CASE(name) {                                         \
+    const Instr& I = *de->i1;                             \
+    const std::uint64_t bv = regs[I.b];                   \
+    const std::uint64_t cv = regs[I.c];                   \
+    const std::uint64_t val = (expr);                     \
+    regs[I.a] = val;                                      \
+    VM_EMIT_INSTR(&I, de->ip, 0, val);                    \
+    ++de;                                                 \
+    goto dispatch;                                        \
+  }
+  VM_ALU_CASE(Add, bv + cv)
+  VM_ALU_CASE(Sub, bv - cv)
+  VM_ALU_CASE(Mul, bv* cv)
+  VM_ALU_CASE(And, bv& cv)
+  VM_ALU_CASE(Or, bv | cv)
+  VM_ALU_CASE(Xor, bv ^ cv)
+  VM_ALU_CASE(Shl, bv << (cv & 63))
+  VM_ALU_CASE(Shr, bv >> (cv & 63))
+  VM_ALU_CASE(CmpEq, bv == cv ? 1 : 0)
+  VM_ALU_CASE(CmpNe, bv != cv ? 1 : 0)
+  VM_ALU_CASE(CmpLtU, bv < cv ? 1 : 0)
+  VM_ALU_CASE(CmpLeU, bv <= cv ? 1 : 0)
+  VM_ALU_CASE(CmpGtU, bv > cv ? 1 : 0)
+  VM_ALU_CASE(CmpGeU, bv >= cv ? 1 : 0)
+#undef VM_ALU_CASE
+
+  VM_CASE(DivU) {
+    const Instr& I = *de->i1;
+    const std::uint64_t cv = regs[I.c];
+    if (cv == 0) {
+      frame->ip = de->ip + 1;
+      SetTrap(TrapKind::kDivByZero, 0, "division by zero");
+      goto finish;
+    }
+    const std::uint64_t val = regs[I.b] / cv;
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, 0, val);
+    ++de;
+    goto dispatch;
+  }
+  VM_CASE(RemU) {
+    const Instr& I = *de->i1;
+    const std::uint64_t cv = regs[I.c];
+    if (cv == 0) {
+      frame->ip = de->ip + 1;
+      SetTrap(TrapKind::kDivByZero, 0, "remainder by zero");
+      goto finish;
+    }
+    const std::uint64_t val = regs[I.b] % cv;
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, 0, val);
+    ++de;
+    goto dispatch;
+  }
+
+  VM_CASE(Load) {
+    const Instr& I = *de->i1;
+    const std::uint64_t eff = regs[I.b] + I.imm;
+    frame->ip = de->ip + 1;
+    if (!ResolveAccess(eff, I.width)) goto finish;
+    const std::uint64_t val = LoadMem(eff, I.width);
+    regs[I.a] = val;
+    VM_EMIT_INSTR(&I, de->ip, eff, val);
+    ++de;
+    goto dispatch;
+  }
+  VM_CASE(Store) {
+    const Instr& I = *de->i1;
+    const std::uint64_t eff = regs[I.b] + I.imm;
+    frame->ip = de->ip + 1;
+    if (eff >= kRodataBase && eff < kHeapBase) {
+      SetTrap(TrapKind::kOutOfBounds, eff, "write to rodata");
+      goto finish;
+    }
+    if (eff >= kMmapBase) {
+      SetTrap(TrapKind::kOutOfBounds, eff,
+              "write to the read-only file mapping");
+      goto finish;
+    }
+    if (!ResolveAccess(eff, I.width)) goto finish;
+    const std::uint64_t val = regs[I.a];
+    StoreMem(eff, I.width, val);
+    VM_EMIT_INSTR(&I, de->ip, eff, val);
+    ++de;
+    goto dispatch;
+  }
+
+  // Rare / heavyweight ops delegate to the shared single-instruction
+  // executor: one out-of-line call per dispatch keeps their semantics in
+  // exactly one place while leaving the hot ops inline above.
+  VM_CASE(Alloc)
+  VM_CASE(Free)
+  VM_CASE(Read)
+  VM_CASE(MMap)
+  VM_CASE(Seek)
+  VM_CASE(Tell)
+  VM_CASE(FileSize)
+  VM_CASE(FnAddr)
+  VM_CASE(Assert)
+  VM_CASE(Trap)
+  VM_CASE(Nop) {
+    frame->ip = de->ip + 1;
+    if (!ExecInstr(*frame, *de->i1, de->ip)) goto finish;
+    ++de;
+    goto dispatch;
+  }
+
+  VM_CASE(Call)
+  VM_CASE(ICall) {
+    frame->ip = de->ip + 1;  // resume position in the caller
+    if (!ExecInstr(*frame, *de->i1, de->ip)) goto finish;
+    goto reenter;  // a frame was pushed; reload all cached state
+  }
+
+  VM_CASE(FuseMovImmAluB)
+  VM_CASE(FuseMovImmAluC) {
+    // movi x,C ; alu/cmp a,b,c (x feeding b or c). Operands are read
+    // back from the register file after the movi write, so aliasing
+    // (b == x, c == x, a == x) behaves exactly as unfused execution.
+    const Instr& m = *de->i1;
+    const Instr& A = *de->i2;
+    regs[m.a] = m.imm;
+    VM_EMIT_INSTR(&m, de->ip, 0, m.imm);
+    const std::uint64_t val = EvalAlu(A.op, regs[A.b], regs[A.c]);
+    regs[A.a] = val;
+    VM_EMIT_INSTR(&A, de->ip + 1, 0, val);
+    ++de;
+    goto dispatch;
+  }
+
+  VM_CASE(FuseAddImmLoad) {
+    // addi x,b,C ; load a,x,off — the pointer-bump-then-load shape. The
+    // load may trap, so the position is committed first.
+    const Instr& ai = *de->i1;
+    const Instr& ld = *de->i2;
+    const std::uint64_t ptr = regs[ai.b] + ai.imm;
+    regs[ai.a] = ptr;
+    VM_EMIT_INSTR(&ai, de->ip, 0, ptr);
+    const std::uint64_t eff = regs[ld.b] + ld.imm;
+    frame->ip = de->ip + 2;
+    if (!ResolveAccess(eff, ld.width)) goto finish;
+    const std::uint64_t val = LoadMem(eff, ld.width);
+    regs[ld.a] = val;
+    VM_EMIT_INSTR(&ld, de->ip + 1, eff, val);
+    ++de;
+    goto dispatch;
+  }
+
+  VM_CASE(FuseCmpBranch) {
+    // cmp a,b,c ; br a — the loop back-edge shape. The branch reads the
+    // value the compare just produced.
+    const Instr& C = *de->i1;
+    const Terminator& t = *de->term;
+    const std::uint64_t val = EvalAlu(C.op, regs[C.b], regs[C.c]);
+    regs[C.a] = val;
+    VM_EMIT_INSTR(&C, de->ip, 0, val);
+    const BlockId from = frame->block;
+    const BlockId to = val != 0 ? t.target : t.fallthrough;
+    frame->block = to;
+    frame->ip = 0;
+    if (!observers_.empty()) {
+      for (auto* o : observers_) o->OnBlockTransfer(frame->fn, from, to);
+    }
+    db = &dp.fns[frame->fn].blocks[to];
+    de = db->code.data();
+    goto dispatch;
+  }
+
+  VM_CASE(FuseMovImmCmpBranch) {
+    // movi x,C ; cmp a,b,x ; br a — the constant-guard loop tail.
+    const Instr& m = *de->i1;
+    const Instr& C = *de->i2;
+    const Terminator& t = *de->term;
+    regs[m.a] = m.imm;
+    VM_EMIT_INSTR(&m, de->ip, 0, m.imm);
+    const std::uint64_t val = EvalAlu(C.op, regs[C.b], regs[C.c]);
+    regs[C.a] = val;
+    VM_EMIT_INSTR(&C, de->ip + 1, 0, val);
+    const BlockId from = frame->block;
+    const BlockId to = val != 0 ? t.target : t.fallthrough;
+    frame->block = to;
+    frame->ip = 0;
+    if (!observers_.empty()) {
+      for (auto* o : observers_) o->OnBlockTransfer(frame->fn, from, to);
+    }
+    db = &dp.fns[frame->fn].blocks[to];
+    de = db->code.data();
+    goto dispatch;
+  }
+
+  VM_CASE(TermJump) {
+    const Terminator& t = *de->term;
+    const BlockId from = frame->block;
+    frame->block = t.target;
+    frame->ip = 0;
+    if (!observers_.empty()) {
+      for (auto* o : observers_) o->OnBlockTransfer(frame->fn, from, t.target);
+    }
+    db = &dp.fns[frame->fn].blocks[t.target];
+    de = db->code.data();
+    goto dispatch;
+  }
+  VM_CASE(TermBranch) {
+    const Terminator& t = *de->term;
+    const BlockId from = frame->block;
+    const BlockId to = regs[t.cond] != 0 ? t.target : t.fallthrough;
+    frame->block = to;
+    frame->ip = 0;
+    if (!observers_.empty()) {
+      for (auto* o : observers_) o->OnBlockTransfer(frame->fn, from, to);
+    }
+    db = &dp.fns[frame->fn].blocks[to];
+    de = db->code.data();
+    goto dispatch;
+  }
+  VM_CASE(TermReturn) {
+    const Terminator& t = *de->term;
+    const std::uint64_t ret = t.returns_value ? regs[t.cond] : 0;
+    const FuncId callee = frame->fn;
+    const Reg ret_reg = frame->ret_reg;
+    frames_.pop_back();
+    if (!observers_.empty()) {
+      for (auto* o : observers_) {
+        o->OnCallExit(callee, ret, t.returns_value, t.cond, ret_reg);
+      }
+    }
+    if (frames_.empty()) {
+      result_.return_value = ret;
+      done_ = true;
+      goto finish;
+    }
+    frames_.back().regs[ret_reg] = ret;
+    goto reenter;
+  }
+
+  VM_DISPATCH_END
+
+boundary:
+  // A checkpoint falls on (budget == 0) or inside (0 < budget < len) the
+  // next entry. Commit the position; a mid-entry checkpoint retires
+  // constituents one at a time through the portable backend.
+  frame->ip = de->ip;
+  if (budget != 0) goto slow_single;
+  goto recompute;
+
+slow_single:
+  if (!StepSlow()) goto finish;
+  goto reenter;
+
+reenter:
+  // (Re)load every cached pointer from interpreter state: loop entry,
+  // return-from-call, and slow-path re-alignment all land here.
+  frame = &frames_.back();
+  db = &dp.fns[frame->fn].blocks[frame->block];
+  de = db->code.data() + db->entry_of_ip[frame->ip];
+  regs = frame->regs.data();
+  // A resume point strictly inside a fused entry (possible only after
+  // slow-path stepping split one) keeps single-stepping to the boundary.
+  if (de->ip != frame->ip) goto slow_single;
+
+recompute:
+  if (!CheckInterrupts()) goto finish;
+  {
+    const std::uint64_t next_stride =
+        (result_.instructions | (kInterpCheckStride - 1)) + 1;
+    const std::uint64_t limit =
+        next_stride < opts_.fuel ? next_stride : opts_.fuel;
+    budget = limit - result_.instructions;
+  }
+  goto dispatch;
+
+finish:
+  return result_;
+
+#undef VM_CASE
+#undef VM_DISPATCH_BEGIN
+#undef VM_DISPATCH_END
+#undef VM_EMIT_INSTR
+}
+
 ExecResult Interpreter::Run() {
   for (auto* o : observers_) {
     // The entry frame behaves like a call with no arguments.
     o->OnCallEnter(program_.entry, {}, nullptr);
   }
-  while (!done_ && Step()) {
-  }
-  return result_;
+  return opts_.dispatch == DispatchMode::kThreaded ? RunThreaded()
+                                                   : RunSwitch();
 }
 
 ExecResult RunProgram(const Program& program, ByteView input,

@@ -56,13 +56,45 @@ inline bool IsVulnerabilityCrash(TrapKind kind) {
          kind != TrapKind::kDeadline;
 }
 
+class DecodedProgram;  // vm/fusion.h
+
+/// Interpreter dispatch backend.
+///
+/// kThreaded (the default) pre-decodes each block and runs a
+/// direct-threaded loop — a computed-goto label table under GCC/Clang, a
+/// dense switch over decoded handler ids elsewhere — with
+/// superinstruction fusion (vm/fusion.h) and fuel/deadline checks hoisted
+/// off the per-instruction fast path. kSwitch is the original
+/// instruction-at-a-time switch interpreter, kept as the portable
+/// reference and A/B baseline. Both backends produce byte-identical
+/// ExecResults and observer event streams; the choice is never part of
+/// any artifact-cache key or journal fingerprint.
+enum class DispatchMode : std::uint8_t { kSwitch, kThreaded };
+
+/// Both backends poll the CancelToken when the retired-instruction count
+/// is a multiple of this stride (and always at instruction 0), so a
+/// tripped token surfaces as TrapKind::kDeadline within at most this many
+/// further instructions. Fuel accounting stays exact — the stride applies
+/// only to the wall-clock poll.
+inline constexpr std::uint64_t kInterpCheckStride = 1024;
+
 struct ExecOptions {
   std::uint64_t fuel = 10'000'000;      // max instructions
   std::uint32_t max_call_depth = 200;
   std::uint64_t heap_limit = 1ULL << 26;  // bytes of live allocations
-  /// Cooperative wall-clock bound: polled once per interpreted
-  /// instruction (strided, ~free). Tripping records TrapKind::kDeadline.
+  /// Cooperative wall-clock bound: polled every kInterpCheckStride
+  /// interpreted instructions (~free). Tripping records
+  /// TrapKind::kDeadline.
   support::CancelToken cancel;
+  DispatchMode dispatch = DispatchMode::kThreaded;
+  /// Superinstruction fusion (threaded backend only). Off yields the
+  /// decoded-but-unfused loop — the A/B point isolating fusion's effect.
+  bool fuse = true;
+  /// Optional pre-decoded form of the *same* program, letting callers
+  /// that execute one program many times (the fuzzer) amortize decoding.
+  /// Ignored unless its `source` matches the interpreted program; the
+  /// caller is responsible for having decoded with the same `fuse` flag.
+  const DecodedProgram* predecoded = nullptr;
 };
 
 /// One entry of the crash callstack (the backtrace(3) substitute used by
@@ -138,6 +170,7 @@ class Interpreter {
   /// `input` is copied: the interpreter owns its input so callers may
   /// pass temporaries (PoC files are small; dangling views are not).
   Interpreter(const Program& program, ByteView input, ExecOptions opts = {});
+  ~Interpreter();  // out-of-line: DecodedProgram is incomplete here
 
   /// Observers are not owned and must outlive Run().
   void AddObserver(ExecutionObserver* observer);
@@ -172,7 +205,24 @@ class Interpreter {
   void SetTrap(TrapKind kind, std::uint64_t fault_addr, std::string message);
   void CaptureBacktrace();
 
-  bool Step();  // one instruction or terminator; false = stop execution
+  // Dispatch backends. RunSwitch is the portable reference loop;
+  // RunThreaded executes the pre-decoded (optionally fused) form and
+  // falls back to single-stepping only around fuel/deadline boundaries
+  // and mid-entry resume points.
+  ExecResult RunSwitch();
+  ExecResult RunThreaded();
+
+  /// Fuel check plus the strided CancelToken poll. Called before a unit
+  /// executes, when `result_.instructions` sits at a checkpoint. Returns
+  /// false after recording kFuelExhausted/kDeadline.
+  bool CheckInterrupts();
+  /// One original instruction or terminator with full checks — the
+  /// switch backend's loop body, shared by the threaded slow path.
+  bool StepSlow();
+  /// Executes one non-terminator instruction. The caller has counted it
+  /// and advanced frame.ip past it (trap backtraces record ip+1).
+  bool ExecInstr(Frame& frame, const Instr& ins, std::size_t ip);
+  bool ExecTerminator(Frame& frame, const Terminator& term);
 
   const Program& program_;
   Bytes input_;  // owned copy of the PoC file
@@ -185,9 +235,18 @@ class Interpreter {
   std::uint64_t live_heap_bytes_ = 0;
   std::uint64_t file_pos_ = 0;
 
+  std::unique_ptr<DecodedProgram> decoded_owned_;
+  const DecodedProgram* decoded_ = nullptr;
+
   ExecResult result_;
   bool done_ = false;
 };
+
+/// Number of handlers in the threaded backend's dispatch table (one per
+/// Op, per FusedOp, per terminator kind). The table itself is statically
+/// sized against this; exposed so the exhaustiveness test can assert the
+/// three layers (op_info, dispatch, mnemonics) agree on the op set.
+std::size_t ThreadedDispatchTableSize();
 
 /// Convenience wrapper: validate (throws std::invalid_argument on a
 /// malformed program), run, return the result.

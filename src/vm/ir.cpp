@@ -126,44 +126,15 @@ std::optional<std::string> Validate(const Program& program) {
 }
 
 std::string_view OpName(Op op) {
-  switch (op) {
-    case Op::kMovImm: return "movi";
-    case Op::kMov: return "mov";
-    case Op::kAdd: return "add";
-    case Op::kSub: return "sub";
-    case Op::kMul: return "mul";
-    case Op::kDivU: return "divu";
-    case Op::kRemU: return "remu";
-    case Op::kAnd: return "and";
-    case Op::kOr: return "or";
-    case Op::kXor: return "xor";
-    case Op::kShl: return "shl";
-    case Op::kShr: return "shr";
-    case Op::kNot: return "not";
-    case Op::kAddImm: return "addi";
-    case Op::kCmpEq: return "cmpeq";
-    case Op::kCmpNe: return "cmpne";
-    case Op::kCmpLtU: return "cmpltu";
-    case Op::kCmpLeU: return "cmpleu";
-    case Op::kCmpGtU: return "cmpgtu";
-    case Op::kCmpGeU: return "cmpgeu";
-    case Op::kLoad: return "load";
-    case Op::kStore: return "store";
-    case Op::kAlloc: return "alloc";
-    case Op::kFree: return "free";
-    case Op::kRead: return "read";
-    case Op::kMMap: return "mmap";
-    case Op::kSeek: return "seek";
-    case Op::kTell: return "tell";
-    case Op::kFileSize: return "fsize";
-    case Op::kCall: return "call";
-    case Op::kICall: return "icall";
-    case Op::kFnAddr: return "fnaddr";
-    case Op::kAssert: return "assert";
-    case Op::kTrap: return "trap";
-    case Op::kNop: return "nop";
-  }
-  return "?";
+  // Generated from the opcode master list, so a new opcode cannot ship
+  // without a mnemonic (the disassembler renders through this table).
+  static constexpr std::string_view kMnemonics[kOpCount] = {
+#define OCTOPOCS_VM_OP_NAME(name, mnemonic) mnemonic,
+      OCTOPOCS_VM_OPCODES(OCTOPOCS_VM_OP_NAME)
+#undef OCTOPOCS_VM_OP_NAME
+  };
+  const auto index = static_cast<std::size_t>(op);
+  return index < kOpCount ? kMnemonics[index] : "?";
 }
 
 }  // namespace octopocs::vm

@@ -17,6 +17,7 @@
 // Registers are per-frame 64-bit slots; parameters arrive in r0..rN-1.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -45,55 +46,88 @@ inline constexpr std::uint64_t kHeapBase = 0x100000;
 /// bytes directly, writes trap.
 inline constexpr std::uint64_t kMmapBase = 0x40000000;
 
+// Opcode master list (X-macro). Every table that must stay in lockstep
+// with the opcode set — the Op enum itself, the mnemonic table, the
+// op_info metadata rows, and the threaded-dispatch label table in
+// vm/interp.cpp — is generated from (or statically checked against) this
+// single list, so adding an opcode without updating a backend is a
+// compile-time error rather than a silent fall-through.
+//
+// Semantics (registers are per-frame 64-bit slots):
+//   Data movement: kMovImm r[a]=imm; kMov r[a]=r[b].
+//   Arithmetic / bitwise (r[a] = r[b] <op> r[c], 64-bit wrap-around):
+//     kAdd kSub kMul kAnd kOr kXor; kDivU/kRemU trap kDivByZero when
+//     r[c]==0; kShl/kShr take the shift amount mod 64.
+//   Unary: kNot r[a]=~r[b]; kAddImm r[a]=r[b]+imm (imm may encode a
+//     negative two's complement).
+//   Comparisons (unsigned, r[a] = (r[b] <op> r[c]) ? 1 : 0):
+//     kCmpEq kCmpNe kCmpLtU kCmpLeU kCmpGtU kCmpGeU.
+//   Memory (effective address = r[b] + imm; width ∈ {1,2,4,8},
+//     little-endian, loads zero-extend): kLoad r[a]=mem[...];
+//     kStore mem[...]=low bytes of r[a]; kAlloc r[a]=heap.alloc(r[b]
+//     bytes, zero-initialized); kFree heap.free(r[a]).
+//   Input file (the PoC; one implicit stream per execution with a
+//     file-position indicator — the abstraction P3 keys bunches on):
+//     kRead r[a]=read(dst=r[b], count=r[c]), advances position;
+//     kMMap r[a]=base of the read-only whole-file mapping;
+//     kSeek position=r[b]; kTell r[a]=position; kFileSize r[a]=input
+//     size in bytes.
+//   Calls: kCall names the callee in imm (a FuncId); kICall takes the
+//     callee id from r[b]. Arguments are the caller registers in `args`,
+//     copied into the callee's r0..rN-1; the return value lands in r[a].
+//     kFnAddr r[a]=FuncId of a function named at build time (in imm).
+//   Checks: kAssert traps kAbort when r[a]==0; kTrap is an unconditional
+//     kAbort; kNop does nothing.
+#define OCTOPOCS_VM_OPCODES(X) \
+  X(MovImm, "movi")            \
+  X(Mov, "mov")                \
+  X(Add, "add")                \
+  X(Sub, "sub")                \
+  X(Mul, "mul")                \
+  X(DivU, "divu")              \
+  X(RemU, "remu")              \
+  X(And, "and")                \
+  X(Or, "or")                  \
+  X(Xor, "xor")                \
+  X(Shl, "shl")                \
+  X(Shr, "shr")                \
+  X(Not, "not")                \
+  X(AddImm, "addi")            \
+  X(CmpEq, "cmpeq")            \
+  X(CmpNe, "cmpne")            \
+  X(CmpLtU, "cmpltu")          \
+  X(CmpLeU, "cmpleu")          \
+  X(CmpGtU, "cmpgtu")          \
+  X(CmpGeU, "cmpgeu")          \
+  X(Load, "load")              \
+  X(Store, "store")            \
+  X(Alloc, "alloc")            \
+  X(Free, "free")              \
+  X(Read, "read")              \
+  X(MMap, "mmap")              \
+  X(Seek, "seek")              \
+  X(Tell, "tell")              \
+  X(FileSize, "fsize")         \
+  X(Call, "call")              \
+  X(ICall, "icall")            \
+  X(FnAddr, "fnaddr")          \
+  X(Assert, "assert")          \
+  X(Trap, "trap")              \
+  X(Nop, "nop")
+
 enum class Op : std::uint8_t {
-  // Data movement.
-  kMovImm,  // r[a] = imm
-  kMov,     // r[a] = r[b]
-  // Arithmetic / bitwise: r[a] = r[b] <op> r[c]. All 64-bit, wrap-around.
-  kAdd,
-  kSub,
-  kMul,
-  kDivU,  // traps kDivByZero when r[c] == 0
-  kRemU,  // traps kDivByZero when r[c] == 0
-  kAnd,
-  kOr,
-  kXor,
-  kShl,  // shift amount taken mod 64
-  kShr,
-  kNot,     // r[a] = ~r[b]
-  kAddImm,  // r[a] = r[b] + imm (imm may encode a negative two's complement)
-  // Comparisons: r[a] = (r[b] <op> r[c]) ? 1 : 0. Unsigned.
-  kCmpEq,
-  kCmpNe,
-  kCmpLtU,
-  kCmpLeU,
-  kCmpGtU,
-  kCmpGeU,
-  // Memory. Effective address = r[b] + imm. width ∈ {1,2,4,8},
-  // little-endian, loads zero-extend.
-  kLoad,   // r[a] = mem[r[b] + imm]
-  kStore,  // mem[r[b] + imm] = low bytes of r[a]
-  kAlloc,  // r[a] = heap.alloc(r[b] bytes); zero-initialized
-  kFree,   // heap.free(r[a])
-  // Input file (the PoC). One implicit input stream per execution with a
-  // file-position indicator, exactly the abstraction P3 keys bunches on.
-  kRead,      // r[a] = read(dst = r[b], count = r[c]); advances position
-  kMMap,      // r[a] = base address of the read-only whole-file mapping
-  kSeek,      // position = r[b]
-  kTell,      // r[a] = position
-  kFileSize,  // r[a] = input size in bytes
-  // Calls. Direct calls name the callee in `imm` (a FuncId); indirect
-  // calls take the callee id from r[b]. Arguments are the caller registers
-  // listed in `args`, copied into the callee's r0..rN-1. The return value
-  // lands in r[a].
-  kCall,
-  kICall,
-  kFnAddr,  // r[a] = FuncId of function named at build time (stored in imm)
-  // Checks.
-  kAssert,  // traps kAbort when r[a] == 0
-  kTrap,    // unconditional kAbort
-  kNop,
+#define OCTOPOCS_VM_OP_ENUM(name, mnemonic) k##name,
+  OCTOPOCS_VM_OPCODES(OCTOPOCS_VM_OP_ENUM)
+#undef OCTOPOCS_VM_OP_ENUM
 };
+
+/// Number of opcodes. Dispatch/metadata tables are sized by this and
+/// statically checked against it.
+inline constexpr std::size_t kOpCount = 0
+#define OCTOPOCS_VM_OP_COUNT(name, mnemonic) +1
+    OCTOPOCS_VM_OPCODES(OCTOPOCS_VM_OP_COUNT)
+#undef OCTOPOCS_VM_OP_COUNT
+    ;
 
 /// True for the three-register ALU forms (kAdd .. kCmpGeU minus unary).
 bool IsBinaryAlu(Op op);

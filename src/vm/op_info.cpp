@@ -4,8 +4,6 @@ namespace octopocs::vm {
 
 namespace {
 
-constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kNop) + 1;
-
 constexpr OpInfo Row(bool src_a, bool src_b, bool src_c, bool src_mem,
                      TaintDest dest, SideEffect effect, ControlClass control,
                      bool is_binary_alu, bool may_trap) {
@@ -19,6 +17,7 @@ constexpr OpInfo Row(bool src_a, bool src_b, bool src_c, bool src_mem,
   info.control = control;
   info.is_binary_alu = is_binary_alu;
   info.may_trap = may_trap;
+  info.specified = true;
   return info;
 }
 
@@ -89,11 +88,25 @@ struct Table {
 
 constexpr Table kTable{};
 
+// Exhaustiveness guard: every Op enumerator must have an explicit row.
+// Fires at compile time when an opcode is added to OCTOPOCS_VM_OPCODES
+// without a matching `set(...)` above.
+constexpr bool AllRowsSpecified(const Table& table) {
+  for (const OpInfo& row : table.rows) {
+    if (!row.specified) return false;
+  }
+  return true;
+}
+static_assert(AllRowsSpecified(kTable),
+              "every vm::Op needs an explicit OpInfo row in op_info.cpp");
+
 }  // namespace
 
 const OpInfo& GetOpInfo(Op op) {
   return kTable.rows[static_cast<std::size_t>(op)];
 }
+
+bool OpInfoTableComplete() { return AllRowsSpecified(kTable); }
 
 std::uint64_t EvalAlu(Op op, std::uint64_t a, std::uint64_t b) {
   switch (op) {

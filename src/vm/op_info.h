@@ -73,10 +73,20 @@ struct OpInfo {
   /// The op itself can raise a trap (div-by-zero, failed assert, bad
   /// memory access, heap misuse, invalid indirect call).
   bool may_trap = false;
+  /// Set by the table constructor for every explicitly-classified op. A
+  /// default-initialized row is *not* specified; a static_assert in
+  /// op_info.cpp rejects any Op enumerator without an explicit row, so a
+  /// new opcode cannot silently inherit all-false metadata.
+  bool specified = false;
 };
 
 /// The metadata row for `op`. O(1); valid for every Op enumerator.
 const OpInfo& GetOpInfo(Op op);
+
+/// True iff every Op enumerator has an explicitly-specified OpInfo row.
+/// Always true (the table is also checked at compile time); exposed so
+/// the dispatch-exhaustiveness test can assert it table-driven.
+bool OpInfoTableComplete();
 
 /// Shared concrete semantics of the binary-ALU forms. Division and
 /// remainder by zero yield 0 here — the concrete interpreter traps

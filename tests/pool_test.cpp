@@ -1,0 +1,330 @@
+// Persistent worker pool (DESIGN.md §13): the PersistentProcess pipe
+// primitive and the WorkerPool retry/respawn/quarantine loop, driven by
+// /bin/sh shim workers so every outcome is reachable without a
+// cooperating octopocs binary. The pooled-vs-one-shot verdict identity
+// on the real corpus is covered by the CI pooled-isolation leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
+#include "core/report_io.h"
+#include "core/supervisor.h"
+#include "corpus/pairs.h"
+#include "support/subprocess.h"
+
+namespace octopocs::core {
+namespace {
+
+#ifndef _WIN32
+
+using support::PersistentProcess;
+using support::SubprocessLimits;
+using support::SubprocessResult;
+using support::SubprocessStatus;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "octopocs_pool_" + name;
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << text;
+}
+
+/// Writes an executable shim. The pool invokes it as
+/// `script pool-worker <flags...>`; the scripts ignore their argv.
+std::string WriteWorkerScript(const std::string& name,
+                              const std::string& body) {
+  const std::string path = TempPath(name + ".sh");
+  WriteText(path, "#!/bin/sh\n" + body);
+  ::chmod(path.c_str(), 0755);
+  return path;
+}
+
+/// A report with distinctive values, so a pool that fabricated or
+/// mixed up reports could not pass.
+VerificationReport CannedReport() {
+  VerificationReport r;
+  r.verdict = Verdict::kTriggered;
+  r.type = ResultType::kTypeII;
+  r.detail = "pooled canned report";
+  r.ep_name = "parse_header";
+  r.bunch_count = 3;
+  return r;
+}
+
+// -- PersistentProcess: the framed-pipe primitive ------------------------------
+
+/// An echo server: replies to every request line with a two-line frame,
+/// exits cleanly on "QUIT".
+std::string EchoServer() {
+  return WriteWorkerScript("echo",
+                           "while read line; do\n"
+                           "  if [ \"$line\" = QUIT ]; then exit 0; fi\n"
+                           "  echo \"got $line\"\n"
+                           "  echo FRAME-END\n"
+                           "done\n");
+}
+
+TEST(PersistentProcessTest, RequestResponseAcrossManyRoundTrips) {
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({EchoServer(), "pool-worker"}, {}, &error)) << error;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(proc.WriteLine("req-" + std::to_string(i)));
+    std::string frame;
+    ASSERT_EQ(proc.ReadFrame("FRAME-END", 5'000, nullptr, &frame),
+              PersistentProcess::ReadStatus::kOk)
+        << "round " << i;
+    EXPECT_EQ(frame, "got req-" + std::to_string(i) + "\nFRAME-END\n");
+  }
+  ASSERT_TRUE(proc.WriteLine("QUIT"));
+  const SubprocessResult r = proc.Reap();
+  EXPECT_EQ(r.status, SubprocessStatus::kExited);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_FALSE(proc.alive());
+}
+
+TEST(PersistentProcessTest, BytesPastTheSentinelStayBufferedForTheNextFrame) {
+  // One request triggers two complete frames in a single burst; the
+  // second must be returned by the *next* ReadFrame, not lost.
+  const std::string script = WriteWorkerScript(
+      "burst",
+      "read line\n"
+      "printf 'alpha\\nFRAME-END\\nbeta\\nFRAME-END\\n'\n"
+      "read line2\n");
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({script, "pool-worker"}, {}, &error)) << error;
+  ASSERT_TRUE(proc.WriteLine("go"));
+  std::string frame;
+  ASSERT_EQ(proc.ReadFrame("FRAME-END", 5'000, nullptr, &frame),
+            PersistentProcess::ReadStatus::kOk);
+  EXPECT_EQ(frame, "alpha\nFRAME-END\n");
+  ASSERT_EQ(proc.ReadFrame("FRAME-END", 5'000, nullptr, &frame),
+            PersistentProcess::ReadStatus::kOk);
+  EXPECT_EQ(frame, "beta\nFRAME-END\n");
+}
+
+TEST(PersistentProcessTest, SentinelInsideALineDoesNotEndTheFrame) {
+  // The sentinel must match a whole line: a report whose payload
+  // *contains* the sentinel text mid-line keeps the frame open.
+  const std::string script = WriteWorkerScript(
+      "tricky",
+      "read line\n"
+      "printf 'prefix FRAME-END suffix\\nFRAME-END\\n'\n"
+      "read line2\n");
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({script, "pool-worker"}, {}, &error)) << error;
+  ASSERT_TRUE(proc.WriteLine("go"));
+  std::string frame;
+  ASSERT_EQ(proc.ReadFrame("FRAME-END", 5'000, nullptr, &frame),
+            PersistentProcess::ReadStatus::kOk);
+  EXPECT_EQ(frame, "prefix FRAME-END suffix\nFRAME-END\n");
+}
+
+TEST(PersistentProcessTest, SilentWorkerTimesOut) {
+  const std::string script =
+      WriteWorkerScript("silent", "read line\nsleep 30\n");
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({script, "pool-worker"}, {}, &error)) << error;
+  ASSERT_TRUE(proc.WriteLine("go"));
+  std::string frame;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(proc.ReadFrame("FRAME-END", 100, nullptr, &frame),
+            PersistentProcess::ReadStatus::kTimeout);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            10.0);
+  const SubprocessResult r = proc.Kill();
+  EXPECT_EQ(r.status, SubprocessStatus::kSignaled);
+  EXPECT_FALSE(proc.alive());
+}
+
+TEST(PersistentProcessTest, DyingWorkerYieldsEofThenItsRealWaitStatus) {
+  const std::string script =
+      WriteWorkerScript("dier", "read line\nkill -SEGV $$\n");
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({script, "pool-worker"}, {}, &error)) << error;
+  ASSERT_TRUE(proc.WriteLine("go"));
+  std::string frame;
+  EXPECT_EQ(proc.ReadFrame("FRAME-END", 5'000, nullptr, &frame),
+            PersistentProcess::ReadStatus::kEof);
+  const SubprocessResult r = proc.Reap();
+  EXPECT_EQ(r.status, SubprocessStatus::kSignaled);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+}
+
+TEST(PersistentProcessTest, InterruptFlagUnblocksTheRead) {
+  const std::string script =
+      WriteWorkerScript("hang", "read line\nsleep 30\n");
+  PersistentProcess proc;
+  std::string error;
+  ASSERT_TRUE(proc.Spawn({script, "pool-worker"}, {}, &error)) << error;
+  ASSERT_TRUE(proc.WriteLine("go"));
+  std::atomic<int> interrupt{0};
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    interrupt.store(1);
+  });
+  std::string frame;
+  EXPECT_EQ(proc.ReadFrame("FRAME-END", 30'000, &interrupt, &frame),
+            PersistentProcess::ReadStatus::kInterrupted);
+  trip.join();
+  proc.Kill();
+}
+
+// -- WorkerPool: pooled pair verification --------------------------------------
+
+corpus::Pair TinyPair() { return corpus::BuildPair(1); }
+
+/// A well-behaved pool worker: serves the canned report for every
+/// OCTO-PAIR request, exits on OCTO-EXIT.
+std::string ServingScript(const std::string& report_path) {
+  return "while read line; do\n"
+         "  if [ \"$line\" = OCTO-EXIT ]; then exit 0; fi\n"
+         "  cat " +
+         report_path +
+         "\n"
+         "done\n";
+}
+
+TEST(WorkerPoolTest, OneSpawnServesManyPairs) {
+  const std::string report_path = TempPath("serve_report.txt");
+  WriteText(report_path, MarshalWorkerReport(CannedReport()));
+  IsolationOptions iso;
+  iso.worker_binary =
+      WriteWorkerScript("serve", ServingScript(report_path));
+  WorkerPool pool(iso, /*size=*/1);
+  for (int i = 0; i < 5; ++i) {
+    const SupervisedResult r = pool.RunPair(TinyPair(), nullptr);
+    EXPECT_EQ(r.last_outcome, ChildOutcome::kCleanReport) << "pair " << i;
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_FALSE(r.quarantined);
+    EXPECT_EQ(r.report.verdict, Verdict::kTriggered);
+    EXPECT_EQ(r.report.detail, "pooled canned report");
+  }
+  const WorkerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.spawns, 1u) << "the worker must be reused, not respawned";
+  EXPECT_EQ(stats.respawns, 0u);
+  EXPECT_EQ(stats.dispatches, 5u);
+}
+
+TEST(WorkerPoolTest, CrashedWorkerIsRespawnedAndThePairRetried) {
+  const std::string report_path = TempPath("respawn_report.txt");
+  const std::string stamp = TempPath("respawn_stamp");
+  std::remove(stamp.c_str());
+  WriteText(report_path, MarshalWorkerReport(CannedReport()));
+  // First incarnation crashes on its first request; the respawned one
+  // serves cleanly.
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript(
+      "flaky",
+      "while read line; do\n"
+      "  if [ \"$line\" = OCTO-EXIT ]; then exit 0; fi\n"
+      "  if [ ! -e " + stamp + " ]; then : > " + stamp +
+          "; kill -SEGV $$; fi\n"
+      "  cat " + report_path + "\n"
+      "done\n");
+  iso.max_retries = 2;
+  WorkerPool pool(iso, /*size=*/1);
+  const SupervisedResult r = pool.RunPair(TinyPair(), nullptr);
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kCleanReport);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_FALSE(r.quarantined);
+  EXPECT_EQ(r.report.detail, "pooled canned report");
+  const WorkerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.spawns, 2u);
+  EXPECT_EQ(stats.respawns, 1u);
+  EXPECT_EQ(stats.dispatches, 2u);
+}
+
+TEST(WorkerPoolTest, PersistentCrasherIsQuarantined) {
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript(
+      "crasher", "read line\nkill -SEGV $$\n");
+  iso.max_retries = 1;
+  WorkerPool pool(iso, /*size=*/1);
+  const SupervisedResult r = pool.RunPair(TinyPair(), nullptr);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_EQ(r.attempts, 2u);  // original + one retry
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kCrashSignal);
+  EXPECT_EQ(r.report.verdict, Verdict::kFailure);
+  EXPECT_TRUE(r.report.exception_contained);
+  EXPECT_NE(r.report.detail.find("quarantined"), std::string::npos);
+  EXPECT_EQ(pool.stats().respawns, 1u);
+}
+
+TEST(WorkerPoolTest, WedgedWorkerIsKilledAtTheDeadlineWithoutRetry) {
+  IsolationOptions iso;
+  iso.worker_binary =
+      WriteWorkerScript("wedged", "read line\nsleep 30\n");
+  iso.max_retries = 3;
+  iso.deadline_ms = 100;
+  WorkerPool pool(iso, /*size=*/1);
+  const auto start = std::chrono::steady_clock::now();
+  const SupervisedResult r = pool.RunPair(TinyPair(), nullptr);
+  EXPECT_EQ(r.last_outcome, ChildOutcome::kTimeout);
+  EXPECT_EQ(r.attempts, 1u);  // the cap is deterministic: never retried
+  EXPECT_TRUE(r.report.deadline_expired);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            10.0);
+}
+
+TEST(WorkerPoolTest, InterruptDrainsWithoutDispatching) {
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript("never", "exit 0\n");
+  WorkerPool pool(iso, /*size=*/1);
+  const std::atomic<int> interrupt{1};
+  const SupervisedResult r = pool.RunPair(TinyPair(), &interrupt);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(r.attempts, 0u);
+  EXPECT_EQ(pool.stats().dispatches, 0u);
+  EXPECT_EQ(pool.stats().spawns, 0u) << "workers spawn lazily";
+}
+
+TEST(WorkerPoolTest, ConcurrentCallersShareTheFixedWorkerFleet) {
+  const std::string report_path = TempPath("mt_report.txt");
+  WriteText(report_path, MarshalWorkerReport(CannedReport()));
+  IsolationOptions iso;
+  iso.worker_binary = WriteWorkerScript("mt", ServingScript(report_path));
+  WorkerPool pool(iso, /*size=*/2);
+  std::atomic<int> clean{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        const SupervisedResult r = pool.RunPair(TinyPair(), nullptr);
+        if (r.last_outcome == ChildOutcome::kCleanReport) ++clean;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(clean.load(), 12);
+  const WorkerPool::Stats stats = pool.stats();
+  EXPECT_LE(stats.spawns, 2u) << "never more workers than the pool size";
+  EXPECT_EQ(stats.respawns, 0u);
+  EXPECT_EQ(stats.dispatches, 12u);
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace octopocs::core

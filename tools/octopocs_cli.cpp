@@ -25,9 +25,15 @@
 //                              consult/populate the content-addressed
 //                              artifact store (default off); results
 //                              are byte-identical either way
+//         --vm-dispatch=switch|threaded
+//                              interpreter backend for every concrete
+//                              execution (default threaded). Verdicts
+//                              are byte-identical across backends; the
+//                              flag is the A/B baseline and the portable
+//                              fallback.
 //   detect <s.asm> <t.asm>
 //       Print the function-level clones between two programs.
-//   run <prog.asm> <input.bin> [--trace]
+//   run <prog.asm> <input.bin> [--trace] [--vm-dispatch=switch|threaded]
 //       Execute a program on an input; print the exit/trap state.
 //   minimize <prog.asm> <poc.bin> [--out FILE]
 //       Delta-debug a crashing input down to its essential bytes.
@@ -40,6 +46,7 @@
 //          [--pair-deadline-ms N] [--frontier-jobs N] [--trace-out FILE]
 //          [--artifact-cache=on|off] [--isolate] [--rlimit-mb N]
 //          [--max-retries N] [--journal FILE] [--resume FILE]
+//          [--vm-dispatch=switch|threaded] [--pool]
 //       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
 //       --extended) with N pipeline runs in flight at once. Reports are
 //       printed in pair order and are byte-identical to a serial run
@@ -61,10 +68,19 @@
 //       journal; --resume FILE replays the finished pairs of an
 //       interrupted run (same options only — the journal's fingerprint
 //       is checked) and re-runs the rest, appending to the journal.
+//       --pool (requires --isolate) keeps a fleet of pre-forked
+//       persistent workers alive for the whole run instead of
+//       fork/exec-ing one process per pair — same sandbox, same
+//       crash-containment/retry/quarantine semantics, byte-identical
+//       verdicts, but the spawn + warmup cost is paid once per worker.
 //   pair-worker <idx> [pipeline flags]
 //       Internal: verify one corpus pair and emit the framed report the
 //       supervisor unmarshals (OCTO-REPORT {...} / OCTO-DONE). Spawned
 //       by `corpus --isolate`; not meant for direct use.
+//   pool-worker [pipeline flags]
+//       Internal: the persistent variant — serves `OCTO-PAIR <idx>`
+//       requests off stdin until EOF/OCTO-EXIT, one framed report per
+//       request. Spawned by `corpus --isolate --pool`.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -81,6 +97,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -175,6 +192,29 @@ corpus::Pair LoadPair(int idx) {
   return idx <= 15 ? corpus::BuildPair(idx) : corpus::BuildExtendedPair(idx);
 }
 
+/// Consumes --vm-dispatch=switch|threaded into `mode`. Returns false
+/// when `arg` is not this flag; clears `ok` (and prints the complaint)
+/// on an unrecognized backend name. Verdicts are byte-identical across
+/// backends — the flag exists for A/B measurement and as the portable
+/// fallback on toolchains without computed goto.
+bool ParseVmDispatch(const std::string& arg, vm::DispatchMode* mode,
+                     bool* ok) {
+  constexpr const char kPrefix[] = "--vm-dispatch=";
+  if (arg.rfind(kPrefix, 0) != 0) return false;
+  const std::string value = arg.substr(sizeof kPrefix - 1);
+  if (value == "switch") {
+    *mode = vm::DispatchMode::kSwitch;
+  } else if (value == "threaded") {
+    *mode = vm::DispatchMode::kThreaded;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --vm-dispatch backend: %s (want switch|threaded)\n",
+                 value.c_str());
+    *ok = false;
+  }
+  return true;
+}
+
 /// The observability options shared by `verify` and `corpus`: a JSONL
 /// trace sink and the content-addressed artifact store.
 struct ObservabilityFlags {
@@ -226,7 +266,8 @@ int CmdVerify(int argc, char** argv) {
                          "[--theta N] [--adaptive-theta] [--static-cfg] "
                          "[--fix-angr] [--deadline-ms N] [--cfg-fallback] "
                          "[--solver-retry] [--frontier-jobs N] "
-                         "[--trace-out FILE] [--artifact-cache=on|off]\n");
+                         "[--trace-out FILE] [--artifact-cache=on|off] "
+                         "[--vm-dispatch=switch|threaded]\n");
     return 2;
   }
   const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
@@ -238,6 +279,7 @@ int CmdVerify(int argc, char** argv) {
   std::string out_path;
   core::PipelineOptions opts;
   ObservabilityFlags obs;
+  vm::DispatchMode dispatch = vm::DispatchMode::kThreaded;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shared" && i + 1 < argc) {
@@ -263,6 +305,9 @@ int CmdVerify(int argc, char** argv) {
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       opts.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
+      if (!ok) return 2;
+      core::SetVmDispatch(opts, dispatch);
     } else if (obs.Parse(arg, argc, argv, i)) {
       // consumed
     } else {
@@ -376,12 +421,14 @@ int CmdPairWorker(int argc, char** argv) {
                          "[--adaptive-theta] [--frontier-jobs N] "
                          "[--deadline-ms N] [--theta N] [--context-free] "
                          "[--static-cfg] [--fix-angr] [--cfg-fallback] "
-                         "[--solver-retry] [--abort-fault SITE:SKIP:STAMP]\n");
+                         "[--solver-retry] [--abort-fault SITE:SKIP:STAMP] "
+                         "[--vm-dispatch=switch|threaded]\n");
     return 2;
   }
   const int idx = std::atoi(argv[0]);
   core::PipelineOptions opts;
   std::string abort_fault;
+  vm::DispatchMode dispatch = vm::DispatchMode::kThreaded;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--adaptive-theta") {
@@ -405,6 +452,9 @@ int CmdPairWorker(int argc, char** argv) {
       opts.solver_budget_retry = true;
     } else if (arg == "--abort-fault" && i + 1 < argc) {
       abort_fault = argv[++i];
+    } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
+      if (!ok) return 2;
+      core::SetVmDispatch(opts, dispatch);
     } else {
       std::fprintf(stderr, "unknown pair-worker option: %s\n", arg.c_str());
       return 2;
@@ -442,6 +492,98 @@ int CmdPairWorker(int argc, char** argv) {
   return 0;
 }
 
+// Persistent worker half of `corpus --isolate --pool`: parse the same
+// pipeline flags as pair-worker once, then serve pair requests off
+// stdin until EOF/OCTO-EXIT — `OCTO-PAIR <idx>` in, the standard
+// OCTO-REPORT/OCTO-DONE frame out. Fork/exec and warmup are paid once
+// per worker instead of once per pair, and the worker keeps a warm
+// artifact store across the pairs it serves (results are byte-identical
+// with or without it). --abort-fault works exactly as in pair-worker:
+// armed once per stamp file, so the first pair served dies mid-frame
+// and the supervisor's respawn+retry must recover.
+int CmdPoolWorker(int argc, char** argv) {
+  core::PipelineOptions opts;
+  std::string abort_fault;
+  vm::DispatchMode dispatch = vm::DispatchMode::kThreaded;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--adaptive-theta") {
+      opts.adaptive_theta = true;
+    } else if (arg == "--frontier-jobs" && i + 1 < argc) {
+      opts.symex.frontier_jobs =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      opts.deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--theta" && i + 1 < argc) {
+      opts.symex.theta = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--context-free") {
+      opts.taint.context_aware = false;
+    } else if (arg == "--static-cfg") {
+      opts.cfg.use_dynamic = false;
+    } else if (arg == "--fix-angr") {
+      opts.cfg.resolve_obfuscated_icalls = true;
+    } else if (arg == "--cfg-fallback") {
+      opts.cfg_fallback_to_static = true;
+    } else if (arg == "--solver-retry") {
+      opts.solver_budget_retry = true;
+    } else if (arg == "--abort-fault" && i + 1 < argc) {
+      abort_fault = argv[++i];
+    } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
+      if (!ok) return 2;
+      core::SetVmDispatch(opts, dispatch);
+    } else {
+      std::fprintf(stderr, "unknown pool-worker option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!abort_fault.empty()) {
+    const std::size_t c1 = abort_fault.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : abort_fault.find(':', c1 + 1);
+    support::FaultSite site;
+    if (c2 == std::string::npos ||
+        !support::FaultSiteFromName(abort_fault.substr(0, c1), &site)) {
+      std::fprintf(stderr, "bad --abort-fault spec: %s\n",
+                   abort_fault.c_str());
+      return 2;
+    }
+    const std::uint64_t skip = static_cast<std::uint64_t>(
+        std::atoll(abort_fault.substr(c1 + 1, c2 - c1 - 1).c_str()));
+    const std::string stamp = abort_fault.substr(c2 + 1);
+    if (!std::ifstream(stamp).good()) {
+      WriteFile(stamp, std::string("armed\n"));
+      support::fault::Arm(site, skip);
+      support::fault::AbortOnFire(true);
+    }
+  }
+
+  // Warm state that survives across the pairs this worker serves — the
+  // whole point of pooling.
+  core::ArtifactStore store;
+  opts.artifacts = &store;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == core::kPoolExitLine) break;
+    if (line.rfind(core::kPoolPairPrefix, 0) != 0) {
+      std::fprintf(stderr, "pool-worker: bad request line: %s\n",
+                   line.c_str());
+      return 2;
+    }
+    const int idx = std::atoi(line.c_str() + core::kPoolPairPrefix.size());
+    const corpus::Pair pair = LoadPair(idx);
+    const core::VerificationReport report = core::VerifyPair(pair, opts);
+    support::fault::Disarm();
+    const std::string framed = core::MarshalWorkerReport(report);
+    std::fwrite(framed.data(), 1, framed.size(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int CmdDetect(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: octopocs detect <s.asm> <t.asm>\n");
@@ -465,16 +607,28 @@ int CmdDetect(int argc, char** argv) {
 int CmdRun(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: octopocs run <prog.asm> <input.bin> "
-                         "[--trace]\n");
+                         "[--trace] [--vm-dispatch=switch|threaded]\n");
     return 2;
   }
   const vm::Program p = vm::Assemble(ReadTextFile(argv[0]));
   const Bytes input = ReadBinaryFile(argv[1]);
-  const bool trace = argc > 2 && std::strcmp(argv[2], "--trace") == 0;
+  bool trace = false;
+  vm::ExecOptions exec;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (bool ok = true; ParseVmDispatch(arg, &exec.dispatch, &ok)) {
+      if (!ok) return 2;
+    } else {
+      std::fprintf(stderr, "unknown run option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
 
   vm::ExecutionTracer tracer(400);
   tracer.BindProgram(&p);
-  vm::Interpreter interp(p, input);
+  vm::Interpreter interp(p, input, exec);
   if (trace) interp.AddObserver(&tracer);
   const vm::ExecResult r = interp.Run();
   if (trace) std::printf("%s\n", tracer.text().c_str());
@@ -530,6 +684,7 @@ int CmdCorpus(int argc, char** argv) {
   unsigned jobs = 1;
   bool extended = false;
   bool isolate = false;
+  bool pool = false;
   std::uint64_t pair_deadline_ms = 0;
   std::uint64_t rlimit_mb = 0;
   unsigned max_retries = 2;
@@ -538,6 +693,7 @@ int CmdCorpus(int argc, char** argv) {
   std::string worker_fault;
   core::PipelineOptions opts;
   ObservabilityFlags obs;
+  vm::DispatchMode dispatch = vm::DispatchMode::kThreaded;
   // Pipeline flags a worker process must see to reproduce the
   // in-process verdict, collected verbatim as they are parsed.
   std::vector<std::string> forwarded;
@@ -564,6 +720,8 @@ int CmdCorpus(int argc, char** argv) {
       forwarded.push_back(argv[i]);
     } else if (arg == "--isolate") {
       isolate = true;
+    } else if (arg == "--pool") {
+      pool = true;
     } else if (arg == "--rlimit-mb" && i + 1 < argc) {
       rlimit_mb = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--max-retries" && i + 1 < argc) {
@@ -577,6 +735,10 @@ int CmdCorpus(int argc, char** argv) {
       // --abort-fault SITE:SKIP:STAMP — the first worker to see the
       // missing stamp file aborts mid-pair, its retry runs clean.
       worker_fault = argv[++i];
+    } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
+      if (!ok) return 2;
+      core::SetVmDispatch(opts, dispatch);
+      forwarded.push_back(arg);
     } else if (obs.Parse(arg, argc, argv, i)) {
       // consumed
     } else {
@@ -592,6 +754,10 @@ int CmdCorpus(int argc, char** argv) {
   }
   if (!worker_fault.empty() && !isolate) {
     std::fprintf(stderr, "--worker-fault requires --isolate\n");
+    return 2;
+  }
+  if (pool && !isolate) {
+    std::fprintf(stderr, "--pool requires --isolate\n");
     return 2;
   }
 
@@ -625,6 +791,14 @@ int CmdCorpus(int argc, char** argv) {
       isolation.worker_args.push_back(worker_fault);
     }
     config.isolation = &isolation;
+  }
+  // The pool copies its (fully populated) options; created before the
+  // run so workers persist across pairs, destroyed after it so no
+  // worker outlives the summary.
+  std::unique_ptr<core::WorkerPool> worker_pool;
+  if (pool) {
+    worker_pool = std::make_unique<core::WorkerPool>(isolation, jobs);
+    config.worker_pool = worker_pool.get();
   }
 
   // The journal fingerprint covers every verdict-bearing knob, so a
@@ -727,6 +901,14 @@ int CmdCorpus(int argc, char** argv) {
               "%u job(s) | %.3f s wall\n",
               decisive, pairs.size(), expected_matches, pairs.size(),
               infra_failures, jobs, wall);
+  if (worker_pool != nullptr) {
+    const core::WorkerPool::Stats ps = worker_pool->stats();
+    std::printf("pool:      %llu spawn(s) / %llu respawn(s) / "
+                "%llu dispatch(es)\n",
+                static_cast<unsigned long long>(ps.spawns),
+                static_cast<unsigned long long>(ps.respawns),
+                static_cast<unsigned long long>(ps.dispatches));
+  }
   if (obs.artifact_cache) {
     const core::ArtifactStore::Stats st = store.stats();
     std::printf("artifacts: %llu hit / %llu miss / %llu stored / "
@@ -787,7 +969,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "octopocs — propagated-vulnerability verification\n"
                  "subcommands: verify, detect, run, minimize, disasm, "
-                 "export, corpus, pair-worker\n");
+                 "export, corpus, pair-worker, pool-worker\n");
     return 2;
   }
 #ifndef _WIN32
@@ -806,6 +988,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
     if (cmd == "corpus") return CmdCorpus(argc - 2, argv + 2);
     if (cmd == "pair-worker") return CmdPairWorker(argc - 2, argv + 2);
+    if (cmd == "pool-worker") return CmdPoolWorker(argc - 2, argv + 2);
     if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
     if (cmd == "run") return CmdRun(argc - 2, argv + 2);
     if (cmd == "minimize") return CmdMinimize(argc - 2, argv + 2);
