@@ -2,6 +2,7 @@
 """Validate a structured-trace or crash-journal JSONL file.
 
 Usage: validate_trace.py TRACE.jsonl
+       validate_trace.py --server TRACE.jsonl
        validate_trace.py --journal JOURNAL.jsonl
 
 Trace mode (support/trace.h schema) checks, line by line:
@@ -14,6 +15,17 @@ Trace mode (support/trace.h schema) checks, line by line:
   - per thread, begin/end events obey stack discipline: every end
     matches the innermost open begin of the same name, and nothing is
     left open at EOF.
+
+Server mode (--server, a trace written by `octopocs serve`) runs every
+trace-mode check plus:
+  - at least one "request" span exists;
+  - every "queue_depth" counter value is non-negative (the admission
+    queue can never go negative);
+  - every "request" span contains, on its own thread, either a nested
+    "verify" span (the pipeline ran), an "artifact_disk_hit" counter
+    (served from the persistent tier), or a "request_failed" counter
+    (rejected) — a request that produced none of these fell through the
+    daemon without being handled.
 
 Journal mode (core/journal.h schema) checks:
   - line 1 is a header with version 1, a non-empty options_hash, and a
@@ -132,7 +144,12 @@ def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--journal":
         validate_journal(sys.argv[2])
         return
-    if len(sys.argv) != 2:
+    server_mode = False
+    args = sys.argv[1:]
+    if args and args[0] == "--server":
+        server_mode = True
+        args = args[1:]
+    if len(args) != 1:
         print(__doc__)
         sys.exit(2)
 
@@ -143,8 +160,14 @@ def main():
     last_seq = -1
     stacks = {}  # tid -> [open span names]
     counts = {"begin": 0, "end": 0, "counter": 0}
+    # Server mode: per-tid stack of [request_satisfied] flags mirroring
+    # the open "request" spans, so nesting is handled like the span
+    # stack itself.
+    request_spans = 0
+    open_requests = {}  # tid -> [bool: saw verify/disk-hit/failed]
+    HANDLED_COUNTERS = {"artifact_disk_hit", "request_failed"}
 
-    with open(sys.argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -188,6 +211,28 @@ def main():
                     fail(lineno, f"end {ev['name']!r} does not match "
                                  f"innermost open span {stack[-1]!r}")
                 stack.pop()
+
+            if server_mode:
+                reqs = open_requests.setdefault(ev["tid"], [])
+                if kind == "counter" and ev["name"] == "queue_depth" \
+                        and ev["value"] < 0:
+                    fail(lineno, f"queue_depth went negative "
+                                 f"({ev['value']})")
+                if kind == "begin" and ev["name"] == "request":
+                    reqs.append(False)
+                    request_spans += 1
+                elif reqs and (
+                        (kind == "begin" and ev["name"] == "verify") or
+                        (kind == "counter"
+                         and ev["name"] in HANDLED_COUNTERS)):
+                    reqs[-1] = True
+                elif kind == "end" and ev["name"] == "request":
+                    if not reqs:
+                        fail(lineno, "request end without a request begin")
+                    if not reqs.pop():
+                        fail(lineno, "request span ended without a verify "
+                                     "span, a disk hit, or a recorded "
+                                     "failure")
             events += 1
 
     for tid, stack in stacks.items():
@@ -195,10 +240,13 @@ def main():
             fail("EOF", f"tid {tid} left spans open: {stack}")
     if events == 0:
         fail("EOF", "trace contains no events")
+    if server_mode and request_spans == 0:
+        fail("EOF", "server trace contains no request spans")
 
+    suffix = f", {request_spans} request span(s)" if server_mode else ""
     print(f"OK: {events} event(s) — {counts['begin']} begin / "
           f"{counts['end']} end / {counts['counter']} counter, "
-          f"{len(stacks)} thread(s), balanced spans")
+          f"{len(stacks)} thread(s), balanced spans{suffix}")
 
 
 if __name__ == "__main__":

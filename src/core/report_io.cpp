@@ -58,6 +58,7 @@ namespace {
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
+  std::size_t depth = 0;
   std::string error;
 
   bool Fail(const std::string& msg) {
@@ -134,11 +135,13 @@ struct Parser {
     if (pos >= text.size()) return Fail("unexpected end of input");
     const char c = text[pos];
     if (c == '{') {
+      if (++depth > kMaxNestingDepth) return Fail("nesting too deep");
       ++pos;
       out->kind = Value::Kind::kObject;
       SkipSpace();
       if (pos < text.size() && text[pos] == '}') {
         ++pos;
+        --depth;
         return true;
       }
       for (;;) {
@@ -153,15 +156,19 @@ struct Parser {
           ++pos;
           continue;
         }
-        return Consume('}');
+        if (!Consume('}')) return false;
+        --depth;
+        return true;
       }
     }
     if (c == '[') {
+      if (++depth > kMaxNestingDepth) return Fail("nesting too deep");
       ++pos;
       out->kind = Value::Kind::kArray;
       SkipSpace();
       if (pos < text.size() && text[pos] == ']') {
         ++pos;
+        --depth;
         return true;
       }
       for (;;) {
@@ -173,7 +180,9 @@ struct Parser {
           ++pos;
           continue;
         }
-        return Consume(']');
+        if (!Consume(']')) return false;
+        --depth;
+        return true;
       }
     }
     if (c == '"') {
@@ -228,6 +237,13 @@ struct Parser {
 }  // namespace
 
 bool Parse(std::string_view text, Value* out, std::string* error) {
+  if (text.size() > kMaxDocumentBytes) {
+    if (error != nullptr) {
+      *error = "document too large (" + std::to_string(text.size()) +
+               " bytes, cap " + std::to_string(kMaxDocumentBytes) + ")";
+    }
+    return false;
+  }
   Parser p{text};
   *out = Value{};
   if (!p.ParseValue(out)) {
@@ -362,6 +378,10 @@ bool ParseReport(const minijson::Value& json, VerificationReport* out,
   }
   if (const auto* v = get("poc_generated")) out->poc_generated = v->boolean;
   if (const auto* v = get("reformed_poc")) {
+    if (v->text.size() > 2 * kMaxReformedPocBytes) {
+      if (error != nullptr) *error = "reformed_poc exceeds size cap";
+      return false;
+    }
     try {
       out->reformed_poc = FromHex(v->text);
     } catch (const std::exception&) {

@@ -49,6 +49,13 @@ struct Value {
   double AsDouble() const;
 };
 
+/// Hostile-input bounds (the parser is network-facing via `octopocs
+/// serve`): a document larger than kMaxDocumentBytes, or nested deeper
+/// than kMaxNestingDepth, is rejected with a clean parse error before
+/// any proportional allocation or unbounded recursion can happen.
+inline constexpr std::size_t kMaxDocumentBytes = 8u << 20;
+inline constexpr std::size_t kMaxNestingDepth = 64;
+
 /// Parses one complete JSON document; trailing whitespace is allowed,
 /// trailing garbage is an error.
 bool Parse(std::string_view text, Value* out, std::string* error);
@@ -59,6 +66,11 @@ std::string Escape(std::string_view raw);
 }  // namespace minijson
 
 // -- Report (de)serialization -------------------------------------------------
+
+/// Largest reformed PoC ParseReport accepts (hex length is twice this).
+/// Real reformed PoCs are tens of bytes; the cap exists so a hostile
+/// frame cannot turn one field into a giant allocation.
+inline constexpr std::size_t kMaxReformedPocBytes = 1u << 20;
 
 /// One-line JSON object holding every verdict-bearing report field.
 std::string SerializeReport(const VerificationReport& report);
@@ -85,6 +97,15 @@ inline constexpr std::string_view kWorkerDoneSentinel = "OCTO-DONE";
 /// stdin EOF) shuts the worker down cleanly.
 inline constexpr std::string_view kPoolPairPrefix = "OCTO-PAIR ";
 inline constexpr std::string_view kPoolExitLine = "OCTO-EXIT";
+
+/// `octopocs serve` request/response framing (one request per
+/// connection). The client sends `OCTO-REQ {json}\n`; the server
+/// answers either with the worker framing above (OCTO-REPORT +
+/// OCTO-DONE, so clients reuse UnmarshalWorkerReport verbatim) or with
+/// `OCTO-ERR {json}\nOCTO-DONE\n` carrying a structured rejection
+/// (code RETRY_AFTER / BAD_REQUEST / INTERNAL, plus retry_after_ms).
+inline constexpr std::string_view kServeRequestPrefix = "OCTO-REQ ";
+inline constexpr std::string_view kServeErrPrefix = "OCTO-ERR ";
 
 std::string MarshalWorkerReport(const VerificationReport& report);
 

@@ -14,16 +14,22 @@ std::string_view FaultSiteName(FaultSite site) {
     case FaultSite::kTaintStep: return "taint-step";
     case FaultSite::kStateFork: return "state-fork";
     case FaultSite::kAllocation: return "allocation";
+    case FaultSite::kAdmission: return "admission";
+    case FaultSite::kDiskStoreWrite: return "disk-store-write";
+    case FaultSite::kResponseWrite: return "response-write";
   }
   return "?";
 }
 
 bool FaultSiteFromName(std::string_view name, FaultSite* out) {
   static constexpr FaultSite kSites[] = {
-      FaultSite::kCfgBuild, FaultSite::kSolverStep, FaultSite::kTaintStep,
-      FaultSite::kStateFork, FaultSite::kAllocation};
+      FaultSite::kCfgBuild,       FaultSite::kSolverStep,
+      FaultSite::kTaintStep,      FaultSite::kStateFork,
+      FaultSite::kAllocation,     FaultSite::kAdmission,
+      FaultSite::kDiskStoreWrite, FaultSite::kResponseWrite};
   static constexpr std::string_view kEnumNames[] = {
-      "kCfgBuild", "kSolverStep", "kTaintStep", "kStateFork", "kAllocation"};
+      "kCfgBuild",   "kSolverStep",    "kTaintStep",     "kStateFork",
+      "kAllocation", "kAdmission",     "kDiskStoreWrite", "kResponseWrite"};
   for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
     if (name == FaultSiteName(kSites[i]) || name == kEnumNames[i]) {
       *out = kSites[i];

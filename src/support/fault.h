@@ -33,9 +33,15 @@ enum class FaultSite : std::uint8_t {
   kTaintStep,       // the taint engine dies mid-instruction (PIN crash)
   kStateFork,       // forking a symbolic state fails (memory pressure)
   kAllocation,      // a VM heap allocation fails (malloc returns NULL)
+  // Server-side sites (DESIGN.md §14). Non-throwing (Poll, not
+  // MaybeThrow): each models an infrastructure failure the daemon must
+  // absorb per-request without touching other in-flight requests.
+  kAdmission,       // admitting a request fails (queue bookkeeping dies)
+  kDiskStoreWrite,  // persisting an artifact fails (disk full / EIO)
+  kResponseWrite,   // writing a response fails (client socket torn)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
 std::string_view FaultSiteName(FaultSite site);
 

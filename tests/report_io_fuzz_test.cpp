@@ -1,0 +1,173 @@
+// Hostile-input hardening of the minijson report parser
+// (core/report_io.h). The serve daemon feeds attacker-reachable bytes
+// straight into ParseReport, so the parser must never crash, never
+// recurse unboundedly, and never allocate proportionally to a
+// malicious length claim — on ANY input. These tests drive it with a
+// seeded mutation fuzzer plus targeted probes of each documented cap.
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/report_io.h"
+
+namespace octopocs::core {
+namespace {
+
+using minijson::kMaxDocumentBytes;
+using minijson::kMaxNestingDepth;
+
+VerificationReport SampleReport() {
+  VerificationReport report;
+  report.verdict = Verdict::kTriggered;
+  report.type = ResultType::kTypeII;
+  report.detail = "trap at depth 3 \"quoted\" \\ backslash";
+  report.reformed_poc = {0x00, 0x01, 0xfe, 0xff, 0x41};
+  report.deadline_expired = false;
+  report.exception_contained = true;
+  report.timings.total_seconds = 1.25;
+  report.timings.p1_seconds = 0.5;
+  return report;
+}
+
+// A parse attempt is allowed to fail; it is never allowed to crash,
+// throw, or return true while leaving the report half-written in a way
+// that does not re-serialize.
+void MustSurvive(const std::string& text) {
+  VerificationReport report;
+  std::string error;
+  if (ParseReport(text, &report, &error)) {
+    // Whatever parsed must round-trip through the serializer without
+    // tripping any internal invariant.
+    const std::string again = SerializeReport(report);
+    EXPECT_FALSE(again.empty());
+  } else {
+    EXPECT_FALSE(error.empty()) << text.substr(0, 80);
+  }
+}
+
+TEST(ReportIoFuzz, SeededMutationsNeverCrashTheParser) {
+  // 2000 mutants of a valid serialized report: byte flips, insertions,
+  // deletions, and splices of structural characters. Deterministic
+  // seed so a failure reproduces.
+  const std::string base = SerializeReport(SampleReport());
+  std::mt19937 rng(20260807u);
+  const std::string structural = "{}[]\",:\\x00\x7f";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutant = base;
+    const int edits = 1 + static_cast<int>(rng() % 8);
+    for (int e = 0; e < edits; ++e) {
+      if (mutant.empty()) break;
+      const std::size_t pos = rng() % mutant.size();
+      switch (rng() % 4) {
+        case 0:  // flip a byte
+          mutant[pos] = static_cast<char>(rng() & 0xff);
+          break;
+        case 1:  // delete a byte
+          mutant.erase(pos, 1);
+          break;
+        case 2:  // insert a random byte
+          mutant.insert(pos, 1, static_cast<char>(rng() & 0xff));
+          break;
+        default:  // splice in a structural character
+          mutant.insert(pos, 1, structural[rng() % structural.size()]);
+          break;
+      }
+    }
+    MustSurvive(mutant);
+  }
+}
+
+TEST(ReportIoFuzz, EveryPrefixOfAValidReportIsHandled)
+{
+  // Truncation at every byte boundary — the exact shape a torn frame
+  // or interrupted read produces.
+  const std::string base = SerializeReport(SampleReport());
+  for (std::size_t keep = 0; keep <= base.size(); ++keep) {
+    MustSurvive(base.substr(0, keep));
+  }
+}
+
+TEST(ReportIoFuzz, NestingDepthIsCappedNotStackOverflowed) {
+  // A pathological "[[[[..." input used to be a stack overflow: one
+  // recursion level per byte. The parser must refuse past
+  // kMaxNestingDepth and accept anything at or under it.
+  const std::size_t kWayTooDeep = 100000;
+  std::string deep(kWayTooDeep, '[');
+  VerificationReport report;
+  std::string error;
+  EXPECT_FALSE(ParseReport(deep, &report, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+
+  // Same with objects.
+  std::string deep_obj;
+  for (std::size_t i = 0; i < kWayTooDeep; ++i) deep_obj += "{\"a\":";
+  EXPECT_FALSE(ParseReport(deep_obj, &report, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+
+  // Exactly at the cap is legal json nesting-wise (it then fails for
+  // shape reasons, not a depth overflow).
+  std::string at_cap(kMaxNestingDepth, '[');
+  at_cap += std::string(kMaxNestingDepth, ']');
+  EXPECT_FALSE(ParseReport(at_cap, &report, &error));
+  EXPECT_EQ(error.find("nesting"), std::string::npos) << error;
+
+  // One past the cap trips the depth check specifically.
+  std::string over(kMaxNestingDepth + 1, '[');
+  over += std::string(kMaxNestingDepth + 1, ']');
+  EXPECT_FALSE(ParseReport(over, &report, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+}
+
+TEST(ReportIoFuzz, OversizeDocumentIsRejectedUpFront) {
+  // A document over the cap is refused before any parsing work — the
+  // error names the cap so operators can correlate with the limit.
+  std::string huge = "{\"detail\":\"";
+  huge.append(kMaxDocumentBytes, 'a');
+  huge += "\"}";
+  VerificationReport report;
+  std::string error;
+  EXPECT_FALSE(ParseReport(huge, &report, &error));
+  EXPECT_NE(error.find("too large"), std::string::npos) << error;
+}
+
+TEST(ReportIoFuzz, OversizeReformedPocHexIsRejected) {
+  // The reformed_poc field decodes hex into bytes; a hostile report
+  // must not be able to demand an unbounded decode. Just over the cap
+  // (in decoded bytes, so 2x in hex chars) is refused...
+  std::string big = "{\"verdict\":\"triggered\",\"type\":2,\"reformed_poc\":\"";
+  big.append(2 * (kMaxReformedPocBytes + 1), 'a');
+  big += "\"}";
+  VerificationReport report;
+  std::string error;
+  EXPECT_FALSE(ParseReport(big, &report, &error));
+  EXPECT_NE(error.find("reformed_poc"), std::string::npos) << error;
+
+  // ...while a real-sized poc still round-trips.
+  VerificationReport ok = SampleReport();
+  ok.reformed_poc.assign(4096, 0xab);
+  VerificationReport parsed;
+  ASSERT_TRUE(ParseReport(SerializeReport(ok), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.reformed_poc, ok.reformed_poc);
+}
+
+TEST(ReportIoFuzz, FramingHelpersSurviveMutatedFrames) {
+  // The worker-report framing (prefix + json) used on both the pool
+  // and serve paths, fed the same mutation treatment.
+  const std::string frame = MarshalWorkerReport(SampleReport());
+  std::mt19937 rng(977u);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutant = frame;
+    const std::size_t pos = rng() % mutant.size();
+    mutant[pos] = static_cast<char>(rng() & 0xff);
+    VerificationReport report;
+    std::string error;
+    if (!UnmarshalWorkerReport(mutant, &report, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace octopocs::core

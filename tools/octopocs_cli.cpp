@@ -81,6 +81,27 @@
 //       Internal: the persistent variant — serves `OCTO-PAIR <idx>`
 //       requests off stdin until EOF/OCTO-EXIT, one framed report per
 //       request. Spawned by `corpus --isolate --pool`.
+//   serve --socket PATH [--workers N] [--queue-depth N]
+//         [--request-deadline-ms N] [--cache-dir DIR] [--trace-out FILE]
+//         [pipeline flags]
+//       Long-running verification daemon (DESIGN.md §14): accepts
+//       OCTO-REQ requests over a unix-domain socket, runs them through
+//       the phase graph with warm in-memory artifacts, and persists
+//       completed reports under --cache-dir so a restarted (or SIGKILLed
+//       and restarted) daemon answers repeat requests from disk.
+//       --queue-depth bounds admission; beyond it requests shed with a
+//       structured RETRY_AFTER (lowest-priority queued work is displaced
+//       first). --request-deadline-ms caps each request server-side; a
+//       tighter client deadline wins (sooner-rule). SIGINT/SIGTERM
+//       drains: queued and in-flight requests finish and are answered.
+//   client --socket PATH <pair-idx> [--poc FILE] [--priority N]
+//          [--deadline-ms N] [--cfg-fallback] [--solver-retry]
+//          [--degrade-on-timeout] [--timeout-ms N] [--id STR]
+//       Send one verification request to a running daemon and print the
+//       result in the exact per-pair format `corpus` uses (so a served
+//       corpus diffs byte-identically against a batch run). Exit 0 on a
+//       report, 5 when shed (RETRY_AFTER — honor retry_after_ms), 3 on
+//       a transport failure, 1/2 on server-side errors.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -114,6 +135,7 @@
 #include "core/octopocs.h"
 #include "core/parallel_verify.h"
 #include "core/report_io.h"
+#include "core/server.h"
 #include "core/supervisor.h"
 #include "corpus/extended.h"
 #include "support/fault.h"
@@ -918,6 +940,13 @@ int CmdCorpus(int argc, char** argv) {
                 static_cast<unsigned long long>(st.insertions),
                 static_cast<unsigned long long>(st.evictions));
   }
+  if (config.resume_finished != nullptr) {
+    // Replayed pairs were reprinted from the journal verbatim;
+    // everything else above actually re-ran this invocation.
+    std::printf("resume:    %zu pair(s) replayed from journal, %zu re-run\n",
+                resume_state.finished.size(),
+                pairs.size() - resume_state.finished.size());
+  }
   obs.FinishTrace(tracer);
   // A graceful drain supersedes the verdict-based codes: the partial
   // summary above is informational (journaled pairs survive for
@@ -938,6 +967,187 @@ int CmdCorpus(int argc, char** argv) {
   // rerun with a bigger budget instead of treating it as a regression.
   if (wrong_verdicts > 0) return 1;
   if (infra_failures > 0) return 4;
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  core::ServeOptions serve;
+  std::string trace_out;
+  vm::DispatchMode dispatch = vm::DispatchMode::kThreaded;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      serve.socket_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      serve.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      serve.queue_depth = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--request-deadline-ms" && i + 1 < argc) {
+      serve.request_deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      serve.cache_dir = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--adaptive-theta") {
+      serve.pipeline.adaptive_theta = true;
+    } else if (arg == "--theta" && i + 1 < argc) {
+      serve.pipeline.symex.theta =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--context-free") {
+      serve.pipeline.taint.context_aware = false;
+    } else if (arg == "--static-cfg") {
+      serve.pipeline.cfg.use_dynamic = false;
+    } else if (arg == "--fix-angr") {
+      serve.pipeline.cfg.resolve_obfuscated_icalls = true;
+    } else if (arg == "--cfg-fallback") {
+      serve.pipeline.cfg_fallback_to_static = true;
+    } else if (arg == "--solver-retry") {
+      serve.pipeline.solver_budget_retry = true;
+    } else if (arg == "--frontier-jobs" && i + 1 < argc) {
+      serve.pipeline.symex.frontier_jobs =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
+      if (!ok) return 2;
+      core::SetVmDispatch(serve.pipeline, dispatch);
+    } else {
+      std::fprintf(stderr, "unknown serve option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (serve.socket_path.empty()) {
+    std::fprintf(stderr, "usage: octopocs serve --socket PATH [--workers N] "
+                         "[--queue-depth N] [--request-deadline-ms N] "
+                         "[--cache-dir DIR] [--trace-out FILE] "
+                         "[pipeline flags]\n");
+    return 2;
+  }
+
+  InstallSignalHandlers();
+  support::Tracer tracer;
+  if (!trace_out.empty()) serve.tracer = &tracer;
+  serve.interrupt = &g_signal;
+  serve.pipeline.cancel_flag = &g_cancel;
+
+  core::Server server(std::move(serve));
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "cannot start daemon: %s\n", err.c_str());
+    return 2;
+  }
+  {
+    const core::DiskArtifactStore* disk = server.disk_store();
+    std::printf("serving:   ready%s\n",
+                disk == nullptr ? "" : " | persistent artifact cache on");
+    if (disk != nullptr) {
+      const core::DiskArtifactStore::Stats ds = disk->stats();
+      std::printf("cache:     %llu artifact(s) loaded, %llu healed\n",
+                  static_cast<unsigned long long>(ds.loaded_records),
+                  static_cast<unsigned long long>(ds.healed_records));
+    }
+    std::fflush(stdout);
+  }
+  server.Wait();
+
+  const core::ServeStats st = server.stats();
+  std::printf("served:    %llu report(s) | %llu shed | %llu rejected | "
+              "%llu response drop(s)\n",
+              static_cast<unsigned long long>(st.served),
+              static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.response_drops));
+  std::printf("retries:   %llu degraded / %llu contained\n",
+              static_cast<unsigned long long>(st.degraded_retries),
+              static_cast<unsigned long long>(st.contained_retries));
+  if (const core::DiskArtifactStore* disk = server.disk_store()) {
+    const core::DiskArtifactStore::Stats ds = disk->stats();
+    std::printf("disk:      %llu hit / %llu miss / %llu stored / "
+                "%llu corrupt-dropped\n",
+                static_cast<unsigned long long>(ds.hits),
+                static_cast<unsigned long long>(ds.misses),
+                static_cast<unsigned long long>(ds.stores),
+                static_cast<unsigned long long>(ds.corrupt_drops));
+  }
+  if (!trace_out.empty()) {
+    if (!tracer.WriteJsonlFile(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    } else {
+      std::printf("trace:     %zu event(s) -> %s\n", tracer.event_count(),
+                  trace_out.c_str());
+    }
+  }
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  return sig != 0 ? 128 + sig : 0;
+}
+
+int CmdClient(int argc, char** argv) {
+  std::string socket_path;
+  std::string poc_path;
+  std::uint64_t timeout_ms = 0;
+  core::ServeRequest request;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--poc" && i + 1 < argc) {
+      poc_path = argv[++i];
+    } else if (arg == "--priority" && i + 1 < argc) {
+      request.priority = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      request.deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--cfg-fallback") {
+      request.cfg_fallback = true;
+    } else if (arg == "--solver-retry") {
+      request.solver_retry = true;
+    } else if (arg == "--degrade-on-timeout") {
+      request.degrade_on_timeout = true;
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--id" && i + 1 < argc) {
+      request.id = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      request.pair = std::atoi(arg.c_str());
+    } else {
+      std::fprintf(stderr, "unknown client option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty() || request.pair < 1) {
+    std::fprintf(stderr, "usage: octopocs client --socket PATH <pair-idx> "
+                         "[--poc FILE] [--priority N] [--deadline-ms N] "
+                         "[--cfg-fallback] [--solver-retry] "
+                         "[--degrade-on-timeout] [--timeout-ms N] "
+                         "[--id STR]\n");
+    return 2;
+  }
+  if (!poc_path.empty()) request.poc_override = ReadBinaryFile(poc_path);
+
+  const core::ClientResult result =
+      core::SendRequest(socket_path, request, timeout_ms);
+  if (!result.ok) {
+    if (!result.transport_error.empty()) {
+      std::fprintf(stderr, "transport: %s\n", result.transport_error.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "server: %s (%s)", result.error.code.c_str(),
+                 result.error.detail.c_str());
+    if (result.error.code == "RETRY_AFTER") {
+      std::fprintf(stderr, " retry after %llu ms",
+                   static_cast<unsigned long long>(
+                       result.error.retry_after_ms));
+    }
+    std::fprintf(stderr, "\n");
+    if (result.error.code == "RETRY_AFTER") return 5;
+    return result.error.code == "BAD_REQUEST" ? 2 : 1;
+  }
+  // The exact per-pair line `corpus` prints, so a served run diffs
+  // byte-identically against a batch run (the CI smoke's check).
+  const corpus::Pair pair = LoadPair(request.pair);
+  const core::VerificationReport& r = result.report;
+  std::printf("pair %2d  %-12s -> %-12s  %-15s %-8s %s\n", pair.idx,
+              pair.s_name.c_str(), pair.t_name.c_str(),
+              core::VerdictName(r.verdict).data(),
+              core::ResultTypeName(r.type).data(), r.detail.c_str());
   return 0;
 }
 
@@ -969,7 +1179,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "octopocs — propagated-vulnerability verification\n"
                  "subcommands: verify, detect, run, minimize, disasm, "
-                 "export, corpus, pair-worker, pool-worker\n");
+                 "export, corpus, serve, client, pair-worker, pool-worker\n");
     return 2;
   }
 #ifndef _WIN32
@@ -987,6 +1197,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "verify") return CmdVerify(argc - 2, argv + 2);
     if (cmd == "corpus") return CmdCorpus(argc - 2, argv + 2);
+    if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+    if (cmd == "client") return CmdClient(argc - 2, argv + 2);
     if (cmd == "pair-worker") return CmdPairWorker(argc - 2, argv + 2);
     if (cmd == "pool-worker") return CmdPoolWorker(argc - 2, argv + 2);
     if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
