@@ -13,7 +13,7 @@
 //               which is byte-for-byte the work the pre-COW deep copy
 //               did on every fork. Reported as ns/fork and a ratio.
 //   caches      solver-memoization hit rate (with the per-mechanism
-//               breakdown: exact / model-reuse / sliced / subsumed) and
+//               breakdown: exact / model-reuse / subsumed) and
 //               expression-interning dedup rate accumulated over a full
 //               serial corpus run.
 //   throughput  pairs/sec for the 15-pair corpus, serial vs. --jobs,
@@ -31,6 +31,11 @@
 //               the cache-off baseline. Reports the reuse rate and the
 //               wall-time of the origin-sharing pairs with and without
 //               a warm cache.
+//   backends    solver-backend A/B: the whole corpus under the legacy
+//               backtracker and the raced portfolio, diffed against the
+//               propagate default, plus a pair-3 speedup measurement
+//               (backtrack + no cycle skip, i.e. the PR 7 configuration,
+//               vs. the current default) emitted as pair3_speedup.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,8 +46,10 @@
 
 #include "bench_util.h"
 #include "core/artifact_store.h"
+#include "core/octopocs.h"
 #include "core/parallel_verify.h"
 #include "corpus/pairs.h"
+#include "symex/solver.h"
 #include "symex/state.h"
 
 using namespace octopocs;
@@ -180,7 +187,7 @@ int main(int argc, char** argv) {
 
   unsigned long long cache_hits = 0, cache_misses = 0;
   unsigned long long exact_hits = 0, reuse_hits = 0;
-  unsigned long long slice_hits = 0, subsume_hits = 0;
+  unsigned long long subsume_hits = 0;
   unsigned long long intern_hits = 0, intern_nodes = 0;
   std::vector<double> pair_seconds;
   pair_seconds.reserve(serial.size());
@@ -189,7 +196,6 @@ int main(int argc, char** argv) {
     cache_misses += r.symex_stats.solver_cache_misses;
     exact_hits += r.symex_stats.solver_exact_hits;
     reuse_hits += r.symex_stats.solver_model_reuse_hits;
-    slice_hits += r.symex_stats.solver_slice_hits;
     subsume_hits += r.symex_stats.solver_subsumption_hits;
     intern_hits += r.symex_stats.expr_intern_hits;
     intern_nodes += r.symex_stats.expr_intern_nodes;
@@ -211,20 +217,13 @@ int main(int argc, char** argv) {
   };
   const double exact_rate = rate_of(exact_hits);
   const double reuse_rate_solver = rate_of(reuse_hits);
-  const double slice_rate = rate_of(slice_hits);
   const double subsume_rate = rate_of(subsume_hits);
   std::printf("solver cache: %llu hit / %llu miss (%.1f%% hit rate)\n",
               cache_hits, cache_misses, cache_rate * 100);
   std::printf("  by kind:    exact %llu (%.1f%%) | model-reuse %llu (%.1f%%)"
-              " | sliced %llu (%.1f%%) | subsumed %llu (%.1f%%)\n",
+              " | subsumed %llu (%.1f%%)\n",
               exact_hits, exact_rate * 100, reuse_hits,
-              reuse_rate_solver * 100, slice_hits, slice_rate * 100,
-              subsume_hits, subsume_rate * 100);
-  if (slice_hits == 0) {
-    std::printf("  WARNING: solver_slice_hits is 0 — the incremental "
-                "slicing tier contributed nothing on this corpus; check "
-                "that constraint slicing is still wired in\n");
-  }
+              reuse_rate_solver * 100, subsume_hits, subsume_rate * 100);
   std::printf("interner:     %llu deduped / %llu distinct (%.1f%% of "
               "constructions)\n\n",
               intern_hits, intern_nodes, intern_rate * 100);
@@ -233,25 +232,41 @@ int main(int argc, char** argv) {
   // The serial leg just measured every pair, so hand those wall times to
   // the scheduler: longest pair first keeps the big pair off the tail of
   // the schedule, where it serializes the whole run behind one worker.
-  const auto par_start = Clock::now();
-  const auto parallel = core::VerifyCorpus(pairs, opts, jobs,
-                                           /*pair_deadline_ms=*/0,
-                                           &pair_seconds);
-  const double parallel_seconds = SecondsSince(par_start);
-
-  const bool identical = ReportsIdentical(serial, parallel);
+  //
+  // On a single-core host the leg is timing theater — threads just take
+  // turns — and the "speedup" it reports (≈1x at best) used to trip
+  // regression diffs. So the timing leg only runs with ≥2 hardware
+  // threads; a 1-cpu host records parallel_leg: "skipped (1 cpu)" and
+  // downstream gates key off that field instead of a meaningless ratio.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool run_parallel = hw >= 2;
+  double parallel_seconds = 0;
+  bool identical = true;
+  if (run_parallel) {
+    const auto par_start = Clock::now();
+    const auto parallel = core::VerifyCorpus(pairs, opts, jobs,
+                                             /*pair_deadline_ms=*/0,
+                                             &pair_seconds);
+    parallel_seconds = SecondsSince(par_start);
+    identical = ReportsIdentical(serial, parallel);
+  }
   const double speedup =
       parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("corpus:       %.3f s serial | %.3f s with %u jobs "
-              "(%.2fx, %.1f pairs/s, longest-first)\n",
-              serial_seconds, parallel_seconds, jobs, speedup,
-              parallel_seconds > 0 ? pairs.size() / parallel_seconds : 0);
-  std::printf("host:         %u hardware thread%s — wall-clock speedup is "
-              "bounded by this, not by --jobs\n",
-              hw, hw == 1 ? "" : "s");
-  std::printf("determinism:  parallel results %s serial\n\n",
-              identical ? "byte-identical to" : "DIVERGED from");
+  if (run_parallel) {
+    std::printf("corpus:       %.3f s serial | %.3f s with %u jobs "
+                "(%.2fx, %.1f pairs/s, longest-first)\n",
+                serial_seconds, parallel_seconds, jobs, speedup,
+                parallel_seconds > 0 ? pairs.size() / parallel_seconds : 0);
+    std::printf("host:         %u hardware thread%s — wall-clock speedup is "
+                "bounded by this, not by --jobs\n",
+                hw, hw == 1 ? "" : "s");
+    std::printf("determinism:  parallel results %s serial\n\n",
+                identical ? "byte-identical to" : "DIVERGED from");
+  } else {
+    std::printf("corpus:       %.3f s serial | parallel leg skipped "
+                "(1 hardware thread — no concurrency to measure)\n\n",
+                serial_seconds);
+  }
 
   // -- Artifact-cache legs: cold (cross-pair reuse), then warm --------------
   core::ArtifactStore store;
@@ -302,6 +317,62 @@ int main(int argc, char** argv) {
   std::printf("  identity:   cached results %s the cache-off baseline\n\n",
               artifact_identical ? "byte-identical to" : "DIVERGED from");
 
+  // -- Solver backend A/B: corpus identity + pair-3 speedup -----------------
+  // The propagation core (the default, measured by the serial leg above)
+  // must be answer-identical to the legacy backtracker and to the raced
+  // portfolio over the whole corpus — the same bar the dispatch modes
+  // are held to.
+  core::PipelineOptions backtrack_opts;
+  core::SetSolverBackend(backtrack_opts, symex::SolverBackendKind::kBacktrack);
+  const auto corpus_backtrack = core::VerifyCorpus(pairs, backtrack_opts, 1);
+  core::PipelineOptions portfolio_opts;
+  core::SetSolverBackend(portfolio_opts, symex::SolverBackendKind::kPortfolio);
+  const auto corpus_portfolio = core::VerifyCorpus(pairs, portfolio_opts, 1);
+  const bool backend_identical = ReportsIdentical(serial, corpus_backtrack) &&
+                                 ReportsIdentical(serial, corpus_portfolio);
+  std::printf("backends:     backtrack/portfolio corpus results %s the "
+              "propagate default\n",
+              backend_identical ? "byte-identical to" : "DIVERGED from");
+
+  // Pair idx 3 is the corpus's long pole. The baseline leg runs it the
+  // way PR 7 shipped — legacy backtracking search, cycle fast-forward
+  // off — against the current default (propagation core, cycle skip
+  // on). Best-of-N wall times so scheduler noise cannot fake a
+  // regression; identity of the two reports is part of the gate.
+  std::size_t pair3 = pairs.size();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].idx == 3) pair3 = i;
+  }
+  double pair3_baseline_seconds = 0, pair3_optimized_seconds = 0;
+  double pair3_speedup = 0;
+  bool pair3_identical = true;
+  if (pair3 < pairs.size()) {
+    core::PipelineOptions pr7_opts;
+    core::SetSolverBackend(pr7_opts, symex::SolverBackendKind::kBacktrack);
+    core::SetCycleSkip(pr7_opts, false);
+    const int reps = smoke ? 1 : 3;
+    core::VerificationReport baseline_rep, optimized_rep;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      baseline_rep = core::VerifyPair(pairs[pair3], pr7_opts);
+      const double s = SecondsSince(t0);
+      if (r == 0 || s < pair3_baseline_seconds) pair3_baseline_seconds = s;
+      const auto t1 = Clock::now();
+      optimized_rep = core::VerifyPair(pairs[pair3], opts);
+      const double o = SecondsSince(t1);
+      if (r == 0 || o < pair3_optimized_seconds) pair3_optimized_seconds = o;
+    }
+    pair3_speedup = pair3_optimized_seconds > 0
+                        ? pair3_baseline_seconds / pair3_optimized_seconds
+                        : 0;
+    pair3_identical = ReportsIdentical({baseline_rep}, {optimized_rep});
+    std::printf("pair 3:       %.3f s baseline (backtrack, no cycle skip) | "
+                "%.3f s optimized (%.1fx, reports %s)\n\n",
+                pair3_baseline_seconds, pair3_optimized_seconds,
+                pair3_speedup,
+                pair3_identical ? "byte-identical" : "DIVERGED");
+  }
+
   // -- Machine-readable trajectory ------------------------------------------
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (out != nullptr) {
@@ -317,8 +388,6 @@ int main(int argc, char** argv) {
                  "  \"solver_exact_hit_rate\": %.4f,\n"
                  "  \"solver_model_reuse_hits\": %llu,\n"
                  "  \"solver_model_reuse_hit_rate\": %.4f,\n"
-                 "  \"solver_slice_hits\": %llu,\n"
-                 "  \"solver_slice_hit_rate\": %.4f,\n"
                  "  \"solver_subsumption_hits\": %llu,\n"
                  "  \"solver_subsumption_hit_rate\": %.4f,\n"
                  "  \"intern_hits\": %llu,\n"
@@ -327,15 +396,15 @@ int main(int argc, char** argv) {
                  "  \"serial_seconds\": %.4f,\n",
                  fork.cow_ns, fork.deep_ns, fork.speedup, cache_hits,
                  cache_misses, cache_rate, exact_hits, exact_rate,
-                 reuse_hits, reuse_rate_solver, slice_hits, slice_rate,
-                 subsume_hits, subsume_rate, intern_hits, intern_nodes,
-                 pairs.size(), serial_seconds);
+                 reuse_hits, reuse_rate_solver, subsume_hits, subsume_rate,
+                 intern_hits, intern_nodes, pairs.size(), serial_seconds);
     std::fprintf(out, "  \"pair_seconds\": [");
     for (std::size_t i = 0; i < pair_seconds.size(); ++i) {
       std::fprintf(out, "%s%.4f", i == 0 ? "" : ", ", pair_seconds[i]);
     }
     std::fprintf(out,
                  "],\n"
+                 "  \"parallel_leg\": \"%s\",\n"
                  "  \"parallel_seconds\": %.4f,\n"
                  "  \"parallel_jobs\": %u,\n"
                  "  \"parallel_schedule\": \"longest-first\",\n"
@@ -351,15 +420,25 @@ int main(int argc, char** argv) {
                  "  \"artifact_identical_to_baseline\": %s,\n"
                  "  \"artifact_shared_origin_baseline_seconds\": %.4f,\n"
                  "  \"artifact_shared_origin_warm_seconds\": %.4f,\n"
+                 "  \"solver_backend\": \"propagate\",\n"
+                 "  \"solver_backend_identical\": %s,\n"
+                 "  \"pair3_baseline_seconds\": %.4f,\n"
+                 "  \"pair3_optimized_seconds\": %.4f,\n"
+                 "  \"pair3_speedup\": %.2f,\n"
+                 "  \"pair3_identical\": %s,\n"
                  "  \"smoke\": %s\n"
                  "}\n",
-                 parallel_seconds, jobs, hw, speedup,
+                 run_parallel ? "ran" : "skipped (1 cpu)", parallel_seconds,
+                 jobs, hw, speedup,
                  identical ? "true" : "false", cache_cold_seconds,
                  cache_warm_seconds,
                  static_cast<unsigned long long>(cold_stats.hits), warm_hits,
                  warm_misses, reuse_rate,
                  artifact_identical ? "true" : "false",
                  shared_baseline_seconds, shared_warm_seconds,
+                 backend_identical ? "true" : "false",
+                 pair3_baseline_seconds, pair3_optimized_seconds,
+                 pair3_speedup, pair3_identical ? "true" : "false",
                  smoke ? "true" : "false");
     std::fclose(out);
     std::printf("wrote %s\n", out_path.c_str());
@@ -368,8 +447,17 @@ int main(int argc, char** argv) {
   // Hard gates: the COW fork must beat the eager copy by 5x and the
   // parallel run must agree with the serial one. Wall-clock speedup is
   // reported but not gated — it is a property of the host's core count.
-  if (!identical) {
+  if (run_parallel && !identical) {
     std::printf("FAIL: parallel verification diverged from serial\n");
+    return 1;
+  }
+  if (!backend_identical) {
+    std::printf("FAIL: solver backends diverged on the corpus\n");
+    return 1;
+  }
+  if (!pair3_identical) {
+    std::printf("FAIL: pair-3 optimized report diverged from the "
+                "baseline leg\n");
     return 1;
   }
   if (!artifact_identical) {

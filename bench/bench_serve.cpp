@@ -276,6 +276,10 @@ int main(int argc, char** argv) {
   }
 
   // -- Merge into the perf trajectory ---------------------------------------
+  // serve_smoke only appears when the smoke leg actually ran: a full run
+  // used to merge `serve_smoke: false` into the trajectory, which made
+  // full-run JSONs diff against each other over a field that carries no
+  // information there.
   char fields[1024];
   std::snprintf(
       fields, sizeof fields,
@@ -289,14 +293,13 @@ int main(int argc, char** argv) {
       "  \"serve_warm_disk_hits\": %llu,\n"
       "  \"serve_overload_served\": %llu,\n"
       "  \"serve_overload_shed\": %llu,\n"
-      "  \"serve_overload_p99_ms\": %.3f,\n"
-      "  \"serve_smoke\": %s\n",
+      "  \"serve_overload_p99_ms\": %.3f%s\n",
       cold.rps, cold.p50_ms, cold.p99_ms, warm.rps, warm.p50_ms, warm.p99_ms,
       static_cast<unsigned long long>(warm.requests),
       static_cast<unsigned long long>(warm_disk_hits),
       static_cast<unsigned long long>(burst_served),
       static_cast<unsigned long long>(burst_shed), overload_p99_ms,
-      smoke ? "true" : "false");
+      smoke ? ",\n  \"serve_smoke\": true" : "");
   if (MergeServeFields(out_path, fields)) {
     std::printf("merged serve fields into %s\n", out_path.c_str());
   } else {

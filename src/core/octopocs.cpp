@@ -39,6 +39,14 @@ class FirstSharedEntry : public vm::ExecutionObserver {
 
   std::optional<vm::FuncId> first() const { return first_; }
 
+  /// `shared_` is fixed at construction; `first_` is the only mutable
+  /// state, so this suffices for the interpreter's cycle fast-forward.
+  bool SnapshotState(std::vector<std::uint8_t>* out) const override {
+    AppendLe(*out, first_.has_value() ? 1 : 0, 1);
+    AppendLe(*out, first_.value_or(0), 4);
+    return true;
+  }
+
  private:
   std::set<vm::FuncId> shared_;
   std::optional<vm::FuncId> first_;
@@ -62,9 +70,12 @@ struct EpArtifact {
 };
 
 void HashExec(ArtifactHasher& h, const vm::ExecOptions& exec) {
-  // dispatch/fuse are deliberately excluded: the backends produce
-  // byte-identical results, so cached artifacts stay valid across
-  // --vm-dispatch modes (and the dispatch identity tests depend on it).
+  // dispatch/fuse/cycle_skip are deliberately excluded: the backends
+  // produce byte-identical results, so cached artifacts stay valid
+  // across --vm-dispatch modes and with the cycle fast-forward on or
+  // off (the identity tests depend on it). The same policy covers
+  // SolverOptions::backend — no artifact key hashes SolverOptions, so
+  // --solver-backend can never split otherwise identical keys.
   h.U64(exec.fuel).U64(exec.max_call_depth).U64(exec.heap_limit);
 }
 
@@ -585,6 +596,17 @@ void SetVmDispatch(PipelineOptions& options, vm::DispatchMode mode) {
   options.taint.exec.dispatch = mode;
   options.cfg.exec.dispatch = mode;
   options.verify_exec.dispatch = mode;
+}
+
+void SetSolverBackend(PipelineOptions& options,
+                      symex::SolverBackendKind kind) {
+  options.symex.solver.backend = kind;
+}
+
+void SetCycleSkip(PipelineOptions& options, bool enabled) {
+  options.taint.exec.cycle_skip = enabled;
+  options.cfg.exec.cycle_skip = enabled;
+  options.verify_exec.cycle_skip = enabled;
 }
 
 VerificationReport VerifyPair(const corpus::Pair& pair,

@@ -199,6 +199,21 @@ struct PipelineOptions {
 /// fingerprints.
 void SetVmDispatch(PipelineOptions& options, vm::DispatchMode mode);
 
+/// Selects the CSP search core for every solver query P2/P3 issues
+/// (including retry rungs, which reuse the same options). Backends are
+/// answer-identical — the CLI's --solver-backend flag exists for A/B
+/// verification and perf measurement, so like the dispatch mode the
+/// choice never enters artifact keys or journal fingerprints.
+void SetSolverBackend(PipelineOptions& options, symex::SolverBackendKind kind);
+
+/// Enables or disables the interpreter's exact-cycle fast-forward in
+/// every concrete execution the pipeline performs. The skip is
+/// state-identity based and byte-identical by construction (see
+/// vm::ExecOptions::cycle_skip), so it too stays out of artifact keys;
+/// the off position exists for the benchmark's honest baseline leg and
+/// for debugging.
+void SetCycleSkip(PipelineOptions& options, bool enabled);
+
 class Octopocs {
  public:
   /// `shared_functions` is ℓ by name (the clone detector's output; both

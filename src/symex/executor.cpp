@@ -1320,7 +1320,6 @@ struct SymExecutor::Run {
       stats.solver_cache_misses += cs.misses;
       stats.solver_exact_hits += cs.exact_hits;
       stats.solver_model_reuse_hits += cs.model_reuse_hits;
-      stats.solver_slice_hits += cs.slice_hits;
       stats.solver_subsumption_hits += cs.subsumption_hits;
     }
     const InternScope::Stats is =

@@ -64,11 +64,12 @@ struct SymexStats {
   std::uint64_t solver_cache_hits = 0;
   std::uint64_t solver_cache_misses = 0;
   /// Per-mechanism breakdown of solver_cache_hits (see SolverCache):
-  /// exact sequence memo, certified model reuse, all-slices-cached, and
-  /// UNSAT-subset subsumption.
+  /// exact sequence memo, certified model reuse, and UNSAT-subset
+  /// subsumption. (A slice-hit counter existed through PR 7; the slicing
+  /// tier was retired after sitting at zero corpus-wide, so the field is
+  /// gone rather than forever-zero.)
   std::uint64_t solver_exact_hits = 0;
   std::uint64_t solver_model_reuse_hits = 0;
-  std::uint64_t solver_slice_hits = 0;
   std::uint64_t solver_subsumption_hits = 0;
   /// Hash-consing effectiveness: node constructions answered from the
   /// intern table vs. distinct nodes allocated.

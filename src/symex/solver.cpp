@@ -1,15 +1,36 @@
 #include "symex/solver.h"
 
 #include <algorithm>
-#include <array>
-#include <deque>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/fault.h"
+#include "symex/solver_backends.h"
 
 namespace octopocs::symex {
+
+std::optional<SolverBackendKind> ParseSolverBackend(std::string_view name) {
+  if (name == "backtrack") return SolverBackendKind::kBacktrack;
+  if (name == "propagate") return SolverBackendKind::kPropagate;
+  if (name == "portfolio") return SolverBackendKind::kPortfolio;
+  return std::nullopt;
+}
+
+const char* SolverBackendName(SolverBackendKind kind) {
+  switch (kind) {
+    case SolverBackendKind::kBacktrack:
+      return "backtrack";
+    case SolverBackendKind::kPropagate:
+      return "propagate";
+    case SolverBackendKind::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
 
 std::uint64_t SolverCache::HashKey(const std::vector<ExprRef>& constraints) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over node addresses
@@ -138,42 +159,6 @@ const SolveResult& SolverCache::Insert(
   return stored;
 }
 
-std::vector<std::vector<ExprRef>> SliceConstraints(
-    const std::vector<ExprRef>& constraints) {
-  const std::size_t n = constraints.size();
-  std::vector<std::size_t> parent(n);
-  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-  const auto find = [&parent](std::size_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  // Union constraints through shared variables: the first constraint
-  // mentioning a variable becomes its owner; later ones link to it.
-  std::unordered_map<std::uint32_t, std::size_t> var_owner;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const std::uint32_t var : FreeVars(constraints[i])) {
-      const auto [it, inserted] = var_owner.try_emplace(var, i);
-      if (!inserted) parent[find(i)] = find(it->second);
-    }
-  }
-  // Group by root, slices ordered by first member, members in original
-  // order (std::map over the root's smallest index gives both).
-  std::map<std::size_t, std::vector<ExprRef>> groups;
-  std::unordered_map<std::size_t, std::size_t> root_first;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t root = find(i);
-    const auto [it, inserted] = root_first.try_emplace(root, i);
-    groups[it->second].push_back(constraints[i]);
-  }
-  std::vector<std::vector<ExprRef>> slices;
-  slices.reserve(groups.size());
-  for (auto& [first, slice] : groups) slices.push_back(std::move(slice));
-  return slices;
-}
-
 SolveResult SolverCache::Solve(const std::vector<ExprRef>& raw,
                                const Model& pins,
                                const SolverOptions& options,
@@ -256,63 +241,18 @@ SolveResult SolverCache::Solve(const std::vector<ExprRef>& raw,
     return out;
   }
 
-  // 4. Independence slicing with per-slice caching. A fresh slice solve
-  // runs with the full step budget (so each slice entry is a pure
-  // function of the slice alone); the query reports summed steps.
-  SolverOptions slice_options = options;
-  slice_options.context = ctx;
-  const auto fresh = [&](const std::vector<ExprRef>& cs) {
-    ByteSolver solver(slice_options);
-    return solver.SolveWith(cs);
-  };
+  // 4. Fresh search through the configured backend, which also taps the
+  // cache's cross-query nogood store — the sub-branch analogue of the
+  // UNSAT-core tier above.
+  SolverOptions fresh_options = options;
+  fresh_options.context = ctx;
+  fresh_options.nogoods = &nogoods_;
+  ByteSolver solver(fresh_options);
+  out = solver.SolveWith(constraints);
+  ++stats_.misses;
 
-  std::vector<std::vector<ExprRef>> slices = SliceConstraints(constraints);
-  bool any_fresh = false;
-  out.status = SolveStatus::kSat;
-  for (const std::vector<ExprRef>& slice : slices) {
-    SolveResult r;
-    bool from_cache = false;
-    if (slices.size() > 1) {
-      if (const Entry* entry = FindExact(slice)) {
-        r = entry->result;
-        from_cache = true;
-      } else {
-        any_fresh = true;
-        r = fresh(slice);
-        if (r.status == SolveStatus::kSat ||
-            r.status == SolveStatus::kUnsat) {
-          StoreEntry(slice, r);
-          if (r.status == SolveStatus::kUnsat) RememberUnsat(slice);
-        }
-      }
-    } else {
-      any_fresh = true;
-      r = fresh(slice);
-    }
-    if (!from_cache) out.steps += r.steps;
-    if (r.status == SolveStatus::kUnsat ||
-        r.status == SolveStatus::kCancelled) {
-      out.status = r.status;  // UNSAT/cancel of one slice decides; stop
-      break;
-    }
-    if (r.status == SolveStatus::kUnknown) {
-      out.status = SolveStatus::kUnknown;
-      continue;
-    }
-    for (const auto& [var, val] : r.model) out.model[var] = val;
-  }
-  if (out.status != SolveStatus::kSat) out.model.clear();
-
-  if (any_fresh) {
-    ++stats_.misses;
-  } else {
-    ++stats_.hits;
-    ++stats_.slice_hits;
-  }
   if (out.status == SolveStatus::kSat || out.status == SolveStatus::kUnsat) {
-    if (FindExact(constraints) == nullptr) {
-      StoreEntry(constraints, out);
-    }
+    StoreEntry(constraints, out);
     if (out.status == SolveStatus::kUnsat) {
       RememberUnsat(constraints);
     } else if (ctx != nullptr) {
@@ -415,319 +355,99 @@ bool DecomposeConcatEquality(const ExprRef& constraint,
   return true;
 }
 
-/// Propagation-queue CSP search with trail-based backtracking.
+bool Definitive(SolveStatus s) {
+  return s == SolveStatus::kSat || s == SolveStatus::kUnsat;
+}
+
+/// Races the propagate core against the backtrack oracle on two
+/// threads; the first definitive answer wins and cancels the loser
+/// through a shared stop flag folded into the racers' CancelTokens.
 ///
-/// Domains live in a dense table; constraints carry an unassigned-var
-/// counter. Whenever a constraint drops to one unassigned variable it is
-/// queued and its variable's domain is filtered by evaluation (256
-/// probes); singleton domains assign immediately and cascade. Branching
-/// picks the smallest-domain variable, trying the hinted value first.
-struct Search {
-  Search(const std::vector<ExprRef>& constraints_in, const Model& hints_in,
-         std::uint64_t max_steps_in, support::CancelToken cancel_in,
-         const SolveContext* ctx_in)
-      : constraints(constraints_in),
-        hints(hints_in),
-        max_steps(max_steps_in),
-        cancel(cancel_in),
-        ctx(ctx_in) {}
+/// Determinism (DESIGN.md §15): the cores are answer-identical, so for
+/// any input whose winner is definitive the returned status and model
+/// do not depend on which thread finished first. When neither leg is
+/// definitive the tie-break is fixed — prefer the propagate leg's
+/// status — so kUnknown/kCancelled outcomes are reproducible too (step
+/// counts, a diagnostic, are the only racy field).
+///
+/// The caller's own CancelToken may carry an external kill flag the
+/// racer tokens cannot share (a token folds in exactly one flag), so
+/// the coordinating thread polls the caller's token and trips the race
+/// flag on its behalf.
+class PortfolioBackend final : public SolverBackend {
+ public:
+  const char* name() const override { return "portfolio"; }
 
-  const std::vector<ExprRef>& constraints;
-  const Model& hints;
-  std::uint64_t max_steps;
-  support::CancelToken cancel;  // local copy; poll counters are ours
-  const SolveContext* ctx;      // optional prefix-domain accelerator
-  std::uint64_t steps = 0;
-  bool cancelled = false;
+  SolveResult Solve(const std::vector<ExprRef>& constraints,
+                    const SolverOptions& options) const override {
+    std::atomic<bool> race_done{false};
+    SolverOptions racer = options;
+    racer.cancel =
+        support::CancelToken(options.cancel.deadline(), &race_done);
 
-  bool Cancelled() {
-    if (!cancelled && cancel.ShouldStop()) cancelled = true;
-    return cancelled;
-  }
+    std::mutex m;
+    std::condition_variable cv;
+    struct Leg {
+      SolveResult result;
+      bool finished = false;
+    };
+    Leg legs[2];  // 0 = propagate, 1 = backtrack
 
-  std::vector<std::uint32_t> vars;               // dense index → offset
-  std::map<std::uint32_t, std::size_t> var_index;
-  std::vector<std::vector<std::size_t>> var_constraints;  // var → c-ids
-  std::vector<std::vector<std::size_t>> cvars;            // c-id → vars
-  std::vector<std::size_t> unassigned_count;              // per constraint
-
-  std::vector<std::array<bool, 256>> domain;
-  std::vector<int> domain_size;
-  std::vector<int> assigned;  // -1 = unassigned, else the value
-  Model assignment;           // offset → value (mirrors `assigned`)
-  std::vector<bool> prefiltered;  // unary constraints folded at init
-
-  struct TrailEntry {
-    std::size_t var;
-    std::array<bool, 256> saved_domain;
-    int saved_size;
-  };
-  std::vector<TrailEntry> trail;
-  std::vector<std::size_t> assign_trail;  // vars assigned, for undo
-  std::vector<std::size_t> count_trail;   // constraints decremented
-
-  enum class Outcome { kSat, kUnsat, kBudget, kCancelled };
-
-  bool Init() {
-    SortedSmallSet<std::uint32_t> all;
-    cvars.resize(constraints.size());
-    std::vector<SortedSmallSet<std::uint32_t>> cvar_sets(constraints.size());
-    for (std::size_t c = 0; c < constraints.size(); ++c) {
-      CollectInputs(constraints[c], cvar_sets[c]);
-      all.UnionWith(cvar_sets[c]);
-    }
-    vars.assign(all.begin(), all.end());
-    for (std::size_t i = 0; i < vars.size(); ++i) var_index[vars[i]] = i;
-    var_constraints.resize(vars.size());
-    unassigned_count.resize(constraints.size());
-    for (std::size_t c = 0; c < constraints.size(); ++c) {
-      for (const std::uint32_t off : cvar_sets[c]) {
-        const std::size_t v = var_index[off];
-        cvars[c].push_back(v);
-        var_constraints[v].push_back(c);
+    const auto run = [&](int i) {
+      SolveResult r;
+      try {
+        r = (i == 0 ? PropagateBackendInstance() : BacktrackBackendInstance())
+                .Solve(constraints, racer);
+      } catch (...) {
+        r.status = SolveStatus::kUnknown;  // a dead leg must not end the race
       }
-      unassigned_count[c] = cvars[c].size();
-    }
-    domain.assign(vars.size(), {});
-    for (auto& d : domain) d.fill(true);
-    domain_size.assign(vars.size(), 256);
-    assigned.assign(vars.size(), -1);
-
-    // Unary prefilter: every constraint over a single variable folds
-    // into that variable's *initial* domain here, rather than through
-    // the propagation queue. When the caller supplies a SolveContext
-    // that already applied some of these constraints, its recorded
-    // domain seeds the fold and those constraints' 256-probe
-    // evaluations are skipped — the incremental-prefix saving. The
-    // final domains are identical either way (filtering is idempotent
-    // and intersection commutes), so context presence cannot change
-    // the search outcome. Prefilter probes are setup, not search, and
-    // do not count toward the step budget.
-    prefiltered.assign(constraints.size(), false);
-    Model probe;
-    for (std::size_t v = 0; v < vars.size(); ++v) {
-      bool any_unary = false;
-      for (const std::size_t c : var_constraints[v]) {
-        if (cvars[c].size() == 1) {
-          any_unary = true;
-          break;
-        }
+      std::lock_guard<std::mutex> lock(m);
+      legs[i].result = std::move(r);
+      legs[i].finished = true;
+      if (Definitive(legs[i].result.status)) {
+        race_done.store(true, std::memory_order_relaxed);
       }
-      if (!any_unary) continue;
-      auto& dom = domain[v];
-      const std::uint32_t off = vars[v];
-      const SolveContext::VarEntry* seed =
-          ctx != nullptr ? ctx->Find(off) : nullptr;
-      if (seed != nullptr) {
-        int size = 0;
-        for (int value = 0; value < 256; ++value) {
-          dom[value] = seed->domain.Test(static_cast<unsigned>(value));
-          size += dom[value] ? 1 : 0;
-        }
-        domain_size[v] = size;
+      cv.notify_all();
+    };
+
+    std::thread propagate_leg(run, 0);
+    std::thread backtrack_leg(run, 1);
+    {
+      support::CancelToken caller = options.cancel;
+      std::unique_lock<std::mutex> lock(m);
+      while (!((legs[0].finished && Definitive(legs[0].result.status)) ||
+               (legs[1].finished && Definitive(legs[1].result.status)) ||
+               (legs[0].finished && legs[1].finished))) {
+        cv.wait_for(lock, std::chrono::milliseconds(1));
+        if (caller.Check()) break;  // relay an external kill to the racers
       }
-      for (const std::size_t c : var_constraints[v]) {
-        if (cvars[c].size() != 1) continue;
-        prefiltered[c] = true;
-        if (seed != nullptr &&
-            std::binary_search(seed->applied.begin(), seed->applied.end(),
-                               constraints[c].get())) {
-          continue;  // already folded into the seeded domain
-        }
-        int size = 0;
-        std::uint8_t& cell = probe[off];
-        for (int value = 0; value < 256; ++value) {
-          if (!dom[value]) continue;
-          cell = static_cast<std::uint8_t>(value);
-          if (Eval(constraints[c], probe) != 0) {
-            ++size;
-          } else {
-            dom[value] = false;
-          }
-        }
-        probe.erase(off);
-        domain_size[v] = size;
-      }
-      if (domain_size[v] == 0) return false;
+      race_done.store(true, std::memory_order_relaxed);
     }
-    return true;
-  }
+    propagate_leg.join();
+    backtrack_leg.join();
 
-  /// Assigns var v := value, updating constraint counters. Records undo
-  /// info. Returns false on immediate conflict (a fully-assigned
-  /// constraint evaluating false).
-  bool Assign(std::size_t v, int value) {
-    assigned[v] = value;
-    assignment[vars[v]] = static_cast<std::uint8_t>(value);
-    assign_trail.push_back(v);
-    for (const std::size_t c : var_constraints[v]) {
-      --unassigned_count[c];
-      count_trail.push_back(c);
-      if (unassigned_count[c] == 0) {
-        ++steps;
-        if (Eval(constraints[c], assignment) == 0) return false;
-      }
-    }
-    return true;
-  }
-
-  /// Filters `v`'s domain against constraint `c` (which must have `v`
-  /// as its only unassigned variable). Returns the new domain size.
-  int FilterDomain(std::size_t v, std::size_t c) {
-    auto& dom = domain[v];
-    // Save the domain once per (decision level, var) — conservatively
-    // per call; the trail replays in reverse so repeated saves are fine.
-    trail.push_back({v, dom, domain_size[v]});
-    int size = 0;
-    const std::uint32_t off = vars[v];
-    for (int value = 0; value < 256; ++value) {
-      if (!dom[value]) continue;
-      ++steps;
-      assignment[off] = static_cast<std::uint8_t>(value);
-      if (Eval(constraints[c], assignment) != 0) {
-        ++size;
-      } else {
-        dom[value] = false;
-      }
-    }
-    assignment.erase(off);
-    domain_size[v] = size;
-    return size;
-  }
-
-  /// Unit propagation to fixpoint from the constraints of `seed_vars`.
-  /// Returns false on wipe-out or constraint violation.
-  bool Propagate(std::deque<std::size_t> queue) {
-    while (!queue.empty()) {
-      if (steps > max_steps) return true;  // caller re-checks budget
-      if (Cancelled()) return true;        // ditto for cancellation
-      const std::size_t c = queue.front();
-      queue.pop_front();
-      if (unassigned_count[c] != 1) continue;
-      // Locate the single unassigned variable.
-      std::size_t v = 0;
-      for (const std::size_t cand : cvars[c]) {
-        if (assigned[cand] < 0) {
-          v = cand;
-          break;
-        }
-      }
-      const int size = FilterDomain(v, c);
-      if (size == 0) return false;
-      if (size == 1) {
-        int value = 0;
-        for (int i = 0; i < 256; ++i) {
-          if (domain[v][i]) {
-            value = i;
-            break;
-          }
-        }
-        if (!Assign(v, value)) return false;
-        for (const std::size_t c2 : var_constraints[v]) {
-          if (unassigned_count[c2] == 1) queue.push_back(c2);
-        }
-      }
-    }
-    return true;
-  }
-
-  std::deque<std::size_t> InitialUnits() {
-    std::deque<std::size_t> queue;
-    for (std::size_t c = 0; c < constraints.size(); ++c) {
-      if (unassigned_count[c] == 1 && !prefiltered[c]) queue.push_back(c);
-    }
-    return queue;
-  }
-
-  struct Checkpoint {
-    std::size_t trail_size;
-    std::size_t assign_trail_size;
-    std::size_t count_trail_size;
-  };
-
-  Checkpoint Mark() const {
-    return {trail.size(), assign_trail.size(), count_trail.size()};
-  }
-
-  void Rollback(const Checkpoint& cp) {
-    while (count_trail.size() > cp.count_trail_size) {
-      ++unassigned_count[count_trail.back()];
-      count_trail.pop_back();
-    }
-    while (assign_trail.size() > cp.assign_trail_size) {
-      const std::size_t v = assign_trail.back();
-      assign_trail.pop_back();
-      assignment.erase(vars[v]);
-      assigned[v] = -1;
-    }
-    while (trail.size() > cp.trail_size) {
-      TrailEntry& e = trail.back();
-      domain[e.var] = e.saved_domain;
-      domain_size[e.var] = e.saved_size;
-      trail.pop_back();
-    }
-  }
-
-  Outcome Run() {
-    if (!Init()) return Outcome::kUnsat;
-    if (!Propagate(InitialUnits())) return Outcome::kUnsat;
-    if (cancelled) return Outcome::kCancelled;
-    if (steps > max_steps) return Outcome::kBudget;
-    return Backtrack();
-  }
-
-  Outcome Backtrack() {
-    if (Cancelled()) return Outcome::kCancelled;
-    if (steps > max_steps) return Outcome::kBudget;
-    // Pick the unassigned variable with the smallest domain.
-    std::size_t best = vars.size();
-    for (std::size_t v = 0; v < vars.size(); ++v) {
-      if (assigned[v] >= 0) continue;
-      if (best == vars.size() || domain_size[v] < domain_size[best]) {
-        best = v;
-      }
-    }
-    if (best == vars.size()) return Outcome::kSat;
-
-    // Value order: hint first, then ascending.
-    std::vector<int> values;
-    values.reserve(domain_size[best]);
-    const auto hint = hints.find(vars[best]);
-    if (hint != hints.end() && domain[best][hint->second]) {
-      values.push_back(hint->second);
-    }
-    for (int value = 0; value < 256; ++value) {
-      if (!domain[best][value]) continue;
-      if (hint != hints.end() && value == hint->second) continue;
-      values.push_back(value);
-    }
-
-    for (const int value : values) {
-      ++steps;
-      if (Cancelled()) return Outcome::kCancelled;
-      if (steps > max_steps) return Outcome::kBudget;
-      const Checkpoint cp = Mark();
-      std::deque<std::size_t> queue;
-      bool ok = Assign(best, value);
-      if (ok) {
-        for (const std::size_t c : var_constraints[best]) {
-          if (unassigned_count[c] == 1) queue.push_back(c);
-        }
-        ok = Propagate(std::move(queue));
-      }
-      if (ok && cancelled) return Outcome::kCancelled;
-      if (ok && steps > max_steps) return Outcome::kBudget;
-      if (ok) {
-        const Outcome sub = Backtrack();
-        if (sub != Outcome::kUnsat) return sub;
-      }
-      Rollback(cp);
-    }
-    return Outcome::kUnsat;
+    // Both are final now. Prefer a definitive leg; when both qualify
+    // (or neither does), propagate's answer is canonical.
+    if (Definitive(legs[0].result.status)) return std::move(legs[0].result);
+    if (Definitive(legs[1].result.status)) return std::move(legs[1].result);
+    return std::move(legs[0].result);
   }
 };
 
 }  // namespace
+
+const SolverBackend& GetSolverBackend(SolverBackendKind kind) {
+  static const PortfolioBackend portfolio;
+  switch (kind) {
+    case SolverBackendKind::kBacktrack:
+      return BacktrackBackendInstance();
+    case SolverBackendKind::kPropagate:
+      return PropagateBackendInstance();
+    case SolverBackendKind::kPortfolio:
+      return portfolio;
+  }
+  return PropagateBackendInstance();
+}
 
 SolveResult ByteSolver::Solve() const { return SolveWith({}); }
 
@@ -755,7 +475,8 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
   }
   // Propagation pre-pass: decompose concat equalities into byte pins so
   // unit propagation starts from singleton domains for multi-byte
-  // fields.
+  // fields. Runs before backend dispatch, so every core sees the same
+  // preprocessed system — a prerequisite for answer identity.
   {
     std::vector<ExprRef> derived;
     for (const ExprRef& e : all) DecomposeConcatEquality(e, &derived);
@@ -772,26 +493,7 @@ SolveResult ByteSolver::SolveWith(const std::vector<ExprRef>& extra) const {
       return result;
     }
   }
-  Search search{all, options_.hints, options_.max_steps, options_.cancel,
-                options_.context};
-  const Search::Outcome outcome = search.Run();
-  result.steps = search.steps;
-  switch (outcome) {
-    case Search::Outcome::kSat:
-      result.status = SolveStatus::kSat;
-      result.model = std::move(search.assignment);
-      break;
-    case Search::Outcome::kUnsat:
-      result.status = SolveStatus::kUnsat;
-      break;
-    case Search::Outcome::kBudget:
-      result.status = SolveStatus::kUnknown;
-      break;
-    case Search::Outcome::kCancelled:
-      result.status = SolveStatus::kCancelled;
-      break;
-  }
-  return result;
+  return GetSolverBackend(options_.backend).Solve(all, options_);
 }
 
 }  // namespace octopocs::symex

@@ -19,10 +19,30 @@
 //               stop the whole phase" — only the former is worth a
 //               doubled-budget retry, and a cancelled verdict must never
 //               enter the SolverCache.
+//
+// Two search cores implement the same decision procedure behind the
+// SolverBackend interface (DESIGN.md §15):
+//
+//   backtrack — the original recursive search over std::array<bool,256>
+//               domains with tree-walking Eval. Kept verbatim as the
+//               A/B oracle: slow, simple, trusted.
+//   propagate — watched-domain propagation over 256-bit ByteDomain
+//               masks with constraints compiled to straight-line
+//               programs, plus conflict-driven nogood recording. Same
+//               decision tree (variable order, value order, filtering
+//               strength) as the backtracker by construction, so both
+//               return the identical first model and identical kUnsat
+//               verdicts; only step counts differ.
+//   portfolio — races both cores on two threads; the first definitive
+//               (kSat/kUnsat) answer wins and cancels the loser.
+//               Deterministic because the cores are answer-identical.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/deadline.h"
@@ -40,6 +60,61 @@ struct SolveResult {
   Model model;
   /// Search effort (diagnostics; feeds the Table IV cost columns).
   std::uint64_t steps = 0;
+};
+
+/// Which search core answers queries. Never part of any artifact or
+/// cache key: backends are answer-identical, so the choice is an
+/// observability/performance knob like vm::DispatchMode (DESIGN.md §15).
+enum class SolverBackendKind : std::uint8_t {
+  kBacktrack,
+  kPropagate,
+  kPortfolio,
+};
+
+/// CLI spelling ("backtrack" | "propagate" | "portfolio"), or nullopt.
+std::optional<SolverBackendKind> ParseSolverBackend(std::string_view name);
+const char* SolverBackendName(SolverBackendKind kind);
+
+/// Conflict-driven nogoods recorded by the propagate core.
+///
+/// A nogood is a set of (variable, value) decision literals L plus the
+/// constraint set D (sorted node addresses) under which the search
+/// proved "D ∧ L has no model" by exhausting the subtree below L. It is
+/// sound to prune a branch of any later query Q ⊇ D whose partial
+/// assignment extends L: every total extension would satisfy D and L,
+/// contradicting the recorded proof. That subset applicability is what
+/// lets nogoods survive across the re-solves P3 issues as it extends a
+/// path's constraint prefix at each ep encounter — exactly like the
+/// UNSAT-core subsumption tier, but at sub-branch instead of whole-query
+/// granularity.
+///
+/// Pruned subtrees are provably model-free, so recording and consulting
+/// nogoods cannot change which model a complete search finds first, nor
+/// flip kUnsat — only shrink the explored tree.
+class NogoodStore {
+ public:
+  using Literal = std::pair<std::uint32_t, std::uint8_t>;  // (offset, value)
+
+  struct Nogood {
+    std::vector<Literal> literals;    // sorted by offset
+    std::vector<const Expr*> deps;    // sorted-unique node addresses
+  };
+
+  /// Records "deps ∧ literals is model-free". `literals` must be sorted
+  /// by offset, `deps` sorted-unique. Duplicates (same literals with a
+  /// dependency superset of a stored entry) are dropped; the store stops
+  /// accepting once full.
+  void Record(std::vector<Literal> literals, std::vector<const Expr*> deps);
+
+  const std::vector<Nogood>& all() const { return nogoods_; }
+  std::size_t size() const { return nogoods_.size(); }
+
+  /// Bound on stored nogoods: keeps the per-query applicability scan and
+  /// the store's footprint O(1) in the length of a P3 run.
+  static constexpr std::size_t kMaxNogoods = 256;
+
+ private:
+  std::vector<Nogood> nogoods_;
 };
 
 struct SolverOptions {
@@ -61,11 +136,36 @@ struct SolverOptions {
   /// always prefilters every unary constraint; the context only skips
   /// evaluations whose outcome it has already recorded).
   const SolveContext* context = nullptr;
+  /// Search core selection. Excluded from every cache and artifact key —
+  /// backends are answer-identical by construction.
+  SolverBackendKind backend = SolverBackendKind::kPropagate;
+  /// Optional cross-query nogood store, consulted and extended by the
+  /// propagate core (the backtrack oracle ignores it). The SolverCache
+  /// owns one per executor worker, matching the interning scope the
+  /// recorded node addresses live in.
+  NogoodStore* nogoods = nullptr;
 };
+
+/// One complete search core. `Solve` receives the *preprocessed*
+/// constraint system (deduplicated, concat equalities decomposed,
+/// constant-false screened by ByteSolver) and must be a pure function of
+/// (constraints, options.hints, options.context) for definitive
+/// statuses — that purity is what makes backend choice cache-invisible.
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+  virtual const char* name() const = 0;
+  virtual SolveResult Solve(const std::vector<ExprRef>& constraints,
+                            const SolverOptions& options) const = 0;
+};
+
+/// Singleton accessor for the cores (and the portfolio composition).
+const SolverBackend& GetSolverBackend(SolverBackendKind kind);
 
 class ByteSolver {
  public:
-  explicit ByteSolver(SolverOptions options = {}) : options_(options) {}
+  explicit ByteSolver(SolverOptions options = {})
+      : options_(std::move(options)) {}
 
   /// Adds a constraint: `expr` must evaluate nonzero.
   void Add(ExprRef expr);
@@ -91,19 +191,9 @@ class ByteSolver {
   Model pins_;
 };
 
-/// Partitions `constraints` into independence slices: the finest
-/// partition such that two constraints sharing an input-byte variable
-/// land in the same slice (union-find over FreeVars). Slices are
-/// returned in order of their first constraint's position, and each
-/// slice preserves the original relative constraint order — which is
-/// what makes a per-slice search behave identically to the monolithic
-/// search restricted to that slice's variables.
-std::vector<std::vector<ExprRef>> SliceConstraints(
-    const std::vector<ExprRef>& constraints);
-
 /// Memoizes ByteSolver verdicts across the repeated feasibility and
 /// concretization queries a directed executor issues along shared path
-/// prefixes. Four mechanisms, all sound by construction:
+/// prefixes. Three mechanisms, all sound by construction:
 ///
 ///   exact memo    keyed by the exact sequence of constraint node
 ///                 addresses. Forked states copy their constraint
@@ -128,11 +218,16 @@ std::vector<std::vector<ExprRef>> SliceConstraints(
 ///                 SolveContext the candidate pool is the state's own
 ///                 (pure, forked-with-the-state) pool; without one, a
 ///                 small global most-recent pool.
-///   slicing       Solve() partitions the query into independence
-///                 slices and caches each slice separately, so a new
-///                 constraint only forces re-solving its own slice —
-///                 KLEE-style counterexample caching. Slice models over
-///                 disjoint variables merge into the full model.
+///
+/// (A fourth mechanism, per-slice caching over independence slices, was
+/// retired: slice hits had been zero across the corpus since the
+/// SolveContext/prefix tiers above were introduced, because every query
+/// they could answer is answered earlier in the tier order. The
+/// union-find partitioning cost on every miss bought nothing.)
+///
+/// The cache additionally owns the cross-query NogoodStore the
+/// propagate backend feeds, scoped like everything else here to one
+/// executor run.
 ///
 /// The cache must not outlive the expressions it indexes: one cache per
 /// executor run (per frontier worker), like the interning scope whose
@@ -144,24 +239,20 @@ class SolverCache {
     /// constant-false queries short-circuit before counting).
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    /// Per-mechanism breakdown of `hits`. A sliced query counts as a
-    /// slice hit only when *every* slice came from cache; any fresh
-    /// slice solve makes the query a miss.
+    /// Per-mechanism breakdown of `hits`.
     std::uint64_t exact_hits = 0;
     std::uint64_t model_reuse_hits = 0;
-    std::uint64_t slice_hits = 0;
     std::uint64_t subsumption_hits = 0;
   };
 
   /// Front door for the executor: answers `constraints` (the caller's
   /// path condition) through, in order: exact memo → context wipeout /
-  /// UNSAT-subset subsumption → certified model reuse → independence
-  /// slicing with per-slice caching → fresh search. kSat/kUnsat results
-  /// are cached (full key and per slice); kUnknown is not (a larger
-  /// budget could improve it) and kCancelled never is. The result is a
-  /// pure function of (constraints, hints) — see DESIGN.md §10 — except
-  /// that subsumption may answer kUnsat where an uncached search would
-  /// have exhausted its step budget.
+  /// UNSAT-subset subsumption → certified model reuse → fresh search
+  /// through the configured backend. kSat/kUnsat results are cached;
+  /// kUnknown is not (a larger budget could improve it) and kCancelled
+  /// never is. The result is a pure function of (constraints, hints) —
+  /// see DESIGN.md §10 — except that subsumption may answer kUnsat
+  /// where an uncached search would have exhausted its step budget.
   SolveResult Solve(const std::vector<ExprRef>& constraints,
                     const Model& pins, const SolverOptions& options,
                     SolveContext* ctx);
@@ -184,6 +275,10 @@ class SolverCache {
 
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return entries_; }
+
+  /// Nogoods recorded by fresh propagate-backend solves through this
+  /// cache; survives across queries for the cache's lifetime.
+  NogoodStore& nogoods() { return nogoods_; }
 
  private:
   struct Entry {
@@ -213,6 +308,7 @@ class SolverCache {
   std::vector<Model> reuse_models_;  // most recent at the back
   /// Sorted-unique node-address sets of known-UNSAT constraint systems.
   std::vector<std::vector<const Expr*>> unsat_cores_;
+  NogoodStore nogoods_;
   SolveResult reuse_scratch_;        // backs model-reuse Lookup returns
   std::size_t entries_ = 0;
   Stats stats_;

@@ -70,6 +70,35 @@ class Extractor : public vm::ExecutionObserver {
     }
   }
 
+  /// Complete serialization of the extractor's accumulated state; with
+  /// the taint engine's snapshot this lets the interpreter fast-forward
+  /// exact loop cycles during the P1 run of a hung program. The bunch
+  /// sets are monotone, so a cycle's worth of events leaves them
+  /// unchanged once the first full period has been observed — which is
+  /// precisely when two snapshots compare equal.
+  bool SnapshotState(std::vector<std::uint8_t>* out) const override {
+    Bytes& b = *out;
+    AppendLe(b, depth_inside_, 4);
+    AppendLe(b, encounters_, 4);
+    AppendLe(b, bunches_.size(), 8);
+    for (const Bunch& bunch : bunches_) {
+      AppendLe(b, bunch.ep_args.size(), 8);
+      for (const std::uint64_t a : bunch.ep_args) AppendLe(b, a, 8);
+      AppendLe(b, bunch.file_pos_at_ep, 8);
+      AppendLe(b, bunch.bytes.size(), 8);  // empty until TakeBunches
+      for (const auto& [off, val] : bunch.bytes) {
+        AppendLe(b, off, 4);
+        AppendLe(b, val, 1);
+      }
+    }
+    AppendLe(b, offsets_.size(), 8);
+    for (const auto& set : offsets_) {
+      AppendLe(b, set.size(), 8);
+      for (const std::uint32_t off : set) AppendLe(b, off, 4);
+    }
+    return true;
+  }
+
   std::vector<Bunch> TakeBunches() {
     std::vector<Bunch> out;
     out.reserve(bunches_.size());

@@ -1,9 +1,19 @@
 #include "taint/taint_engine.h"
 
+#include "support/bytes.h"
 #include "support/fault.h"
 #include "vm/op_info.h"
 
 namespace octopocs::taint {
+
+namespace {
+
+void AppendTaintSet(Bytes& out, const TaintSet& set) {
+  AppendLe(out, set.size(), 8);
+  for (const std::uint32_t v : set) AppendLe(out, v, 4);
+}
+
+}  // namespace
 
 const TaintSet TaintEngine::kEmpty{};
 
@@ -124,6 +134,21 @@ void TaintEngine::OnCallExit(vm::FuncId, std::uint64_t, bool returns_value,
   if (!frames_.empty()) {
     frames_.back()[caller_dest_reg] = std::move(ret_taint);
   }
+}
+
+bool TaintEngine::SnapshotState(std::vector<std::uint8_t>* out) const {
+  Bytes& b = *out;
+  AppendLe(b, frames_.size(), 8);
+  for (const std::vector<TaintSet>& frame : frames_) {
+    AppendLe(b, frame.size(), 8);
+    for (const TaintSet& t : frame) AppendTaintSet(b, t);
+  }
+  AppendLe(b, mem_.size(), 8);
+  for (const auto& [addr, set] : mem_) {
+    AppendLe(b, addr, 8);
+    AppendTaintSet(b, set);
+  }
+  return true;
 }
 
 void TaintEngine::OnFileRead(std::uint64_t dst_addr, std::uint64_t file_off,

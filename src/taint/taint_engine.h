@@ -57,6 +57,10 @@ class TaintEngine : public vm::ExecutionObserver {
                   vm::Reg callee_value_reg, vm::Reg caller_dest_reg) override;
   void OnFileRead(std::uint64_t dst_addr, std::uint64_t file_off,
                   std::uint64_t count) override;
+  /// Complete serialization of the taint state (frames + memory map),
+  /// enabling the interpreter's exact-cycle fast-forward during the P1
+  /// run of a hung (CWE-835) program.
+  bool SnapshotState(std::vector<std::uint8_t>* out) const override;
 
  private:
   std::vector<TaintSet>& Top() { return frames_.back(); }

@@ -66,6 +66,113 @@ std::string_view TrapName(TrapKind kind) {
 
 std::size_t ThreadedDispatchTableSize() { return kDispatchTableSize; }
 
+/// Armed deep snapshot for exact-cycle detection (ExecOptions::
+/// cycle_skip). Holds a complete copy of the machine state plus every
+/// observer's serialized state, taken at a checkpoint on Brent's
+/// doubling schedule: arm at instruction count c, compare at each
+/// subsequent checkpoint until 2c, then re-arm. A hung loop of true
+/// period P repeats at checkpoint granularity with period
+/// P / gcd(P, kInterpCheckStride) checkpoints, so detection lands once
+/// the armed count exceeds both the loop's warm-up and that period.
+struct Interpreter::CycleDetector {
+  std::uint64_t arm_instr = 0;  // instruction count of the snapshot
+  std::uint64_t arm_limit = 0;  // re-arm once the count reaches this
+  bool armed = false;
+
+  std::vector<Frame> frames;
+  std::map<std::uint64_t, Allocation> heap;
+  AllocCursor cursor{};
+  std::uint64_t live_heap_bytes = 0;
+  std::uint64_t file_pos = 0;
+  std::vector<std::vector<std::uint8_t>> observers;
+};
+
+void Interpreter::CycleArm() {
+  CycleDetector& d = *cycle_;
+  d.observers.clear();
+  d.observers.reserve(observers_.size());
+  for (const ExecutionObserver* o : observers_) {
+    std::vector<std::uint8_t> blob;
+    if (!o->SnapshotState(&blob)) {
+      cycle_.reset();  // opaque observer: cycle skip is off for this run
+      return;
+    }
+    d.observers.push_back(std::move(blob));
+  }
+  d.frames = frames_;
+  d.heap = heap_;
+  d.cursor = cursor_;
+  d.live_heap_bytes = live_heap_bytes_;
+  d.file_pos = file_pos_;
+  d.arm_instr = result_.instructions;
+  d.arm_limit = result_.instructions * 2;
+  d.armed = true;
+}
+
+bool Interpreter::CycleStateEquals() const {
+  const CycleDetector& d = *cycle_;
+  if (cursor_.next != d.cursor.next ||
+      live_heap_bytes_ != d.live_heap_bytes) {
+    return false;
+  }
+  // Frames innermost-first: a progressing loop differs in its top regs.
+  for (std::size_t i = frames_.size(); i-- > 0;) {
+    const Frame& a = frames_[i];
+    const Frame& b = d.frames[i];
+    if (a.fn != b.fn || a.block != b.block || a.ip != b.ip ||
+        a.ret_reg != b.ret_reg || a.regs != b.regs) {
+      return false;
+    }
+  }
+  if (heap_.size() != d.heap.size()) return false;
+  for (auto it = heap_.begin(), jt = d.heap.begin(); it != heap_.end();
+       ++it, ++jt) {
+    if (it->first != jt->first || it->second.alive != jt->second.alive ||
+        it->second.data != jt->second.data) {
+      return false;
+    }
+  }
+  std::vector<std::uint8_t> blob;
+  for (std::size_t i = 0; i < observers_.size(); ++i) {
+    blob.clear();
+    if (!observers_[i]->SnapshotState(&blob)) return false;
+    if (blob != d.observers[i]) return false;
+  }
+  return true;
+}
+
+void Interpreter::CycleProbe() {
+  // Fault injection counts observer/tool polls; skipping periods would
+  // move the armed injection point, so the detector stands down.
+  if (support::fault::armed()) return;
+  CycleDetector& d = *cycle_;
+  const std::uint64_t now = result_.instructions;
+  if (now == 0) return;
+  if (!d.armed || now >= d.arm_limit) {
+    CycleArm();
+    return;
+  }
+  // Cheap reject: position and cheap scalars first; the deep compare
+  // only runs when the checkpoint lands on the armed loop phase.
+  const Frame& top = frames_.back();
+  const Frame& atop = d.frames.back();
+  if (frames_.size() != d.frames.size() || top.fn != atop.fn ||
+      top.block != atop.block || top.ip != atop.ip ||
+      file_pos_ != d.file_pos) {
+    return;
+  }
+  if (!CycleStateEquals()) return;
+  // Exact repeat: execution is deterministic from a complete state, so
+  // the machine must retrace this period until fuel runs out. Jump the
+  // counter a whole number of periods; the residual executes normally
+  // and lands on the same final state, backtrace, and trap the full run
+  // would have produced.
+  const std::uint64_t period = now - d.arm_instr;
+  const std::uint64_t remaining = opts_.fuel - now;
+  result_.instructions += remaining / period * period;
+  cycle_.reset();  // one skip per run; the residual is under one period
+}
+
 Interpreter::Interpreter(const Program& program, ByteView input,
                          ExecOptions opts)
     : program_(program), input_(input.begin(), input.end()), opts_(opts) {
@@ -82,6 +189,7 @@ Interpreter::Interpreter(const Program& program, ByteView input,
   entry.fn = program_.entry;
   entry.regs.assign(program_.Fn(program_.entry).num_regs, 0);
   frames_.push_back(std::move(entry));
+  if (opts_.cycle_skip) cycle_ = std::make_unique<CycleDetector>();
 }
 
 Interpreter::~Interpreter() = default;
@@ -185,10 +293,22 @@ bool Interpreter::CheckInterrupts() {
     SetTrap(TrapKind::kFuelExhausted, 0, "instruction budget exhausted");
     return false;
   }
-  if ((result_.instructions & (kInterpCheckStride - 1)) == 0 &&
-      opts_.cancel.CanExpire() && opts_.cancel.Check()) {
-    SetTrap(TrapKind::kDeadline, 0, "wall-clock deadline expired");
-    return false;
+  if ((result_.instructions & (kInterpCheckStride - 1)) == 0) {
+    if (opts_.cancel.CanExpire() && opts_.cancel.Check()) {
+      SetTrap(TrapKind::kDeadline, 0, "wall-clock deadline expired");
+      return false;
+    }
+    // Both backends call this at every stride-aligned count, so probes
+    // (and any skip) happen at identical points regardless of dispatch
+    // mode. A skip advances the count by a multiple of the period, which
+    // is itself a multiple of the stride, preserving alignment.
+    if (cycle_ != nullptr) {
+      CycleProbe();
+      if (result_.instructions >= opts_.fuel) {
+        SetTrap(TrapKind::kFuelExhausted, 0, "instruction budget exhausted");
+        return false;
+      }
+    }
   }
   return true;
 }

@@ -87,6 +87,20 @@ struct ExecOptions {
   /// TrapKind::kDeadline.
   support::CancelToken cancel;
   DispatchMode dispatch = DispatchMode::kThreaded;
+  /// Exact-cycle fast-forward for hung programs (CWE-835 loops burn the
+  /// whole fuel budget otherwise). At instruction-count checkpoints the
+  /// interpreter arms a deep snapshot of the complete machine state
+  /// (frames, heap, allocator cursor, file position) plus every
+  /// observer's serialized state; when a later checkpoint matches the
+  /// snapshot *exactly*, execution is deterministic and must repeat, so
+  /// the instruction counter jumps forward a whole number of periods and
+  /// the residual runs normally to the fuel trap. The final ExecResult —
+  /// trap, backtrace, instruction count, observer state — is
+  /// byte-identical to the unskipped run; only wall-clock changes. The
+  /// skip disables itself when any attached observer does not implement
+  /// SnapshotState, or while fault injection is armed (skipping would
+  /// move the injection point). Off is the A/B baseline for benches.
+  bool cycle_skip = true;
   /// Superinstruction fusion (threaded backend only). Off yields the
   /// decoded-but-unfused loop — the A/B point isolating fusion's effect.
   bool fuse = true;
@@ -161,6 +175,19 @@ class ExecutionObserver {
                               FuncId resolved_target) {
     (void)caller; (void)block; (void)ip; (void)resolved_target;
   }
+  /// Cycle-skip support (ExecOptions::cycle_skip): append a
+  /// deterministic, *complete* serialization of the observer's mutable
+  /// state to `out` and return true. Two equal serializations must imply
+  /// the observer would emit identical behaviour for identical future
+  /// event streams — that is what licenses the interpreter to skip
+  /// repeated loop periods underneath it. Returning false (the default)
+  /// marks the observer as opaque and disables cycle skip for the run;
+  /// an observer that accumulates an unbounded event log should keep the
+  /// default, which is automatically safe.
+  virtual bool SnapshotState(std::vector<std::uint8_t>* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Executes `program` against the byte input `input` (the PoC file).
@@ -216,6 +243,13 @@ class Interpreter {
   /// executes, when `result_.instructions` sits at a checkpoint. Returns
   /// false after recording kFuelExhausted/kDeadline.
   bool CheckInterrupts();
+  /// Cycle-skip probe, fired at kInterpCheckStride-aligned instruction
+  /// counts (identically in both dispatch backends, so the skip decision
+  /// is part of neither backend's identity). Arms snapshots on a Brent
+  /// doubling schedule and fast-forwards on an exact state match.
+  void CycleProbe();
+  bool CycleStateEquals() const;
+  void CycleArm();
   /// One original instruction or terminator with full checks — the
   /// switch backend's loop body, shared by the threaded slow path.
   bool StepSlow();
@@ -237,6 +271,12 @@ class Interpreter {
 
   std::unique_ptr<DecodedProgram> decoded_owned_;
   const DecodedProgram* decoded_ = nullptr;
+
+  /// Deep machine+observer snapshot for cycle detection; null once the
+  /// detector is disabled (skip taken, unsupported observer, or
+  /// cycle_skip off).
+  struct CycleDetector;
+  std::unique_ptr<CycleDetector> cycle_;
 
   ExecResult result_;
   bool done_ = false;

@@ -31,6 +31,11 @@
 //                              are byte-identical across backends; the
 //                              flag is the A/B baseline and the portable
 //                              fallback.
+//         --solver-backend=backtrack|propagate|portfolio
+//                              CSP search core for every P2/P3 solver
+//                              query (default propagate). Backends are
+//                              answer-identical; backtrack is the slow
+//                              trusted oracle, portfolio races both.
 //   detect <s.asm> <t.asm>
 //       Print the function-level clones between two programs.
 //   run <prog.asm> <input.bin> [--trace] [--vm-dispatch=switch|threaded]
@@ -237,6 +242,28 @@ bool ParseVmDispatch(const std::string& arg, vm::DispatchMode* mode,
   return true;
 }
 
+/// Consumes --solver-backend=backtrack|propagate|portfolio into `opts`.
+/// Same contract as ParseVmDispatch: returns false when `arg` is not
+/// this flag, clears `ok` on an unknown backend name. Backends are
+/// answer-identical (CI diffs whole-corpus runs); the flag exists for
+/// A/B verification and perf measurement.
+bool ParseSolverBackendFlag(const std::string& arg,
+                            core::PipelineOptions* opts, bool* ok) {
+  constexpr const char kPrefix[] = "--solver-backend=";
+  if (arg.rfind(kPrefix, 0) != 0) return false;
+  const std::string value = arg.substr(sizeof kPrefix - 1);
+  if (const auto kind = symex::ParseSolverBackend(value)) {
+    core::SetSolverBackend(*opts, *kind);
+  } else {
+    std::fprintf(stderr,
+                 "unknown --solver-backend: %s (want "
+                 "backtrack|propagate|portfolio)\n",
+                 value.c_str());
+    *ok = false;
+  }
+  return true;
+}
+
 /// The observability options shared by `verify` and `corpus`: a JSONL
 /// trace sink and the content-addressed artifact store.
 struct ObservabilityFlags {
@@ -289,7 +316,9 @@ int CmdVerify(int argc, char** argv) {
                          "[--fix-angr] [--deadline-ms N] [--cfg-fallback] "
                          "[--solver-retry] [--frontier-jobs N] "
                          "[--trace-out FILE] [--artifact-cache=on|off] "
-                         "[--vm-dispatch=switch|threaded]\n");
+                         "[--vm-dispatch=switch|threaded] "
+                         "[--solver-backend=backtrack|propagate|portfolio]"
+                         "\n");
     return 2;
   }
   const vm::Program s = vm::Assemble(ReadTextFile(argv[0]));
@@ -330,6 +359,8 @@ int CmdVerify(int argc, char** argv) {
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
+    } else if (bool ok = true; ParseSolverBackendFlag(arg, &opts, &ok)) {
+      if (!ok) return 2;
     } else if (obs.Parse(arg, argc, argv, i)) {
       // consumed
     } else {
@@ -378,12 +409,10 @@ int CmdVerify(int argc, char** argv) {
               static_cast<unsigned long long>(r.symex_stats.expr_intern_hits),
               static_cast<unsigned long long>(
                   r.symex_stats.expr_intern_nodes));
-  std::printf("  by kind: exact %llu | model-reuse %llu | sliced %llu | "
-              "subsumed %llu\n",
+  std::printf("  by kind: exact %llu | model-reuse %llu | subsumed %llu\n",
               static_cast<unsigned long long>(r.symex_stats.solver_exact_hits),
               static_cast<unsigned long long>(
                   r.symex_stats.solver_model_reuse_hits),
-              static_cast<unsigned long long>(r.symex_stats.solver_slice_hits),
               static_cast<unsigned long long>(
                   r.symex_stats.solver_subsumption_hits));
   std::printf("detail:    %s\n", r.detail.c_str());
@@ -444,7 +473,9 @@ int CmdPairWorker(int argc, char** argv) {
                          "[--deadline-ms N] [--theta N] [--context-free] "
                          "[--static-cfg] [--fix-angr] [--cfg-fallback] "
                          "[--solver-retry] [--abort-fault SITE:SKIP:STAMP] "
-                         "[--vm-dispatch=switch|threaded]\n");
+                         "[--vm-dispatch=switch|threaded] "
+                         "[--solver-backend=backtrack|propagate|portfolio]"
+                         "\n");
     return 2;
   }
   const int idx = std::atoi(argv[0]);
@@ -477,6 +508,8 @@ int CmdPairWorker(int argc, char** argv) {
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
+    } else if (bool ok = true; ParseSolverBackendFlag(arg, &opts, &ok)) {
+      if (!ok) return 2;
     } else {
       std::fprintf(stderr, "unknown pair-worker option: %s\n", arg.c_str());
       return 2;
@@ -553,6 +586,8 @@ int CmdPoolWorker(int argc, char** argv) {
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
+    } else if (bool ok = true; ParseSolverBackendFlag(arg, &opts, &ok)) {
+      if (!ok) return 2;
     } else {
       std::fprintf(stderr, "unknown pool-worker option: %s\n", arg.c_str());
       return 2;
@@ -760,6 +795,9 @@ int CmdCorpus(int argc, char** argv) {
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
+      forwarded.push_back(arg);
+    } else if (bool ok = true; ParseSolverBackendFlag(arg, &opts, &ok)) {
+      if (!ok) return 2;
       forwarded.push_back(arg);
     } else if (obs.Parse(arg, argc, argv, i)) {
       // consumed
@@ -1010,6 +1048,9 @@ int CmdServe(int argc, char** argv) {
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(serve.pipeline, dispatch);
+    } else if (bool ok = true;
+               ParseSolverBackendFlag(arg, &serve.pipeline, &ok)) {
+      if (!ok) return 2;
     } else {
       std::fprintf(stderr, "unknown serve option: %s\n", arg.c_str());
       return 2;
