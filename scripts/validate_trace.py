@@ -14,7 +14,12 @@ Trace mode (support/trace.h schema) checks, line by line:
     (Snapshot() emits the global merge order);
   - per thread, begin/end events obey stack discipline: every end
     matches the innermost open begin of the same name, and nothing is
-    left open at EOF.
+    left open at EOF;
+  - every "fuzz_fallback" span (the --fuzz-fallback rung, DESIGN.md
+    §16) opens inside a "verify" span on its own thread — the rung is
+    part of a pipeline run, never free-floating — and every
+    "fuzz.execs" counter lands inside an open "fuzz_fallback" span
+    with a non-negative value.
 
 Server mode (--server, a trace written by `octopocs serve`) runs every
 trace-mode check plus:
@@ -61,6 +66,16 @@ REPORT_KEYS = {
     "exception_contained", "cfg_static_fallback", "solver_budget_retried",
     "preprocess_seconds", "p1_seconds", "p23_seconds", "p4_seconds",
     "total_seconds",
+}
+
+# The fuzz-fallback stats record is sparse *and* all-or-nothing: a
+# report from a run whose campaign never fired carries none of these
+# keys (byte-compatible with pre-rung peers), a campaign report carries
+# all five. Any strict subset means a torn or tampered frame — the same
+# rule ParseReport enforces.
+FUZZ_REPORT_KEYS = {
+    "fuzz_attempted", "fuzz_execs", "fuzz_execs_to_crash",
+    "fuzz_best_distance", "fuzz_seed",
 }
 
 
@@ -124,6 +139,10 @@ def validate_journal(path):
             missing = REPORT_KEYS - set(report)
             if missing:
                 fail(lineno, f"pair {pair} report missing keys {sorted(missing)}")
+            fuzz_present = FUZZ_REPORT_KEYS & set(report)
+            if fuzz_present and fuzz_present != FUZZ_REPORT_KEYS:
+                fail(lineno, f"pair {pair} report has truncated fuzz stats "
+                             f"{sorted(fuzz_present)}")
             finished.add(pair)
         else:
             fail(lineno, f"unknown journal record type {kind!r}")
@@ -164,6 +183,7 @@ def main():
     # the open "request" spans, so nesting is handled like the span
     # stack itself.
     request_spans = 0
+    fuzz_spans = 0
     open_requests = {}  # tid -> [bool: saw verify/disk-hit/failed]
     HANDLED_COUNTERS = {"artifact_disk_hit", "request_failed"}
 
@@ -202,7 +222,18 @@ def main():
 
             stack = stacks.setdefault(ev["tid"], [])
             if kind == "begin":
+                if ev["name"] == "fuzz_fallback":
+                    if "verify" not in stack:
+                        fail(lineno, "fuzz_fallback span without an "
+                                     "enclosing verify span")
+                    fuzz_spans += 1
                 stack.append(ev["name"])
+            elif kind == "counter" and ev["name"] == "fuzz.execs":
+                if "fuzz_fallback" not in stack:
+                    fail(lineno, "fuzz.execs counter outside a "
+                                 "fuzz_fallback span")
+                if ev["value"] < 0:
+                    fail(lineno, f"fuzz.execs went negative ({ev['value']})")
             elif kind == "end":
                 if not stack:
                     fail(lineno, f"end {ev['name']!r} with no open span "
@@ -244,6 +275,8 @@ def main():
         fail("EOF", "server trace contains no request spans")
 
     suffix = f", {request_spans} request span(s)" if server_mode else ""
+    if fuzz_spans:
+        suffix += f", {fuzz_spans} fuzz_fallback span(s)"
     print(f"OK: {events} event(s) — {counts['begin']} begin / "
           f"{counts['end']} end / {counts['counter']} counter, "
           f"{len(stacks)} thread(s), balanced spans{suffix}")

@@ -39,7 +39,12 @@ std::string CorpusOptionsFingerprint(const PipelineOptions& o, bool extended,
                                      std::uint64_t pair_deadline_ms,
                                      bool isolate, std::uint64_t rlimit_mb) {
   std::ostringstream ss;
-  ss << "v1"
+  // v2: the fuzz-fallback rung entered the verdict-bearing option set.
+  // Unlike the answer-identical backend knobs (dispatch, solver
+  // backend, cycle skip), the rung and its seed/budget can change a
+  // pair's verdict, so they fingerprint — a journal written under a
+  // different fuzz configuration must not be resumed.
+  ss << "v2"
      << "|extended=" << extended << "|pairs=" << pair_count
      << "|ctx=" << o.taint.context_aware << "|theta=" << o.symex.theta
      << "|adaptive=" << o.adaptive_theta << ':' << o.adaptive_theta_max
@@ -58,7 +63,9 @@ std::string CorpusOptionsFingerprint(const PipelineOptions& o, bool extended,
      << o.p23_deadline_ms << ':' << o.p4_deadline_ms
      << "|pairdl=" << pair_deadline_ms
      << "|cfgfb=" << o.cfg_fallback_to_static
-     << "|solretry=" << o.solver_budget_retry << "|iso=" << isolate
+     << "|solretry=" << o.solver_budget_retry
+     << "|fuzz=" << o.fuzz_fallback << ':' << o.fuzz_seed << ':'
+     << o.fuzz_execs << ':' << o.fuzz_deadline_ms << "|iso=" << isolate
      << "|rlimit=" << rlimit_mb;
   return Fingerprint64(ss.str());
 }

@@ -7,6 +7,7 @@
 
 #include "core/artifact_store.h"
 #include "core/phase.h"
+#include "fuzz/directed.h"
 #include "support/trace.h"
 
 namespace octopocs::core {
@@ -165,6 +166,7 @@ std::string_view VerdictName(Verdict verdict) {
     case Verdict::kTriggered: return "Triggered";
     case Verdict::kNotTriggerable: return "NotTriggerable";
     case Verdict::kFailure: return "Failure";
+    case Verdict::kTriggeredByFuzzing: return "TriggeredByFuzzing";
   }
   return "?";
 }
@@ -175,6 +177,7 @@ std::string_view ResultTypeName(ResultType type) {
     case ResultType::kTypeII: return "Type-II";
     case ResultType::kTypeIII: return "Type-III";
     case ResultType::kFailure: return "Failure";
+    case ResultType::kFuzzed: return "Fuzzed";
   }
   return "?";
 }
@@ -447,6 +450,18 @@ PhaseStatus CombinePhase::Run(PhaseContext& ctx) {
   report.symex_stats = sym.stats;
   report.detail = sym.detail;
 
+  // Dead ends — program-dead and budget exhaustion — may hand control
+  // to the fuzz-fallback rung (DESIGN.md §16): the usual verdict is
+  // *staged* in the report exactly as it would have been final, and the
+  // answer becomes kContinue so FuzzFallbackPhase can try to upgrade
+  // it. Proof verdicts (ep unreachable, unsat) and wall-clock failures
+  // stay kDone: the rung must never second-guess a proof, and a spent
+  // clock cannot fund a campaign.
+  const auto stage_or_done = [&ctx]() {
+    return ctx.options.fuzz_fallback ? PhaseStatus::kContinue
+                                     : PhaseStatus::kDone;
+  };
+
   switch (sym.status) {
     case symex::SymexStatus::kPocGenerated:
       break;  // proceed to P4
@@ -460,15 +475,25 @@ PhaseStatus CombinePhase::Run(PhaseContext& ctx) {
         // ceiling: refusing to call this NotTriggerable avoids the
         // wrong-verdict failure mode §VII warns about.
         ctx.FailTool("P2/P3", "loop cap ceiling reached without a verdict");
-        return PhaseStatus::kDone;
+        return stage_or_done();
       }
-      [[fallthrough]];
+      // Program-dead is a dead end, not an unsat proof: every state
+      // died, but a θ cut (without adaptive mode) or incomplete forking
+      // may have hidden a live path — a concrete witness can still
+      // overrule it.
+      report.verdict = Verdict::kNotTriggerable;
+      report.type = ResultType::kTypeIII;
+      return stage_or_done();
     case symex::SymexStatus::kUnsat:        // P3.3 / parameter mismatch
       report.verdict = Verdict::kNotTriggerable;
       report.type = ResultType::kTypeIII;
       return PhaseStatus::kDone;
     case symex::SymexStatus::kBudget:
     case symex::SymexStatus::kSolverFailure:
+      report.verdict = Verdict::kFailure;
+      report.type = ResultType::kFailure;
+      report.failed_phase = "P2/P3";
+      return stage_or_done();
     case symex::SymexStatus::kReachedEp:
       report.verdict = Verdict::kFailure;
       report.type = ResultType::kFailure;
@@ -484,6 +509,84 @@ PhaseStatus CombinePhase::Run(PhaseContext& ctx) {
   report.reformed_poc = std::move(sym.poc);
   report.bunch_offsets = std::move(sym.bunch_offsets);
   return PhaseStatus::kContinue;
+}
+
+// -- FuzzFallbackPhase: the trace-guided fuzzing rung (DESIGN.md §16) --------
+
+PhaseStatus FuzzFallbackPhase::Run(PhaseContext& ctx) {
+  VerificationReport& report = ctx.report;
+  // P2/P3 produced a poc' — the paper pipeline proceeds untouched.
+  if (report.poc_generated) return PhaseStatus::kContinue;
+
+  // Only reachable when CombinePhase staged a dead-end verdict with the
+  // rung enabled. That staged verdict survives verbatim unless a
+  // campaign crash at ep is confirmed by a P4 re-run below.
+  ctx.attribution = "fuzz";
+  support::CancelToken fuzz_tok = ctx.deadlines.Token(DeadlineGroup::kFuzz);
+
+  report.fuzz_attempted = true;
+  report.fuzz_seed = ctx.options.fuzz_seed;
+
+  fuzz::DirectedFuzzOptions fuzz_opts;
+  fuzz_opts.max_execs = ctx.options.fuzz_execs;
+  fuzz_opts.rng_seed = ctx.options.fuzz_seed;
+  fuzz_opts.cancel = fuzz_tok;
+  // Pin every P1 bunch byte: the crash primitives are the part of the
+  // historical trace worth carrying over verbatim — mutation effort
+  // goes into the container around them.
+  for (const taint::Bunch& bunch : ctx.primitives->bunches) {
+    for (const auto& [offset, value] : bunch.bytes) {
+      fuzz_opts.pinned_offsets.push_back(offset);
+    }
+  }
+
+  // Score candidates with the backward distance map of the CFG the
+  // guiding phase already built (exported, not rebuilt).
+  const cfg::DistanceMap distances =
+      ctx.graph->BackwardReachability(report.ep_in_t);
+  const fuzz::DirectedFuzzResult run =
+      fuzz::RunDirectedFuzz(ctx.t, report.ep_in_t, distances, ctx.poc,
+                            fuzz_opts);
+
+  report.fuzz_execs = run.execs;
+  report.fuzz_execs_to_crash = run.execs_to_crash;
+  report.fuzz_best_distance = run.best_distance;
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Counter("fuzz.execs", static_cast<std::int64_t>(run.execs));
+  }
+
+  if (run.crash_found) {
+    // Re-run P4 concrete verification under the pipeline's own P4
+    // options — the campaign's exec fuel differs from verify_exec's,
+    // and only the pipeline's executor decides verdicts.
+    ctx.attribution = "P4";
+    support::CancelToken p4_tok = ctx.deadlines.Token(DeadlineGroup::kP4);
+    vm::ExecOptions verify_exec = ctx.options.verify_exec;
+    verify_exec.cancel = p4_tok;
+    const vm::ExecResult verify =
+        vm::RunProgram(ctx.t, run.crashing_input, verify_exec);
+    bool ep_on_stack = false;
+    for (const vm::BacktraceEntry& frame : verify.backtrace) {
+      if (frame.fn == report.ep_in_t) {
+        ep_on_stack = true;
+        break;
+      }
+    }
+    if (vm::IsVulnerabilityCrash(verify.trap) && ep_on_stack) {
+      report.verdict = Verdict::kTriggeredByFuzzing;
+      report.type = ResultType::kFuzzed;
+      report.failed_phase.clear();
+      report.observed_trap = verify.trap;
+      report.reformed_poc = run.crashing_input;
+      report.detail = "fuzz fallback crashed T at ep: " +
+                      std::string(vm::TrapName(verify.trap)) + " (" +
+                      verify.trap_message + ")";
+    }
+  }
+  // The rung is terminal either way: an unconfirmed campaign keeps the
+  // staged dead-end verdict, and ConcreteVerifyPhase must never run on
+  // a fuzzed candidate.
+  return PhaseStatus::kDone;
 }
 
 // -- ConcreteVerifyPhase: P4 -------------------------------------------------
@@ -564,9 +667,10 @@ VerificationReport Octopocs::Verify() {
   CrashPrimitivePhase crash_primitive;
   GuidingInputPhase guiding_input;
   CombinePhase combine;
+  FuzzFallbackPhase fuzz_fallback;
   ConcreteVerifyPhase concrete_verify;
   Phase* const phases[] = {&crash_primitive, &guiding_input, &combine,
-                           &concrete_verify};
+                           &fuzz_fallback, &concrete_verify};
 
   support::TraceSpan verify_span(options_.tracer, "verify");
   try {

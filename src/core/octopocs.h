@@ -59,12 +59,24 @@ enum class Verdict : std::uint8_t {
   kTriggered,       // poc' reproduces the crash in T (patch urgently)
   kNotTriggerable,  // verified: the clone cannot fire in T
   kFailure,         // tooling could not decide (CFG/solver/budget)
+  /// The fuzz-fallback rung (DESIGN.md §16) crashed T at ep after
+  /// symex went program-dead or ran out of budget. Reported apart from
+  /// kTriggered so Table II fidelity is untouched: a fuzzed crash is a
+  /// real trigger but not a paper-pipeline reformation.
+  kTriggeredByFuzzing,
 };
 
 std::string_view VerdictName(Verdict verdict);
 
-/// Table II result classification.
-enum class ResultType : std::uint8_t { kTypeI, kTypeII, kTypeIII, kFailure };
+/// Table II result classification. kFuzzed is the fallback rung's
+/// distinct row — never counted among Type-I/II/III.
+enum class ResultType : std::uint8_t {
+  kTypeI,
+  kTypeII,
+  kTypeIII,
+  kFailure,
+  kFuzzed,
+};
 
 std::string_view ResultTypeName(ResultType type);
 
@@ -121,6 +133,21 @@ struct VerificationReport {
   /// with a doubled step budget.
   bool solver_budget_retried = false;
 
+  // -- Fuzz-fallback record (DESIGN.md §16) ---------------------------------
+  // Serialized sparsely: these keys only appear in a report when the
+  // rung actually ran, so rung-off serializations stay byte-identical
+  // to pipelines without the rung.
+
+  /// The fallback campaign ran (regardless of outcome).
+  bool fuzz_attempted = false;
+  /// Executions spent (equals the crash index when one was found).
+  std::uint64_t fuzz_execs = 0;
+  std::uint64_t fuzz_execs_to_crash = 0;
+  /// Closest mean distance-to-ep any execution achieved (-1: none).
+  double fuzz_best_distance = -1;
+  /// The rng seed the campaign ran with (reproduction handle).
+  std::uint64_t fuzz_seed = 0;
+
   PhaseTimings timings;
 };
 
@@ -174,6 +201,24 @@ struct PipelineOptions {
   /// by default so budget-sensitivity experiments see the configured
   /// budget exactly.
   bool solver_budget_retry = false;
+  /// Trace-guided fuzzing fallback (DESIGN.md §16): when P2/P3 ends
+  /// program-dead or exhausts its budgets, run a directed fuzz campaign
+  /// seeded from the original PoC — bunch bytes pinned, candidates
+  /// scored by distance-to-ep — and, on a confirmed crash at ep, report
+  /// kTriggeredByFuzzing. Off by default like the other rungs; the rung
+  /// can upgrade a dead-end verdict but never touches a pair the
+  /// pipeline already decided (Triggered or a proven NotTriggerable).
+  bool fuzz_fallback = false;
+  /// Fallback campaign rng seed — with the execution budget below this
+  /// makes the rung's verdict byte-reproducible (the determinism
+  /// contract CI gates). Verdict-bearing: enters journal fingerprints
+  /// and serve cache keys, unlike the answer-identical backend knobs.
+  std::uint64_t fuzz_seed = 1;
+  /// Fallback execution budget (count, not wall clock).
+  std::uint64_t fuzz_execs = 200'000;
+  /// Wall-clock budget for the fuzz deadline group (0 = none). Only
+  /// ever abandons a campaign early; never changes its search order.
+  std::uint64_t fuzz_deadline_ms = 0;
 
   // -- Observability and artifact reuse (DESIGN.md §11) ---------------------
 
@@ -227,7 +272,9 @@ class Octopocs {
 
   /// Runs the full pipeline by executing the phase graph (core/phase.h):
   /// CrashPrimitivePhase → GuidingInputPhase → CombinePhase →
-  /// ConcreteVerifyPhase, under one deadline/containment policy.
+  /// FuzzFallbackPhase → ConcreteVerifyPhase, under one
+  /// deadline/containment policy. The fuzz phase is inert unless
+  /// options.fuzz_fallback is set *and* P2/P3 dead-ended.
   VerificationReport Verify();
 
   // -- Individual phases, exposed for the ablation benches ------------------

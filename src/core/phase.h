@@ -37,6 +37,10 @@
 //                         inline bunch pinning, then the final solve.
 //                         Adaptive-θ and solver-budget retries surface
 //                         as kRetry.
+//   FuzzFallbackPhase     the trace-guided fuzzing rung (DESIGN.md
+//                         §16): inert unless fuzz_fallback is on and
+//                         CombinePhase dead-ended ("fuzz" attribution,
+//                         its own kFuzz deadline group).
 //   ConcreteVerifyPhase   P4: run T concretely on poc' and classify.
 //
 // Phases read and publish origin-side artifacts through an optional
@@ -70,7 +74,10 @@ enum class PhaseStatus : std::uint8_t {
 
 /// Deadline groups. cfg and P2/P3 deliberately share kP23: the CFG
 /// build is P2's precondition and the paper budgets them together.
-enum class DeadlineGroup : std::uint8_t { kPreprocess, kP1, kP23, kP4 };
+/// kFuzz is the fallback rung's own budget — wall clock there only
+/// abandons the campaign, it never alters the (execution-counted)
+/// search, so the rung's verdict stays reproducible.
+enum class DeadlineGroup : std::uint8_t { kPreprocess, kP1, kP23, kP4, kFuzz };
 
 /// Owns every wall-clock budget of one Verify() run. The whole-pipeline
 /// deadline starts ticking at construction; a group's own budget starts
@@ -85,7 +92,8 @@ class DeadlinePolicy {
                    : support::Deadline::AfterMillis(options.deadline_ms)),
         cancel_flag_(options.cancel_flag),
         budgets_ms_{options.preprocess_deadline_ms, options.p1_deadline_ms,
-                    options.p23_deadline_ms, options.p4_deadline_ms} {}
+                    options.p23_deadline_ms, options.p4_deadline_ms,
+                    options.fuzz_deadline_ms} {}
 
   support::CancelToken Token(DeadlineGroup group) {
     const auto i = static_cast<std::size_t>(group);
@@ -102,9 +110,9 @@ class DeadlinePolicy {
  private:
   const support::Deadline whole_;
   const std::atomic<bool>* cancel_flag_;
-  std::uint64_t budgets_ms_[4];
-  support::Deadline group_[4];
-  bool anchored_[4] = {false, false, false, false};
+  std::uint64_t budgets_ms_[5];
+  support::Deadline group_[5];
+  bool anchored_[5] = {false, false, false, false, false};
 };
 
 /// The blackboard shared by the phases of one Verify() run.
@@ -132,7 +140,7 @@ struct PhaseContext {
   /// Failure attribution for Verify()'s exception-containment boundary:
   /// always names the phase currently running, in the report's
   /// failed_phase vocabulary ("preprocessing", "P1", "cfg", "P2/P3",
-  /// "P4").
+  /// "fuzz", "P4").
   std::string attribution = "preprocessing";
 
   /// Wall-clock failure: the named phase's deadline (or the kill
@@ -187,6 +195,27 @@ class CombinePhase : public Phase {
  private:
   std::optional<symex::ExecutorOptions> sym_opts_;
   bool solver_retried_ = false;
+};
+
+/// The trace-guided fuzzing fallback rung (DESIGN.md §16). Inert — an
+/// immediate kContinue — whenever P2/P3 produced a poc'. It only sees
+/// control at all when CombinePhase dead-ended (program-dead or budget
+/// exhaustion) with options.fuzz_fallback set: CombinePhase stages its
+/// usual dead-end verdict in the report and answers kContinue instead
+/// of kDone, and this phase either *upgrades* that staged verdict to
+/// kTriggeredByFuzzing (a directed campaign crashed T at ep and a P4
+/// re-run confirmed it) or leaves it exactly as staged. Always answers
+/// kDone on the fallback path, so ConcreteVerifyPhase never runs on a
+/// fuzzed candidate — classification stays the rung's own kFuzzed row.
+///
+/// By construction the rung can never flip a decided pair: kTriggered
+/// ends the graph in P4, and the *proof* verdicts (ep-unreachable,
+/// unsat) make CombinePhase answer kDone before this phase exists in
+/// the control flow.
+class FuzzFallbackPhase : public Phase {
+ public:
+  const char* name() const override { return "fuzz_fallback"; }
+  PhaseStatus Run(PhaseContext& ctx) override;
 };
 
 /// P4: concrete verification of poc' and Type-I/II classification.

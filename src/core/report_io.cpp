@@ -333,6 +333,18 @@ std::string SerializeReport(const VerificationReport& r) {
   AppendField(&out, "exception_contained", r.exception_contained);
   AppendField(&out, "cfg_static_fallback", r.cfg_static_fallback);
   AppendField(&out, "solver_budget_retried", r.solver_budget_retried);
+  // The fuzz-fallback record is sparse: a report from a run without the
+  // rung serializes byte-identically to one from a pipeline that never
+  // had the rung at all. When any fuzz key is present, all of them are
+  // (the parser enforces the same all-or-nothing shape).
+  if (r.fuzz_attempted) {
+    AppendField(&out, "fuzz_attempted", r.fuzz_attempted);
+    AppendField(&out, "fuzz_execs", static_cast<std::int64_t>(r.fuzz_execs));
+    AppendField(&out, "fuzz_execs_to_crash",
+                static_cast<std::int64_t>(r.fuzz_execs_to_crash));
+    AppendField(&out, "fuzz_best_distance", r.fuzz_best_distance);
+    AppendField(&out, "fuzz_seed", static_cast<std::int64_t>(r.fuzz_seed));
+  }
   AppendField(&out, "preprocess_seconds", r.timings.preprocess_seconds);
   AppendField(&out, "p1_seconds", r.timings.p1_seconds);
   AppendField(&out, "p23_seconds", r.timings.p23_seconds);
@@ -350,11 +362,25 @@ bool ParseReport(const minijson::Value& json, VerificationReport* out,
   }
   *out = VerificationReport{};
   const auto get = [&](const char* key) { return json.Find(key); };
+  // Enum-carrying integers are range-checked before the cast: a frame
+  // from a newer (or corrupted) peer must be rejected, never misparsed
+  // into an aliased enumerator.
   if (const auto* v = get("verdict")) {
-    out->verdict = static_cast<Verdict>(v->AsInt());
+    const std::int64_t raw = v->AsInt();
+    if (raw < 0 ||
+        raw > static_cast<std::int64_t>(Verdict::kTriggeredByFuzzing)) {
+      if (error != nullptr) *error = "unknown verdict";
+      return false;
+    }
+    out->verdict = static_cast<Verdict>(raw);
   }
   if (const auto* v = get("type")) {
-    out->type = static_cast<ResultType>(v->AsInt());
+    const std::int64_t raw = v->AsInt();
+    if (raw < 0 || raw > static_cast<std::int64_t>(ResultType::kFuzzed)) {
+      if (error != nullptr) *error = "unknown result type";
+      return false;
+    }
+    out->type = static_cast<ResultType>(raw);
   }
   if (const auto* v = get("detail")) out->detail = v->text;
   if (const auto* v = get("ep_name")) out->ep_name = v->text;
@@ -374,7 +400,13 @@ bool ParseReport(const minijson::Value& json, VerificationReport* out,
     out->crash_primitive_bytes = static_cast<std::size_t>(v->AsInt());
   }
   if (const auto* v = get("symex_status")) {
-    out->symex_status = static_cast<symex::SymexStatus>(v->AsInt());
+    const std::int64_t raw = v->AsInt();
+    if (raw < 0 ||
+        raw > static_cast<std::int64_t>(symex::SymexStatus::kDeadline)) {
+      if (error != nullptr) *error = "unknown symex status";
+      return false;
+    }
+    out->symex_status = static_cast<symex::SymexStatus>(raw);
   }
   if (const auto* v = get("poc_generated")) out->poc_generated = v->boolean;
   if (const auto* v = get("reformed_poc")) {
@@ -395,7 +427,12 @@ bool ParseReport(const minijson::Value& json, VerificationReport* out,
     }
   }
   if (const auto* v = get("observed_trap")) {
-    out->observed_trap = static_cast<vm::TrapKind>(v->AsInt());
+    const std::int64_t raw = v->AsInt();
+    if (raw < 0 || raw > static_cast<std::int64_t>(vm::TrapKind::kDeadline)) {
+      if (error != nullptr) *error = "unknown trap kind";
+      return false;
+    }
+    out->observed_trap = static_cast<vm::TrapKind>(raw);
   }
   if (const auto* v = get("failed_phase")) out->failed_phase = v->text;
   if (const auto* v = get("deadline_expired")) {
@@ -409,6 +446,34 @@ bool ParseReport(const minijson::Value& json, VerificationReport* out,
   }
   if (const auto* v = get("solver_budget_retried")) {
     out->solver_budget_retried = v->boolean;
+  }
+  // Fuzz-fallback stats are all-or-nothing: a frame carrying only a
+  // subset was truncated or tampered with — reject it rather than
+  // decode a half-told campaign.
+  {
+    const minijson::Value* attempted = get("fuzz_attempted");
+    const minijson::Value* execs = get("fuzz_execs");
+    const minijson::Value* to_crash = get("fuzz_execs_to_crash");
+    const minijson::Value* best = get("fuzz_best_distance");
+    const minijson::Value* seed = get("fuzz_seed");
+    const bool any = attempted != nullptr || execs != nullptr ||
+                     to_crash != nullptr || best != nullptr ||
+                     seed != nullptr;
+    const bool all = attempted != nullptr && execs != nullptr &&
+                     to_crash != nullptr && best != nullptr &&
+                     seed != nullptr;
+    if (any && !all) {
+      if (error != nullptr) *error = "truncated fuzz stats";
+      return false;
+    }
+    if (all) {
+      out->fuzz_attempted = attempted->boolean;
+      out->fuzz_execs = static_cast<std::uint64_t>(execs->AsInt());
+      out->fuzz_execs_to_crash =
+          static_cast<std::uint64_t>(to_crash->AsInt());
+      out->fuzz_best_distance = best->AsDouble();
+      out->fuzz_seed = static_cast<std::uint64_t>(seed->AsInt());
+    }
   }
   if (const auto* v = get("preprocess_seconds")) {
     out->timings.preprocess_seconds = v->AsDouble();

@@ -59,6 +59,15 @@ bool ParseServeRequest(std::string_view json, ServeRequest* out,
   }
   if (const auto* v = value.Find("cfg_fallback")) out->cfg_fallback = v->boolean;
   if (const auto* v = value.Find("solver_retry")) out->solver_retry = v->boolean;
+  if (const auto* v = value.Find("fuzz_fallback")) {
+    out->fuzz_fallback = v->boolean;
+  }
+  if (const auto* v = value.Find("fuzz_seed")) {
+    out->fuzz_seed = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = value.Find("fuzz_execs")) {
+    out->fuzz_execs = static_cast<std::uint64_t>(v->AsInt());
+  }
   if (const auto* v = value.Find("degrade_on_timeout")) {
     out->degrade_on_timeout = v->boolean;
   }
@@ -90,6 +99,11 @@ std::string SerializeServeRequest(const ServeRequest& r) {
   }
   if (r.cfg_fallback) out += ",\"cfg_fallback\":true";
   if (r.solver_retry) out += ",\"solver_retry\":true";
+  if (r.fuzz_fallback) out += ",\"fuzz_fallback\":true";
+  if (r.fuzz_seed != 0) out += ",\"fuzz_seed\":" + std::to_string(r.fuzz_seed);
+  if (r.fuzz_execs != 0) {
+    out += ",\"fuzz_execs\":" + std::to_string(r.fuzz_execs);
+  }
   if (r.degrade_on_timeout) out += ",\"degrade_on_timeout\":true";
   if (!r.poc_override.empty()) {
     out += ",\"poc\":\"" + ToHex(r.poc_override) + '"';
@@ -333,11 +347,17 @@ ArtifactKey Server::ReportKey(const corpus::Pair& pair,
   PipelineOptions semantic = options_.pipeline;
   semantic.cfg_fallback_to_static |= request.cfg_fallback;
   semantic.solver_budget_retry |= request.solver_retry;
+  // The fuzz rung and its seed/budget are verdict-bearing, so they key
+  // the cache; its wall-clock budget is a deadline like any other.
+  semantic.fuzz_fallback |= request.fuzz_fallback;
+  if (request.fuzz_seed != 0) semantic.fuzz_seed = request.fuzz_seed;
+  if (request.fuzz_execs != 0) semantic.fuzz_execs = request.fuzz_execs;
   semantic.deadline_ms = 0;
   semantic.preprocess_deadline_ms = 0;
   semantic.p1_deadline_ms = 0;
   semantic.p23_deadline_ms = 0;
   semantic.p4_deadline_ms = 0;
+  semantic.fuzz_deadline_ms = 0;
   ArtifactHasher hasher;
   hasher.Program(pair.s).Program(pair.t);
   for (const auto& name : pair.shared_functions) hasher.Str(name);
@@ -358,6 +378,9 @@ VerificationReport Server::RunRequest(const corpus::Pair& pair,
   opts.tracer = options_.tracer;
   opts.cfg_fallback_to_static |= request.cfg_fallback;
   opts.solver_budget_retry |= request.solver_retry;
+  opts.fuzz_fallback |= request.fuzz_fallback;
+  if (request.fuzz_seed != 0) opts.fuzz_seed = request.fuzz_seed;
+  if (request.fuzz_execs != 0) opts.fuzz_execs = request.fuzz_execs;
   opts.deadline_ms = ComposeDeadlineMs(options_.request_deadline_ms,
                                        request.deadline_ms);
 

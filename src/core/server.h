@@ -79,6 +79,12 @@ struct ServeRequest {
   std::uint64_t deadline_ms = 0;  // client budget (0 = server cap only)
   bool cfg_fallback = false;      // enable the static-CFG rung outright
   bool solver_retry = false;      // enable the solver-budget rung outright
+  /// Enable the fuzz-fallback rung for this request (DESIGN.md §16).
+  /// Verdict-bearing: folds into the served-report cache key, unlike
+  /// the deadline knobs.
+  bool fuzz_fallback = false;
+  std::uint64_t fuzz_seed = 0;    // 0 = the daemon's configured seed
+  std::uint64_t fuzz_execs = 0;   // 0 = the daemon's configured budget
   /// Retry once with both degradation rungs enabled when the first
   /// attempt trips its deadline.
   bool degrade_on_timeout = false;

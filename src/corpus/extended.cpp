@@ -450,6 +450,77 @@ Bytes DivZeroPoc() {
   return out;
 }
 
+// Extended pair 22, S side: reads "TAGS" + [count:2] but ignores the
+// count entirely — tag_store streams until a short read. Because S
+// never loads the count, P1 cannot taint those two bytes, so the
+// fuzz-fallback rung is free to mutate them while the entry bytes
+// (the actual crash primitives) stay pinned.
+const char* kTagToolMain = R"(
+  program "tagtool"
+  func main()
+    movi %six, 6
+    alloc %hdr, %six
+    read %got, %hdr, %six          ; "TAGS" + [count:2] (count unused)
+    load.4 %m, %hdr, 0
+    movi %want, 0x53474154         ; "TAGS"
+    cmpeq %ok, %m, %want
+    assert %ok
+    call %v, tag_store()
+    ret %v
+)";
+
+// Extended pair 22, T side: trusts the count. Small caches (count
+// high byte < 128) short-circuit before ℓ; large ones spin a warm-up
+// loop of 16·nh ∈ [2048, 4080] iterations — a *symbolic* bound —
+// before entering tag_store. Directed symex cannot cross the loop:
+// every state either exits pre-ep or dies at the loop cap (θ = 120,
+// and the adaptive ceiling of 1920, are below the minimum bound of
+// 2048), so the pair is undecidable for P2/P3 while remaining
+// concretely triggerable by any input with the count's top bit set.
+// The gate and the bound derive from a single input byte so every
+// branch query stays one-variable — symex dies fast, not by burning
+// the solver's step budget on multi-byte inequalities.
+const char* kTagCacheMain = R"(
+  program "tagcache"
+  func main()
+    movi %six, 6
+    alloc %hdr, %six
+    read %got, %hdr, %six
+    load.4 %m, %hdr, 0
+    movi %want, 0x53474154         ; "TAGS"
+    cmpeq %ok, %m, %want
+    assert %ok
+    load.1 %nh, %hdr, 5            ; count high byte
+    movi %lim, 128
+    cmpltu %small, %nh, %lim
+    br %small, benign, warm
+  benign:
+    movi %zero, 0
+    ret %zero                      ; small caches are served statically
+  warm:
+    movi %four, 4
+    shl %bound, %nh, %four         ; 16 warm-up rounds per cached tag
+    movi %i, 0
+  warmloop:
+    cmpltu %more, %i, %bound
+    br %more, step, enter
+  step:
+    addi %i, %i, 1
+    jmp warmloop
+  enter:
+    call %v, tag_store()
+    ret %v
+)";
+
+Bytes TagPoc() {
+  Bytes out;
+  AppendStr(out, "TAGS");
+  AppendLe(out, 2, 2);     // cache count: S ignores it, T trusts it
+  out.push_back(0x5A);     // the vulnerable tag
+  AppendLe(out, 0x90, 2);  // table index 0x90 >= 16: the OOB store
+  return out;
+}
+
 }  // namespace
 
 Pair BuildExtendedPair(int idx) {
@@ -509,15 +580,27 @@ Pair BuildExtendedPair(int idx) {
            vm::AssembleParts({kSharedExifWalk, kThumbcacheMain}),
            ExifPoc(), {"exif_walk"}};
       break;
+    case 22:
+      // The warm-up loop makes P2/P3 end program-dead (a staged
+      // NotTriggerable), so the registry expects Type-III from the
+      // stock pipeline; with --fuzz-fallback the directed campaign
+      // cracks the count header and upgrades it to TriggeredByFuzzing.
+      p = {idx, "tagtool", "1.2", "tagcache", "2.0",
+           "synthetic-FUZZ-001", "CWE-119", ExpectedResult::kTypeIII,
+           TrapKind::kOutOfBounds,
+           vm::AssembleParts({kSharedTagStore, kTagToolMain}),
+           vm::AssembleParts({kSharedTagStore, kTagCacheMain}),
+           TagPoc(), {"tag_store"}};
+      break;
     default:
-      throw std::out_of_range("extended pair index must be in [16, 21]");
+      throw std::out_of_range("extended pair index must be in [16, 22]");
   }
   return p;
 }
 
 std::vector<Pair> BuildExtendedCorpus() {
   std::vector<Pair> pairs;
-  for (int i = 16; i <= 21; ++i) pairs.push_back(BuildExtendedPair(i));
+  for (int i = 16; i <= 22; ++i) pairs.push_back(BuildExtendedPair(i));
   return pairs;
 }
 

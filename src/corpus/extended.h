@@ -1,6 +1,6 @@
-// Extended corpus (pairs 16-20): scenarios beyond the paper's dataset.
+// Extended corpus (pairs 16-22): scenarios beyond the paper's dataset.
 //
-// The paper's 15 pairs cover its evaluation; these five probe corners
+// The paper's 15 pairs cover its evaluation; these seven probe corners
 // the paper discusses but does not measure:
 //
 //   16  double wrapping        the crash primitive sits two container
@@ -18,6 +18,10 @@
 //   21  mmap input channel     the PoC reaches ℓ through the read-only
 //                              file mapping, not read(2) — the second
 //                              input path the paper hooks (§III-A)
+//   22  symex-dead, fuzzable   ℓ sits behind a symbolic-bound warm-up
+//                              loop the loop cap cannot cross; only the
+//                              fuzz-fallback rung (DESIGN.md §16) can
+//                              verify propagation — TriggeredByFuzzing
 //
 // Pairs reuse corpus::Pair; indices continue Table II's numbering.
 #pragma once
@@ -26,10 +30,10 @@
 
 namespace octopocs::corpus {
 
-/// Builds extended pair `idx` ∈ [16, 21]. Throws std::out_of_range.
+/// Builds extended pair `idx` ∈ [16, 22]. Throws std::out_of_range.
 Pair BuildExtendedPair(int idx);
 
-/// All six extended pairs, in index order.
+/// All seven extended pairs, in index order.
 std::vector<Pair> BuildExtendedCorpus();
 
 }  // namespace octopocs::corpus

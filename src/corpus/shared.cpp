@@ -360,4 +360,37 @@ const char* kSharedExifWalk = R"(
     ret %i
 )";
 
+// Extended pair 22. Streams [tag:1][val:2] entries from the file
+// position until a short read; tag 0x5A's value indexes a 16-byte
+// table without a bounds check (CWE-119). The entry bytes are the
+// crash primitives; the header that precedes them belongs to the
+// caller, which is what lets the fuzz-fallback rung mutate the header
+// while the pinned entry bytes ride along verbatim.
+const char* kSharedTagStore = R"(
+  func tag_store()
+    movi %tblsz, 16
+    alloc %tbl, %tblsz
+    movi %three, 3
+    movi %stored, 0
+    alloc %ent, %three
+  entloop:
+    read %got, %ent, %three        ; [tag:1][val:2]
+    cmpltu %short, %got, %three
+    br %short, done, body
+  body:
+    load.1 %tag, %ent, 0
+    load.2 %val, %ent, 1
+    movi %vuln, 0x5a
+    cmpeq %isv, %tag, %vuln
+    br %isv, index, entloop
+  index:
+    add %p, %tbl, %val
+    movi %one, 1
+    store.1 %one, %p, 0            ; OOB when val >= 16
+    addi %stored, %stored, 1
+    jmp entloop
+  done:
+    ret %stored
+)";
+
 }  // namespace octopocs::corpus

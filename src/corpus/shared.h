@@ -55,7 +55,7 @@ extern const char* kSharedPdfWalkPages;
 /// (pair 15) — CWE-190.
 extern const char* kSharedPdfMetaWrap;
 
-// --- Extended corpus (pairs 16-20; see corpus/extended.h) -----------------
+// --- Extended corpus (pairs 16-22; see corpus/extended.h) -----------------
 
 /// Record processor with a use-after-free (extended pair 19, CWE-416):
 /// a "reset" record frees the scratch buffer but the stale pointer is
@@ -74,5 +74,13 @@ extern const char* kSharedScaler;
 /// Entries at base+5+i*3: [tag:1][val:2]; tag 0x77's value indexes a
 /// 16-byte table unchecked. ℓ = {exif_walk}; ep = exif_walk.
 extern const char* kSharedExifWalk;
+
+/// Tag-entry streamer (extended pair 22, CWE-119): loops
+/// [tag:1][val:2] entries from the file position until a short read;
+/// tag 0x5A's value indexes a 16-byte table unchecked. The pair's T
+/// hides ℓ behind a symbolic-bound warm-up loop, so the pipeline only
+/// verifies it through the fuzz-fallback rung (DESIGN.md §16).
+/// ℓ = {tag_store}; ep = tag_store.
+extern const char* kSharedTagStore;
 
 }  // namespace octopocs::corpus

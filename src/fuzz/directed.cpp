@@ -1,0 +1,36 @@
+#include "fuzz/directed.h"
+
+namespace octopocs::fuzz {
+
+DirectedFuzzResult RunDirectedFuzz(const vm::Program& target,
+                                   vm::FuncId target_fn,
+                                   const cfg::DistanceMap& distances,
+                                   const Bytes& seed,
+                                   const DirectedFuzzOptions& options) {
+  FuzzOptions fuzz;
+  fuzz.max_execs = options.max_execs;
+  fuzz.exec_fuel = options.exec_fuel;
+  fuzz.rng_seed = options.rng_seed;
+  fuzz.det_budget = options.det_budget;
+  fuzz.skip_deterministic = false;
+  fuzz.base_energy = options.base_energy;
+  fuzz.pinned_offsets = options.pinned_offsets;
+  fuzz.cancel = options.cancel;
+
+  AflGoFuzzer fuzzer(target, target_fn, distances, {seed}, fuzz);
+  const FuzzResult run = fuzzer.Run();
+
+  DirectedFuzzResult out;
+  out.crash_found = run.verified;
+  out.crashing_input = run.crashing_input;
+  out.trap = run.trap;
+  out.execs = run.execs;
+  out.execs_to_crash = run.execs_to_crash;
+  out.best_distance = run.best_distance;
+  out.corpus_size = run.corpus_size;
+  out.edges_covered = run.edges_covered;
+  out.cancelled = run.cancelled;
+  return out;
+}
+
+}  // namespace octopocs::fuzz

@@ -13,7 +13,9 @@ GreyboxFuzzer::GreyboxFuzzer(const vm::Program& target, vm::FuncId target_fn,
       options_(options),
       decoded_target_(vm::DecodeProgram(target, /*fuse=*/true)),
       initial_seeds_(std::move(seeds)),
-      mutator_(options.rng_seed) {}
+      mutator_(options.rng_seed) {
+  mutator_.PinOffsets(options.pinned_offsets);
+}
 
 double GreyboxFuzzer::Progress() const {
   return options_.max_execs == 0
@@ -49,6 +51,10 @@ GreyboxFuzzer::ExecOutcome GreyboxFuzzer::Execute(const Bytes& input) {
       }
     }
     outcome.distance = n == 0 ? -1 : sum / static_cast<double>(n);
+    if (outcome.distance >= 0 && (result_.best_distance < 0 ||
+                                  outcome.distance < result_.best_distance)) {
+      result_.best_distance = outcome.distance;
+    }
   }
 
   if (vm::IsVulnerabilityCrash(run.trap)) {
@@ -84,7 +90,7 @@ FuzzResult GreyboxFuzzer::Run() {
 
   std::size_t cursor = 0;
   while (!result_.verified && execs_ < options_.max_execs &&
-         !queue_.empty()) {
+         !queue_.empty() && !(result_.cancelled = options_.cancel.Check())) {
     Seed& seed = queue_[cursor % queue_.size()];
     ++cursor;
     ++seed.times_chosen;
@@ -102,7 +108,10 @@ FuzzResult GreyboxFuzzer::Run() {
     }
 
     for (const Bytes& input : batch) {
-      if (result_.verified || execs_ >= options_.max_execs) break;
+      if (result_.verified || execs_ >= options_.max_execs ||
+          (result_.cancelled = options_.cancel.ShouldStop())) {
+        break;
+      }
       const ExecOutcome outcome = Execute(input);
       if (outcome.interesting) {
         Seed s;
@@ -152,14 +161,19 @@ std::uint64_t AflFastFuzzer::Energy(const Seed& seed) {
 AflGoFuzzer::AflGoFuzzer(const vm::Program& target, vm::FuncId target_fn,
                          const cfg::Cfg& graph, std::vector<Bytes> seeds,
                          FuzzOptions options)
-    : GreyboxFuzzer(target, target_fn, std::move(seeds),
-                    [](FuzzOptions o) {
-                      // AFLGo evaluations run with -d (havoc only).
-                      o.skip_deterministic = true;
-                      return o;
-                    }(options)),
+    : AflGoFuzzer(target, target_fn, graph.BackwardReachability(target_fn),
+                  std::move(seeds), [](FuzzOptions o) {
+                    // AFLGo evaluations run with -d (havoc only).
+                    o.skip_deterministic = true;
+                    return o;
+                  }(options)) {}
+
+AflGoFuzzer::AflGoFuzzer(const vm::Program& target, vm::FuncId target_fn,
+                         cfg::DistanceMap distances, std::vector<Bytes> seeds,
+                         FuzzOptions options)
+    : GreyboxFuzzer(target, target_fn, std::move(seeds), options),
       base_energy_(options.base_energy) {
-  distance_map_ = graph.BackwardReachability(target_fn);
+  distance_map_ = std::move(distances);
 }
 
 std::uint64_t AflGoFuzzer::Energy(const Seed& seed) {

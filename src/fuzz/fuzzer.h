@@ -28,6 +28,7 @@
 #include "fuzz/coverage.h"
 #include "fuzz/mutator.h"
 #include "support/bytes.h"
+#include "support/deadline.h"
 #include "vm/fusion.h"
 #include "vm/interp.h"
 
@@ -41,10 +42,19 @@ struct FuzzOptions {
   /// Deterministic-stage output cap per seed.
   std::size_t det_budget = 4'096;
   /// Skip the deterministic stages (AFL's -d). Directed-fuzzing
-  /// evaluations conventionally run with -d; AflGoFuzzer sets this.
+  /// evaluations conventionally run with -d; AflGoFuzzer's CFG-taking
+  /// constructor sets this to match the Table V baselines.
   bool skip_deterministic = false;
   /// Base havoc energy per queue cycle.
   std::uint64_t base_energy = 64;
+  /// Byte offsets the mutator must never change (P1 bunch pins). Empty
+  /// leaves the campaign byte-identical to the unpinned baseline.
+  std::vector<std::uint32_t> pinned_offsets;
+  /// Cooperative stop: polled between executions. The default token
+  /// never trips, so the budget alone bounds the campaign — which is
+  /// what keeps a seeded campaign reproducible (the deadline merely
+  /// abandons it, it never changes which input crashes).
+  support::CancelToken cancel;
 };
 
 struct FuzzResult {
@@ -56,6 +66,11 @@ struct FuzzResult {
   vm::TrapKind trap = vm::TrapKind::kNone;
   std::size_t corpus_size = 0;
   std::size_t edges_covered = 0;
+  /// Closest mean distance-to-target observed (directed runs; -1 when
+  /// no trace ever had a finite distance or no distance map was set).
+  double best_distance = -1;
+  /// The cancel token tripped before the execution budget ran out.
+  bool cancelled = false;
 };
 
 /// Shared campaign machinery; the power schedule is the strategy point.
@@ -132,8 +147,19 @@ class AflFastFuzzer : public GreyboxFuzzer {
 /// same way OCTOPOCS builds it.
 class AflGoFuzzer : public GreyboxFuzzer {
  public:
+  /// Table V baseline shape: derives the distance map from `graph` and
+  /// runs with -d (havoc only), matching AFLGo's evaluation setup.
   AflGoFuzzer(const vm::Program& target, vm::FuncId target_fn,
               const cfg::Cfg& graph, std::vector<Bytes> seeds,
+              FuzzOptions options = {});
+
+  /// Directed-library shape: the caller supplies an already-computed
+  /// backward distance map (the pipeline exports the one its CFG phase
+  /// built rather than rebuilding it) and decides the stage mix via
+  /// `options` — the fallback rung keeps the deterministic stage on so
+  /// a fixed seed cracks structured headers reproducibly.
+  AflGoFuzzer(const vm::Program& target, vm::FuncId target_fn,
+              cfg::DistanceMap distances, std::vector<Bytes> seeds,
               FuzzOptions options = {});
 
  protected:

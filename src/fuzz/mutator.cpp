@@ -12,6 +12,13 @@ constexpr std::uint16_t kInteresting16[] = {0,      1,     256,   512,
 
 }  // namespace
 
+void Mutator::PinOffsets(const std::vector<std::uint32_t>& offsets) {
+  for (const std::uint32_t off : offsets) {
+    if (off >= pinned_.size()) pinned_.resize(off + 1, false);
+    pinned_[off] = true;
+  }
+}
+
 std::vector<Bytes> Mutator::DeterministicStage(const Bytes& input,
                                                std::size_t budget) {
   std::vector<Bytes> out;
@@ -23,18 +30,21 @@ std::vector<Bytes> Mutator::DeterministicStage(const Bytes& input,
   // Walking bit flips.
   for (std::size_t bit = 0; bit < input.size() * 8 && out.size() < budget;
        ++bit) {
+    if (Pinned(bit / 8)) continue;
     Bytes b = input;
     b[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     emit(std::move(b));
   }
   // Byte flips.
   for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    if (Pinned(i)) continue;
     Bytes b = input;
     b[i] ^= 0xFF;
     emit(std::move(b));
   }
   // Arithmetic ±1..35 on bytes.
   for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    if (Pinned(i)) continue;
     for (int delta = 1; delta <= 35 && out.size() < budget; ++delta) {
       Bytes plus = input;
       plus[i] = static_cast<std::uint8_t>(plus[i] + delta);
@@ -46,6 +56,7 @@ std::vector<Bytes> Mutator::DeterministicStage(const Bytes& input,
   }
   // Interesting byte values.
   for (std::size_t i = 0; i < input.size() && out.size() < budget; ++i) {
+    if (Pinned(i)) continue;
     for (const std::uint8_t v : kInteresting8) {
       if (out.size() >= budget) break;
       Bytes b = input;
@@ -55,6 +66,7 @@ std::vector<Bytes> Mutator::DeterministicStage(const Bytes& input,
   }
   // Interesting 16-bit values (little-endian).
   for (std::size_t i = 0; i + 1 < input.size() && out.size() < budget; ++i) {
+    if (Pinned(i) || Pinned(i + 1)) continue;
     for (const std::uint16_t v : kInteresting16) {
       if (out.size() >= budget) break;
       Bytes b = input;
@@ -78,7 +90,16 @@ Bytes Mutator::Havoc(const Bytes& input, const Bytes& other) {
   if (b.empty()) return b;
   const std::uint64_t ops = 1 + rng_.Below(8);
   for (std::uint64_t op = 0; op < ops; ++op) {
-    const std::size_t i = rng_.Below(b.size());
+    std::size_t i = rng_.Below(b.size());
+    if (!pinned_.empty()) {
+      // Bounded re-draw keeps the operator off pinned bytes without
+      // biasing which unpinned byte it lands on; a fully-pinned input
+      // degrades to emitting the seed unchanged.
+      for (int tries = 0; Pinned(i) && tries < 32; ++tries) {
+        i = rng_.Below(b.size());
+      }
+      if (Pinned(i)) continue;
+    }
     switch (rng_.Below(4)) {
       case 0:  // bit flip
         b[i] ^= static_cast<std::uint8_t>(1u << rng_.Below(8));

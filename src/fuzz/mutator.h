@@ -20,6 +20,21 @@ class Mutator {
  public:
   explicit Mutator(std::uint64_t seed) : rng_(seed) {}
 
+  /// Pins byte offsets: every candidate this mutator emits afterwards
+  /// preserves the input's value at each pinned offset verbatim.
+  /// Deterministic-stage mutations that would touch a pinned byte are
+  /// skipped; havoc operators re-draw their offset a bounded number of
+  /// times and drop the operator if they keep landing on pins. The
+  /// directed fallback pins P1's bunch bytes this way so mutation
+  /// effort goes into the container around the crash primitives, never
+  /// into the primitives themselves. An empty pin set leaves the
+  /// mutator byte-identical to the unpinned baseline.
+  void PinOffsets(const std::vector<std::uint32_t>& offsets);
+
+  bool Pinned(std::size_t offset) const {
+    return offset < pinned_.size() && pinned_[offset];
+  }
+
   /// The deterministic stage for one seed: every queued mutation of the
   /// classic bitflip/arith/interesting sequence, bounded by `budget`
   /// outputs. Deterministic given the input.
@@ -36,6 +51,7 @@ class Mutator {
 
  private:
   Rng rng_;
+  std::vector<bool> pinned_;  // empty = nothing pinned
 };
 
 }  // namespace octopocs::fuzz

@@ -1289,7 +1289,14 @@ struct SymExecutor::Run {
       } else if (log.solver_budget) {
         result.status = SymexStatus::kSolverFailure;
         result.detail = "constraint solving exceeded its budget";
-      } else if (log.unsat) {
+      } else if (log.unsat && !log.loop_dead) {
+        // Unsat observations are a proof of unreachability only when
+        // the search was complete. A state cut by the loop cap means
+        // paths beyond θ iterations were never explored — the same
+        // infeasibility could be a θ artefact (a loop whose exit only
+        // becomes satisfiable past the cap), so claim the conservative
+        // dead end below instead of a proof (§VII's wrong-verdict
+        // caution; the fuzz-fallback rung may still find a witness).
         result.status = SymexStatus::kUnsat;
         // The serial drive loop overwrites the detail chronologically;
         // frontier workers record out of order, so the event-key-maximal

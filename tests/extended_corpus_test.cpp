@@ -49,7 +49,7 @@ TEST_P(ExtendedGroundTruth, PipelineMatchesExpectedVerdict) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Pairs16To20, ExtendedGroundTruth,
-                         ::testing::Range(16, 22));
+                         ::testing::Range(16, 23));
 
 TEST(Extended, DoubleWrapBuildsBothContainers) {
   // Pair 16: poc' must carry the MBOX magic, an embedded %PDF, and the
@@ -138,11 +138,67 @@ TEST(Extended, MmapChannelReformsLikeReadChannel) {
 
 TEST(Extended, RegistryShape) {
   const auto pairs = BuildExtendedCorpus();
-  ASSERT_EQ(pairs.size(), 6u);
+  ASSERT_EQ(pairs.size(), 7u);
   EXPECT_EQ(pairs.front().idx, 16);
-  EXPECT_EQ(pairs.back().idx, 21);
+  EXPECT_EQ(pairs.back().idx, 22);
   EXPECT_THROW(BuildExtendedPair(15), std::out_of_range);
-  EXPECT_THROW(BuildExtendedPair(22), std::out_of_range);
+  EXPECT_THROW(BuildExtendedPair(23), std::out_of_range);
+}
+
+TEST(Extended, SymexDeadPairStagesNotTriggerable) {
+  // Pair 22 rung-off: the warm-up loop kills every symbolic state, so
+  // the stock pipeline reports the (unsound) loop-cap NotTriggerable —
+  // and no fuzz fields leak into the report.
+  const Pair pair = BuildExtendedPair(22);
+  const auto report = core::VerifyPair(pair);
+  EXPECT_EQ(report.verdict, core::Verdict::kNotTriggerable);
+  EXPECT_EQ(report.symex_status, symex::SymexStatus::kProgramDead);
+  EXPECT_FALSE(report.fuzz_attempted);
+}
+
+TEST(Extended, FuzzFallbackUpgradesSymexDeadPair) {
+  // Pair 22 rung-on: the directed campaign mutates the (untainted)
+  // count header, keeps the pinned entry bytes, and crashes T inside
+  // ep — a TriggeredByFuzzing verdict that is byte-reproducible for a
+  // fixed seed and execution budget.
+  const Pair pair = BuildExtendedPair(22);
+  core::PipelineOptions opts;
+  opts.fuzz_fallback = true;
+  opts.fuzz_seed = 7;
+  opts.fuzz_execs = 50'000;
+  const auto report = core::VerifyPair(pair, opts);
+  ASSERT_EQ(report.verdict, core::Verdict::kTriggeredByFuzzing)
+      << report.detail;
+  EXPECT_EQ(report.type, core::ResultType::kFuzzed);
+  EXPECT_TRUE(report.fuzz_attempted);
+  EXPECT_EQ(report.fuzz_seed, 7u);
+  EXPECT_GT(report.fuzz_execs_to_crash, 0u);
+  // The winning input still carries the pinned crash primitives and
+  // still crashes T with the documented trap.
+  EXPECT_EQ(vm::RunProgram(pair.t, report.reformed_poc).trap,
+            pair.expected_trap);
+
+  const auto again = core::VerifyPair(pair, opts);
+  EXPECT_EQ(again.verdict, report.verdict);
+  EXPECT_EQ(again.fuzz_execs, report.fuzz_execs);
+  EXPECT_EQ(again.fuzz_execs_to_crash, report.fuzz_execs_to_crash);
+  EXPECT_EQ(again.reformed_poc, report.reformed_poc);
+}
+
+TEST(Extended, FuzzFallbackNeverFlipsDecidedPairs) {
+  // The rung must be a no-op for pairs the pipeline already decides:
+  // proofs stay kDone before the fuzz phase runs, and a generated poc'
+  // passes straight through it.
+  core::PipelineOptions opts;
+  opts.fuzz_fallback = true;
+  for (const int idx : {20, 21}) {
+    const Pair pair = BuildExtendedPair(idx);
+    const auto off = core::VerifyPair(pair);
+    const auto on = core::VerifyPair(pair, opts);
+    EXPECT_EQ(on.verdict, off.verdict) << "pair " << idx;
+    EXPECT_EQ(on.type, off.type) << "pair " << idx;
+    EXPECT_FALSE(on.fuzz_attempted) << "pair " << idx;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Properties the fuzz-fallback rung's determinism contract rests on
+// (DESIGN.md §16): pinned bunch bytes survive every mutation stage, an
+// empty pin set changes nothing, and the backward distance map the
+// campaign scores candidates with is strictly monotone along a chain
+// to ep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "fuzz/mutator.h"
+#include "vm/asm.h"
+
+namespace octopocs::fuzz {
+namespace {
+
+Bytes CountingSeed(std::size_t n) {
+  Bytes seed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seed[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  return seed;
+}
+
+TEST(MutatorProperty, PinnedBytesSurviveEveryMutant) {
+  // The rung pins P1's bunch byte offsets so mutation effort goes into
+  // the container around the crash primitives — no candidate from any
+  // stage may disturb a pinned byte.
+  const Bytes seed = CountingSeed(32);
+  const std::vector<std::uint32_t> pins = {0, 2, 7, 19, 31};
+
+  Mutator mutator(42);
+  mutator.PinOffsets(pins);
+
+  std::vector<Bytes> candidates = mutator.DeterministicStage(seed, 8192);
+  EXPECT_GT(candidates.size(), 100u) << "deterministic stage should fire";
+  for (int i = 0; i < 2000; ++i) {
+    candidates.push_back(mutator.Havoc(seed, seed));
+  }
+
+  for (const Bytes& c : candidates) {
+    ASSERT_EQ(c.size(), seed.size()) << "length-preserving operators only";
+    for (const std::uint32_t off : pins) {
+      ASSERT_EQ(c[off], seed[off])
+          << "pinned byte " << off << " was mutated";
+    }
+    // ...and at least the unpinned region is actually being explored.
+  }
+  bool any_differs = false;
+  for (const Bytes& c : candidates) {
+    if (c != seed) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "pinning must not freeze the whole input";
+}
+
+TEST(MutatorProperty, EmptyPinSetIsByteIdenticalToBaseline) {
+  // PinOffsets({}) must leave the rng draw sequence and the emitted
+  // candidates exactly as the unpinned baseline produces them — the
+  // determinism contract says the pin mask changes *which* bytes move,
+  // never the schedule.
+  const Bytes seed = CountingSeed(24);
+
+  Mutator plain(7);
+  Mutator pinned_empty(7);
+  pinned_empty.PinOffsets({});
+
+  const auto a = plain.DeterministicStage(seed, 4096);
+  const auto b = pinned_empty.DeterministicStage(seed, 4096);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "deterministic candidate " << i << " diverged";
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(plain.Havoc(seed, seed), pinned_empty.Havoc(seed, seed))
+        << "havoc draw " << i << " diverged";
+  }
+}
+
+TEST(DistanceProperty, ChainDistancesAreStrictlyMonotoneTowardEp) {
+  // On a straight-line chain main → c0 → c1 → c2 → c3 → ep every hop
+  // must shrink the scored distance by exactly one — the monotone
+  // gradient AFLGo's annealing climbs. A plateau or inversion here
+  // would silently defeat the "directed" in directed fuzzing.
+  const vm::Program program = vm::Assemble(R"(
+    func main()
+      movi %z, 0
+      jmp c0
+    c0:
+      jmp c1
+    c1:
+      jmp c2
+    c2:
+      jmp c3
+    c3:
+      call %v, ep()
+      ret %v
+    func ep()
+      movi %r, 7
+      ret %r
+  )");
+  ASSERT_FALSE(vm::Validate(program).has_value());
+  const vm::FuncId main_fn = program.FindFunction("main");
+  const vm::FuncId ep = program.FindFunction("ep");
+  const cfg::Cfg graph = cfg::Cfg::Build(program);
+  const cfg::DistanceMap distances = graph.BackwardReachability(ep);
+
+  ASSERT_EQ(distances.Distance(ep, 0), 0u);
+  ASSERT_TRUE(distances.EntryReaches());
+
+  const std::size_t blocks = program.Fn(main_fn).blocks.size();
+  ASSERT_EQ(blocks, 5u);
+  std::vector<std::uint32_t> seen;
+  for (vm::BlockId b = 0; b < blocks; ++b) {
+    const auto d = distances.Distance(main_fn, b);
+    ASSERT_TRUE(d.has_value()) << "block " << b << " must reach ep";
+    ASSERT_GE(*d, 1u);
+    seen.push_back(*d);
+    // Each chain block has exactly one successor, one hop closer.
+    const auto& succs = graph.Successors(main_fn, b);
+    ASSERT_EQ(succs.size(), 1u) << "block " << b;
+    const auto next = distances.Distance(succs[0].fn, succs[0].block);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, *d - 1) << "distance must fall by 1 at block " << b;
+  }
+  // All five distances are distinct: 5,4,3,2,1 from entry to the call.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace octopocs::fuzz

@@ -152,6 +152,101 @@ TEST(ReportIoFuzz, OversizeReformedPocHexIsRejected) {
   EXPECT_EQ(parsed.reformed_poc, ok.reformed_poc);
 }
 
+TEST(ReportIoFuzz, OutOfRangeEnumsAreRejectedNotAliased) {
+  // A frame from a newer (or corrupted) peer may carry enum integers
+  // this build has never heard of; they must be refused by name, never
+  // cast into an aliased enumerator.
+  VerificationReport report;
+  std::string error;
+  for (const char* frame : {"{\"verdict\":4}", "{\"verdict\":-1}",
+                            "{\"verdict\":99}"}) {
+    EXPECT_FALSE(ParseReport(frame, &report, &error)) << frame;
+    EXPECT_NE(error.find("unknown verdict"), std::string::npos) << error;
+  }
+  for (const char* frame : {"{\"type\":5}", "{\"type\":-2}"}) {
+    EXPECT_FALSE(ParseReport(frame, &report, &error)) << frame;
+    EXPECT_NE(error.find("unknown result type"), std::string::npos) << error;
+  }
+  // The newest legal values still parse: TriggeredByFuzzing / Fuzzed.
+  ASSERT_TRUE(ParseReport("{\"verdict\":3,\"type\":4}", &report, &error))
+      << error;
+  EXPECT_EQ(report.verdict, Verdict::kTriggeredByFuzzing);
+  EXPECT_EQ(report.type, ResultType::kFuzzed);
+}
+
+TEST(ReportIoFuzz, TruncatedFuzzStatsFramesAreRejected) {
+  // The fuzz-stats record is all-or-nothing: any strict subset of the
+  // five keys means the frame was torn or tampered with.
+  const std::string keys[] = {
+      "\"fuzz_attempted\":true", "\"fuzz_execs\":100",
+      "\"fuzz_execs_to_crash\":7", "\"fuzz_best_distance\":1.5",
+      "\"fuzz_seed\":9",
+  };
+  VerificationReport report;
+  std::string error;
+  // Every single-key frame and every leave-one-out frame is refused.
+  for (int drop = -1; drop < 5; ++drop) {
+    for (int only = 0; only < 5; ++only) {
+      std::string frame = "{";
+      bool first = true;
+      for (int k = 0; k < 5; ++k) {
+        const bool include = drop >= 0 ? k != drop : k == only;
+        if (!include) continue;
+        if (!first) frame += ",";
+        frame += keys[k];
+        first = false;
+      }
+      frame += "}";
+      EXPECT_FALSE(ParseReport(frame, &report, &error)) << frame;
+      EXPECT_NE(error.find("truncated fuzz stats"), std::string::npos)
+          << frame << " -> " << error;
+      if (drop >= 0) break;  // leave-one-out frames ignore `only`
+    }
+  }
+}
+
+TEST(ReportIoFuzz, FuzzStatsRoundTripAndStaySparse) {
+  // A report without a campaign serializes with no fuzz keys at all —
+  // byte-compatible with pre-rung peers...
+  const std::string plain = SerializeReport(SampleReport());
+  EXPECT_EQ(plain.find("fuzz_"), std::string::npos);
+
+  // ...and a campaign report round-trips every stat.
+  VerificationReport fuzzed = SampleReport();
+  fuzzed.verdict = Verdict::kTriggeredByFuzzing;
+  fuzzed.type = ResultType::kFuzzed;
+  fuzzed.fuzz_attempted = true;
+  fuzzed.fuzz_execs = 41234;
+  fuzzed.fuzz_execs_to_crash = 40999;
+  fuzzed.fuzz_best_distance = 2.25;
+  fuzzed.fuzz_seed = 1337;
+  VerificationReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReport(SerializeReport(fuzzed), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.verdict, Verdict::kTriggeredByFuzzing);
+  EXPECT_EQ(parsed.type, ResultType::kFuzzed);
+  EXPECT_TRUE(parsed.fuzz_attempted);
+  EXPECT_EQ(parsed.fuzz_execs, 41234u);
+  EXPECT_EQ(parsed.fuzz_execs_to_crash, 40999u);
+  EXPECT_EQ(parsed.fuzz_best_distance, 2.25);
+  EXPECT_EQ(parsed.fuzz_seed, 1337u);
+
+  // The seeded mutation sweep also covers the fuzz block: mutants of a
+  // campaign report must never crash the parser.
+  const std::string base = SerializeReport(fuzzed);
+  std::mt19937 rng(555u);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutant = base;
+    const std::size_t pos = rng() % mutant.size();
+    switch (rng() % 3) {
+      case 0: mutant[pos] = static_cast<char>(rng() & 0xff); break;
+      case 1: mutant.erase(pos, 1); break;
+      default: mutant.insert(pos, 1, static_cast<char>(rng() & 0xff)); break;
+    }
+    MustSurvive(mutant);
+  }
+}
+
 TEST(ReportIoFuzz, FramingHelpersSurviveMutatedFrames) {
   // The worker-report framing (prefix + json) used on both the pool
   // and serve paths, fed the same mutation treatment.

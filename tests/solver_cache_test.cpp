@@ -1,16 +1,25 @@
 // Solver memoization: a cached verdict must always equal what a fresh
 // solve would return. Exact-key hits may return any verdict; model-reuse
 // hits must be certificates (the returned model satisfies every
-// constraint) and can never manufacture a kUnsat.
+// constraint) and can never manufacture a kUnsat. Also covers the cache
+// front door (SolverCache::Solve), UNSAT subsumption, and solve-context
+// seeding — an independence-slicing tier lived beside these through
+// PR 7; it never fired on the corpus and was retired, and its surviving
+// assertions were folded in here.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
 #include <vector>
 
 #include "symex/expr.h"
+#include "symex/solve_context.h"
 #include "symex/solver.h"
 
 namespace octopocs::symex {
 namespace {
+
+ExprRef In(std::uint32_t off) { return MakeInput(off); }
 
 ExprRef InputEq(std::uint32_t off, std::uint64_t val) {
   return MakeBinOp(vm::Op::kCmpEq, MakeInput(off), MakeConst(val));
@@ -21,6 +30,36 @@ SolveResult FreshSolve(const std::vector<ExprRef>& constraints,
   ByteSolver solver(options);
   for (const ExprRef& c : constraints) solver.Add(c);
   return solver.Solve();
+}
+
+// Byte-level model equality. A model maps only the offsets the producer
+// assigned explicitly; absent offsets default to 0 everywhere a model is
+// consumed (Eval, poc' emission), so two models are the same *assignment*
+// when every constrained variable gets the same effective value — a
+// certified-reuse model that omits zero bytes is byte-identical to a
+// search model that spells them out.
+testing::AssertionResult SameAssignment(const std::vector<ExprRef>& cs,
+                                        const Model& a, const Model& b) {
+  SortedSmallSet<std::uint32_t> vars;
+  for (const ExprRef& c : cs) vars.UnionWith(FreeVars(c));
+  for (const std::uint32_t v : vars) {
+    const auto ai = a.find(v);
+    const auto bi = b.find(v);
+    const std::uint8_t av = ai == a.end() ? 0 : ai->second;
+    const std::uint8_t bv = bi == b.end() ? 0 : bi->second;
+    if (av != bv) {
+      return testing::AssertionFailure()
+             << "byte " << v << ": " << int(av) << " vs " << int(bv);
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+bool Satisfies(const std::vector<ExprRef>& cs, const Model& model) {
+  for (const ExprRef& c : cs) {
+    if (Eval(c, model) == 0) return false;
+  }
+  return true;
 }
 
 TEST(SolverCacheTest, ExactKeyHitReturnsTheInsertedVerdict) {
@@ -171,6 +210,221 @@ TEST(SolverCacheTest, CachedVerdictsMatchFreshSolvesAcrossAWorkload) {
     EXPECT_EQ(got, FreshSolve(constraints).status) << "query " << i;
   }
   EXPECT_GT(cache.stats().hits, 0u) << "the workload should produce hits";
+}
+
+// -- Cache front door ≡ monolithic solving --------------------------------
+//
+// The load-bearing property: every answer the SolverCache front door
+// produces — whichever mechanism produced it — must equal what a fresh
+// monolithic ByteSolver search over the same constraint sequence
+// returns, byte for byte.
+
+// Builds a random constraint system over a handful of variables with a
+// mix of unary range checks and binary couplings, spread over several
+// independent clusters (varied structure for the purity checks).
+std::vector<ExprRef> RandomSystem(std::mt19937& rng, bool force_unsat) {
+  std::vector<ExprRef> cs;
+  const int clusters = 2 + static_cast<int>(rng() % 3);
+  for (int c = 0; c < clusters; ++c) {
+    const std::uint32_t base = static_cast<std::uint32_t>(c) * 4;
+    const int k = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < k; ++i) {
+      switch (rng() % 3) {
+        case 0:
+          cs.push_back(MakeBinOp(vm::Op::kCmpLtU, In(base + rng() % 2),
+                                 MakeConst(1 + rng() % 200)));
+          break;
+        case 1:
+          cs.push_back(MakeBinOp(vm::Op::kCmpEq,
+                                 MakeBinOp(vm::Op::kAnd, In(base),
+                                           MakeConst(0x0F)),
+                                 MakeConst(rng() % 16)));
+          break;
+        default:
+          cs.push_back(MakeBinOp(vm::Op::kCmpLeU, In(base),
+                                 MakeBinOp(vm::Op::kAdd, In(base + 1),
+                                           MakeConst(rng() % 5))));
+          break;
+      }
+    }
+  }
+  if (force_unsat) {
+    const std::uint32_t v = rng() % 8;
+    cs.push_back(InputEq(v, 3));
+    cs.push_back(InputEq(v, 4));
+  }
+  return cs;
+}
+
+TEST(CacheSolveTest, FrontDoorEqualsMonolithicOnRandomSystems) {
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 60; ++round) {
+    InternScope intern;
+    const std::vector<ExprRef> cs = RandomSystem(rng, (round % 4) == 3);
+    const SolveResult fresh = FreshSolve(cs);
+    SolverCache cache;
+    const SolveResult cached = cache.Solve(cs, {}, {}, nullptr);
+    ASSERT_EQ(cached.status, fresh.status) << "round " << round;
+    if (fresh.status == SolveStatus::kSat) {
+      EXPECT_TRUE(SameAssignment(cs, cached.model, fresh.model))
+          << "round " << round
+          << ": the cache front door must pick byte-identical models";
+    }
+  }
+}
+
+TEST(CacheSolveTest, ResultIsPureAcrossCacheHistories) {
+  // The same query through two caches with different histories must
+  // agree: one cold, one warmed with each slice separately.
+  InternScope intern;
+  const std::vector<ExprRef> cs = {
+      MakeBinOp(vm::Op::kCmpLtU, In(0), MakeConst(9)),
+      InputEq(4, 200),
+      MakeBinOp(vm::Op::kCmpLeU, In(8), In(9)),
+  };
+  SolverCache cold;
+  const SolveResult a = cold.Solve(cs, {}, {}, nullptr);
+
+  SolverCache warm;
+  (void)warm.Solve({cs[0]}, {}, {}, nullptr);
+  (void)warm.Solve({cs[1]}, {}, {}, nullptr);
+  (void)warm.Solve({cs[2]}, {}, {}, nullptr);
+  const SolveResult b = warm.Solve(cs, {}, {}, nullptr);
+
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_TRUE(SameAssignment(cs, a.model, b.model));
+  EXPECT_GE(warm.stats().hits, 1u)
+      << "the warmed cache should answer the joint query from cache";
+}
+
+// -- UNSAT subsumption -----------------------------------------------------
+
+TEST(SubsumptionTest, CachedUnsatSubsetProvesSupersetUnsat) {
+  InternScope intern;
+  SolverCache cache;
+  const std::vector<ExprRef> core = {InputEq(2, 7), InputEq(2, 9)};
+  ASSERT_EQ(cache.Solve(core, {}, {}, nullptr).status, SolveStatus::kUnsat);
+
+  const std::vector<ExprRef> superset = {InputEq(0, 1), core[0],
+                                         InputEq(5, 3), core[1]};
+  const SolveResult r = cache.Solve(superset, {}, {}, nullptr);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().subsumption_hits, 1u);
+  // Soundness cross-check: a fresh search agrees.
+  EXPECT_EQ(FreshSolve(superset).status, SolveStatus::kUnsat);
+}
+
+TEST(SubsumptionTest, NeverFlipsASatisfiableQuery) {
+  // Warm a cache with many UNSAT systems, then stress it with random
+  // *satisfiable* queries: none may come back kUnsat.
+  std::mt19937 rng(99);
+  InternScope intern;
+  SolverCache cache;
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    (void)cache.Solve({InputEq(v, 1), InputEq(v, 2)}, {}, {}, nullptr);
+  }
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<ExprRef> cs = RandomSystem(rng, /*force_unsat=*/false);
+    const SolveResult fresh = FreshSolve(cs);
+    const SolveResult cached = cache.Solve(cs, {}, {}, nullptr);
+    ASSERT_EQ(cached.status, fresh.status)
+        << "round " << round << ": subsumption flipped a verdict";
+    if (fresh.status == SolveStatus::kSat) {
+      // A warm cache may serve a *different* model than a cold search
+      // (certified reuse), but whatever it serves must be a certificate.
+      EXPECT_TRUE(Satisfies(cs, cached.model)) << "round " << round;
+    }
+  }
+}
+
+// -- SolveContext seeding --------------------------------------------------
+
+TEST(SolveContextTest, SeededSearchIsBitIdenticalIncludingSteps) {
+  std::mt19937 rng(4321);
+  for (int round = 0; round < 40; ++round) {
+    InternScope intern;
+    const std::vector<ExprRef> cs = RandomSystem(rng, (round % 5) == 4);
+
+    SolveContext ctx;
+    for (const ExprRef& c : cs) ctx.Apply(c);
+
+    SolverOptions with_ctx;
+    with_ctx.context = &ctx;
+    const SolveResult seeded = FreshSolve(cs, with_ctx);
+    const SolveResult plain = FreshSolve(cs, {});
+
+    ASSERT_EQ(seeded.status, plain.status) << "round " << round;
+    EXPECT_EQ(seeded.model, plain.model) << "round " << round;
+    EXPECT_EQ(seeded.steps, plain.steps)
+        << "round " << round
+        << ": context seeding may only skip prefilter evaluations, "
+           "never change the search";
+  }
+}
+
+TEST(SolveContextTest, WipeoutMarksKnownUnsat) {
+  InternScope intern;
+  SolveContext ctx;
+  ctx.Apply(InputEq(3, 10));
+  EXPECT_FALSE(ctx.known_unsat());
+  ctx.Apply(InputEq(3, 11));
+  EXPECT_TRUE(ctx.known_unsat());
+
+  SolverCache cache;
+  SolveContext query_ctx = ctx;
+  const SolveResult r =
+      cache.Solve({InputEq(3, 10), InputEq(3, 11)}, {}, {}, &query_ctx);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().subsumption_hits, 1u);
+}
+
+// -- Per-mechanism hit counters --------------------------------------------
+
+TEST(CacheCountersTest, EachMechanismBumpsItsOwnCounter) {
+  InternScope intern;
+  SolverCache cache;
+  const ExprRef a = InputEq(0, 5);
+  const ExprRef b = InputEq(1, 7);
+
+  // Fresh solve: miss.
+  ASSERT_EQ(cache.Solve({a}, {}, {}, nullptr).status, SolveStatus::kSat);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Same sequence again: exact hit.
+  ASSERT_EQ(cache.Solve({a}, {}, {}, nullptr).status, SolveStatus::kSat);
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+
+  // A new joint query is a fresh search (the slicing tier that once
+  // stitched {a} and {b} answers together is retired), but it caches
+  // the joint model {0:5, 1:7}...
+  ASSERT_EQ(cache.Solve({a, b}, {}, {}, nullptr).status, SolveStatus::kSat);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // ...which certifies this relaxation without a search: model reuse.
+  const std::vector<ExprRef> relaxed = {
+      MakeBinOp(vm::Op::kCmpLeU, In(0), MakeConst(5)),
+      MakeBinOp(vm::Op::kCmpLeU, In(1), MakeConst(7)),
+  };
+  const SolveResult reused = cache.Solve(relaxed, {}, {}, nullptr);
+  ASSERT_EQ(reused.status, SolveStatus::kSat);
+  EXPECT_EQ(reused.steps, 0u) << "cache hits must report zero steps";
+  EXPECT_TRUE(Satisfies(relaxed, reused.model));
+  const SolverCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 4u) << "hits + misses == counted queries";
+  EXPECT_EQ(s.hits, s.exact_hits + s.model_reuse_hits + s.subsumption_hits)
+      << "per-mechanism counters partition the hit total";
+  EXPECT_GE(s.model_reuse_hits, 1u)
+      << "the relaxed query must be served by certified model reuse";
+
+  // UNSAT core, then a superset: subsumption.
+  ASSERT_EQ(cache.Solve({InputEq(2, 1), InputEq(2, 2)}, {}, {}, nullptr)
+                .status,
+            SolveStatus::kUnsat);
+  ASSERT_EQ(
+      cache.Solve({a, InputEq(2, 1), InputEq(2, 2)}, {}, {}, nullptr).status,
+      SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().subsumption_hits, 1u);
 }
 
 }  // namespace

@@ -19,6 +19,21 @@
 //                              one instead of reporting Failure
 //         --solver-retry       retry a solver-budget failure once with
 //                              the step budget doubled
+//         --fuzz-fallback      when symex ends program-dead or
+//                              budget-exhausted, run a directed fuzzing
+//                              campaign seeded from the PoC before
+//                              settling for the dead-end verdict; a
+//                              crash at ep re-verifies concretely and
+//                              reports TriggeredByFuzzing (DESIGN.md
+//                              §16). Default off.
+//         --fuzz-seed N        campaign RNG seed (default 1). Together
+//                              with --fuzz-execs this makes the rung's
+//                              verdict byte-reproducible.
+//         --fuzz-execs N       campaign budget in executions, not wall
+//                              clock (default 200000)
+//         --fuzz-deadline-ms N wall-clock backstop for the fuzz phase
+//                              (abandons the campaign; never reorders
+//                              its deterministic schedule)
 //         --trace-out FILE     write the structured trace (phase spans,
 //                              executor counters) as JSONL to FILE
 //         --artifact-cache=on|off
@@ -45,14 +60,14 @@
 //   disasm <prog.asm>
 //       Assemble and disassemble (normalizes and validates a program).
 //   export <pair-index> <dir>
-//       Materialize a corpus pair (1-21) as s.asm / t.asm / poc.bin /
+//       Materialize a corpus pair (1-22) as s.asm / t.asm / poc.bin /
 //       shared.txt so the other subcommands can chew on it.
 //   corpus [--jobs N] [--extended] [--adaptive-theta]
 //          [--pair-deadline-ms N] [--frontier-jobs N] [--trace-out FILE]
 //          [--artifact-cache=on|off] [--isolate] [--rlimit-mb N]
 //          [--max-retries N] [--journal FILE] [--resume FILE]
 //          [--vm-dispatch=switch|threaded] [--pool]
-//       Verify the whole built-in corpus (pairs 1-15, or 16-21 with
+//       Verify the whole built-in corpus (pairs 1-15, or 16-22 with
 //       --extended) with N pipeline runs in flight at once. Reports are
 //       printed in pair order and are byte-identical to a serial run
 //       regardless of N. --pair-deadline-ms bounds each pair's
@@ -101,6 +116,7 @@
 //       drains: queued and in-flight requests finish and are answered.
 //   client --socket PATH <pair-idx> [--poc FILE] [--priority N]
 //          [--deadline-ms N] [--cfg-fallback] [--solver-retry]
+//          [--fuzz-fallback] [--fuzz-seed N] [--fuzz-execs N]
 //          [--degrade-on-timeout] [--timeout-ms N] [--id STR]
 //       Send one verification request to a running daemon and print the
 //       result in the exact per-pair format `corpus` uses (so a served
@@ -121,6 +137,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -264,6 +281,32 @@ bool ParseSolverBackendFlag(const std::string& arg,
   return true;
 }
 
+/// Consumes the fuzz-fallback rung flags shared by every
+/// pipeline-running subcommand: --fuzz-fallback turns the rung on,
+/// --fuzz-seed / --fuzz-execs / --fuzz-deadline-ms pin the campaign's
+/// determinism knobs (DESIGN.md §16). Returns false when `arg` is not
+/// one of ours.
+bool ParseFuzzFlag(const std::string& arg, int argc, char** argv, int& i,
+                   core::PipelineOptions* opts) {
+  if (arg == "--fuzz-fallback") {
+    opts->fuzz_fallback = true;
+    return true;
+  }
+  if (arg == "--fuzz-seed" && i + 1 < argc) {
+    opts->fuzz_seed = std::strtoull(argv[++i], nullptr, 10);
+    return true;
+  }
+  if (arg == "--fuzz-execs" && i + 1 < argc) {
+    opts->fuzz_execs = std::strtoull(argv[++i], nullptr, 10);
+    return true;
+  }
+  if (arg == "--fuzz-deadline-ms" && i + 1 < argc) {
+    opts->fuzz_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    return true;
+  }
+  return false;
+}
+
 /// The observability options shared by `verify` and `corpus`: a JSONL
 /// trace sink and the content-addressed artifact store.
 struct ObservabilityFlags {
@@ -314,7 +357,9 @@ int CmdVerify(int argc, char** argv) {
                          "[--shared f1,f2] [--out FILE] [--context-free] "
                          "[--theta N] [--adaptive-theta] [--static-cfg] "
                          "[--fix-angr] [--deadline-ms N] [--cfg-fallback] "
-                         "[--solver-retry] [--frontier-jobs N] "
+                         "[--solver-retry] [--fuzz-fallback] [--fuzz-seed N] "
+                         "[--fuzz-execs N] [--fuzz-deadline-ms N] "
+                         "[--frontier-jobs N] "
                          "[--trace-out FILE] [--artifact-cache=on|off] "
                          "[--vm-dispatch=switch|threaded] "
                          "[--solver-backend=backtrack|propagate|portfolio]"
@@ -353,6 +398,8 @@ int CmdVerify(int argc, char** argv) {
       opts.cfg_fallback_to_static = true;
     } else if (arg == "--solver-retry") {
       opts.solver_budget_retry = true;
+    } else if (ParseFuzzFlag(arg, argc, argv, i, &opts)) {
+      // consumed
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       opts.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
@@ -415,6 +462,14 @@ int CmdVerify(int argc, char** argv) {
                   r.symex_stats.solver_model_reuse_hits),
               static_cast<unsigned long long>(
                   r.symex_stats.solver_subsumption_hits));
+  if (r.fuzz_attempted) {
+    std::printf("fuzz:      %llu exec(s) | crash at %llu | best distance "
+                "%.2f | seed %llu\n",
+                static_cast<unsigned long long>(r.fuzz_execs),
+                static_cast<unsigned long long>(r.fuzz_execs_to_crash),
+                r.fuzz_best_distance,
+                static_cast<unsigned long long>(r.fuzz_seed));
+  }
   std::printf("detail:    %s\n", r.detail.c_str());
   // A retry rung can succeed (empty failed_phase but the substitution
   // happened) — the verdict then rests on weaker footing and the user
@@ -472,7 +527,9 @@ int CmdPairWorker(int argc, char** argv) {
                          "[--adaptive-theta] [--frontier-jobs N] "
                          "[--deadline-ms N] [--theta N] [--context-free] "
                          "[--static-cfg] [--fix-angr] [--cfg-fallback] "
-                         "[--solver-retry] [--abort-fault SITE:SKIP:STAMP] "
+                         "[--solver-retry] [--fuzz-fallback] [--fuzz-seed N] "
+                         "[--fuzz-execs N] [--fuzz-deadline-ms N] "
+                         "[--abort-fault SITE:SKIP:STAMP] "
                          "[--vm-dispatch=switch|threaded] "
                          "[--solver-backend=backtrack|propagate|portfolio]"
                          "\n");
@@ -503,6 +560,8 @@ int CmdPairWorker(int argc, char** argv) {
       opts.cfg_fallback_to_static = true;
     } else if (arg == "--solver-retry") {
       opts.solver_budget_retry = true;
+    } else if (ParseFuzzFlag(arg, argc, argv, i, &opts)) {
+      // consumed
     } else if (arg == "--abort-fault" && i + 1 < argc) {
       abort_fault = argv[++i];
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
@@ -581,6 +640,8 @@ int CmdPoolWorker(int argc, char** argv) {
       opts.cfg_fallback_to_static = true;
     } else if (arg == "--solver-retry") {
       opts.solver_budget_retry = true;
+    } else if (ParseFuzzFlag(arg, argc, argv, i, &opts)) {
+      // consumed
     } else if (arg == "--abort-fault" && i + 1 < argc) {
       abort_fault = argv[++i];
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
@@ -768,6 +829,11 @@ int CmdCorpus(int argc, char** argv) {
     } else if (arg == "--adaptive-theta") {
       opts.adaptive_theta = true;
       forwarded.push_back(arg);
+    } else if (ParseFuzzFlag(arg, argc, argv, i, &opts)) {
+      // Verdict-bearing, so workers must see the exact same rung
+      // configuration (value flags advance i onto their argument).
+      forwarded.push_back(arg);
+      if (arg != "--fuzz-fallback") forwarded.push_back(argv[i]);
     } else if (arg == "--pair-deadline-ms" && i + 1 < argc) {
       pair_deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
@@ -961,6 +1027,25 @@ int CmdCorpus(int argc, char** argv) {
               "%u job(s) | %.3f s wall\n",
               decisive, pairs.size(), expected_matches, pairs.size(),
               infra_failures, jobs, wall);
+  // The fuzz summary only exists when the rung is on, so rung-off runs
+  // stay byte-identical to the pre-rung output.
+  if (opts.fuzz_fallback) {
+    int fuzz_attempts = 0;
+    int fuzz_verified = 0;
+    std::uint64_t fuzz_total_execs = 0;
+    for (const auto& r : reports) {
+      if (r.fuzz_attempted) {
+        ++fuzz_attempts;
+        fuzz_total_execs += r.fuzz_execs;
+      }
+      if (r.verdict == core::Verdict::kTriggeredByFuzzing) ++fuzz_verified;
+    }
+    std::printf("fuzz:      %d campaign(s) | %d verified by fuzzing | "
+                "%llu exec(s) | seed %llu\n",
+                fuzz_attempts, fuzz_verified,
+                static_cast<unsigned long long>(fuzz_total_execs),
+                static_cast<unsigned long long>(opts.fuzz_seed));
+  }
   if (worker_pool != nullptr) {
     const core::WorkerPool::Stats ps = worker_pool->stats();
     std::printf("pool:      %llu spawn(s) / %llu respawn(s) / "
@@ -1042,6 +1127,8 @@ int CmdServe(int argc, char** argv) {
       serve.pipeline.cfg_fallback_to_static = true;
     } else if (arg == "--solver-retry") {
       serve.pipeline.solver_budget_retry = true;
+    } else if (ParseFuzzFlag(arg, argc, argv, i, &serve.pipeline)) {
+      // consumed
     } else if (arg == "--frontier-jobs" && i + 1 < argc) {
       serve.pipeline.symex.frontier_jobs =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
@@ -1140,6 +1227,12 @@ int CmdClient(int argc, char** argv) {
       request.cfg_fallback = true;
     } else if (arg == "--solver-retry") {
       request.solver_retry = true;
+    } else if (arg == "--fuzz-fallback") {
+      request.fuzz_fallback = true;
+    } else if (arg == "--fuzz-seed" && i + 1 < argc) {
+      request.fuzz_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--fuzz-execs" && i + 1 < argc) {
+      request.fuzz_execs = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--degrade-on-timeout") {
       request.degrade_on_timeout = true;
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
@@ -1157,6 +1250,7 @@ int CmdClient(int argc, char** argv) {
     std::fprintf(stderr, "usage: octopocs client --socket PATH <pair-idx> "
                          "[--poc FILE] [--priority N] [--deadline-ms N] "
                          "[--cfg-fallback] [--solver-retry] "
+                         "[--fuzz-fallback] [--fuzz-seed N] [--fuzz-execs N] "
                          "[--degrade-on-timeout] [--timeout-ms N] "
                          "[--id STR]\n");
     return 2;
@@ -1194,7 +1288,7 @@ int CmdClient(int argc, char** argv) {
 
 int CmdExport(int argc, char** argv) {
   if (argc != 2) {
-    std::fprintf(stderr, "usage: octopocs export <pair-index 1..21> <dir>\n");
+    std::fprintf(stderr, "usage: octopocs export <pair-index 1..22> <dir>\n");
     return 2;
   }
   const int idx = std::atoi(argv[0]);
