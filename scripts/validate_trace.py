@@ -3,6 +3,7 @@
 
 Usage: validate_trace.py TRACE.jsonl
        validate_trace.py --server TRACE.jsonl
+       validate_trace.py --soak TRACE.jsonl
        validate_trace.py --journal JOURNAL.jsonl
 
 Trace mode (support/trace.h schema) checks, line by line:
@@ -31,6 +32,16 @@ trace-mode check plus:
     (served from the persistent tier), or a "request_failed" counter
     (rejected) — a request that produced none of these fell through the
     daemon without being handled.
+
+Soak mode (--soak, a trace written by `octopocs soak --trace-out`) runs
+every trace-mode check plus:
+  - at least one "gen" span exists (the corpus really was generated);
+  - at least one "soak_leg" span exists, every one carries a positive
+    leg number in "arg", and no leg number repeats (each leg runs once);
+  - every "soak.pairs_verified" counter is non-negative and
+    non-decreasing (it is cumulative across legs);
+  - the final "soak.violations" counter exists and is exactly 0 — the
+    run upheld every invariant.
 
 Journal mode (core/journal.h schema) checks:
   - line 1 is a header with version 1, a non-empty options_hash, and a
@@ -164,9 +175,13 @@ def main():
         validate_journal(sys.argv[2])
         return
     server_mode = False
+    soak_mode = False
     args = sys.argv[1:]
     if args and args[0] == "--server":
         server_mode = True
+        args = args[1:]
+    elif args and args[0] == "--soak":
+        soak_mode = True
         args = args[1:]
     if len(args) != 1:
         print(__doc__)
@@ -186,6 +201,11 @@ def main():
     fuzz_spans = 0
     open_requests = {}  # tid -> [bool: saw verify/disk-hit/failed]
     HANDLED_COUNTERS = {"artifact_disk_hit", "request_failed"}
+    # Soak mode state.
+    gen_spans = 0
+    soak_legs = set()
+    last_pairs_verified = 0
+    soak_violations = None  # last "soak.violations" value seen
 
     with open(args[0], encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -243,6 +263,25 @@ def main():
                                  f"innermost open span {stack[-1]!r}")
                 stack.pop()
 
+            if soak_mode:
+                if kind == "begin" and ev["name"] == "gen":
+                    gen_spans += 1
+                elif kind == "begin" and ev["name"] == "soak_leg":
+                    if ev["arg"] < 1:
+                        fail(lineno, f"soak_leg span with bad leg number "
+                                     f"{ev['arg']}")
+                    if ev["arg"] in soak_legs:
+                        fail(lineno, f"soak leg {ev['arg']} ran twice")
+                    soak_legs.add(ev["arg"])
+                elif kind == "counter" and ev["name"] == "soak.pairs_verified":
+                    if ev["value"] < last_pairs_verified:
+                        fail(lineno, f"soak.pairs_verified went backwards "
+                                     f"({last_pairs_verified} -> "
+                                     f"{ev['value']})")
+                    last_pairs_verified = ev["value"]
+                elif kind == "counter" and ev["name"] == "soak.violations":
+                    soak_violations = ev["value"]
+
             if server_mode:
                 reqs = open_requests.setdefault(ev["tid"], [])
                 if kind == "counter" and ev["name"] == "queue_depth" \
@@ -273,8 +312,20 @@ def main():
         fail("EOF", "trace contains no events")
     if server_mode and request_spans == 0:
         fail("EOF", "server trace contains no request spans")
+    if soak_mode:
+        if gen_spans == 0:
+            fail("EOF", "soak trace contains no gen span")
+        if not soak_legs:
+            fail("EOF", "soak trace contains no soak_leg spans")
+        if soak_violations is None:
+            fail("EOF", "soak trace has no final soak.violations counter")
+        if soak_violations != 0:
+            fail("EOF", f"soak run recorded {soak_violations} violation(s)")
 
     suffix = f", {request_spans} request span(s)" if server_mode else ""
+    if soak_mode:
+        suffix += (f", {len(soak_legs)} soak leg(s), "
+                   f"{last_pairs_verified} pair(s) verified, 0 violations")
     if fuzz_spans:
         suffix += f", {fuzz_spans} fuzz_fallback span(s)"
     print(f"OK: {events} event(s) — {counts['begin']} begin / "

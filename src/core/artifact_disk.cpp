@@ -75,6 +75,18 @@ std::uint64_t FileSize(int fd) {
   return ::fstat(fd, &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
 }
 
+// Makes a heal durable: the truncation/rewrite reaches stable storage,
+// and so does the containing directory entry. Best effort — failure
+// here degrades durability, never correctness, so heals proceed anyway.
+void FsyncFileAndDir(int fd, const std::string& dir) {
+  ::fsync(fd);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<DiskArtifactStore> DiskArtifactStore::Open(
@@ -147,7 +159,7 @@ std::unique_ptr<DiskArtifactStore> DiskArtifactStore::Open(
       if (error != nullptr) *error = "cannot rewrite index header";
       return nullptr;
     }
-    ::fsync(idx_fd);
+    FsyncFileAndDir(idx_fd, dir);
     ++store->stats_.healed_records;
     return store;
   }
@@ -202,6 +214,10 @@ std::unique_ptr<DiskArtifactStore> DiskArtifactStore::Open(
       }
       return nullptr;
     }
+    // Without this, a power cut after the heal could resurrect the torn
+    // bytes underneath records appended since — the same write-ahead
+    // discipline the journal's Resume follows.
+    FsyncFileAndDir(idx_fd, dir);
     store->stats_.healed_records +=
         (tail + kRecordBytes - 1) / kRecordBytes;
   }

@@ -203,6 +203,27 @@ std::optional<JournalState> LoadJournal(const std::string& path,
 
 #ifndef _WIN32
 
+namespace {
+
+// Durability for a heal: the truncation itself must reach the platter,
+// and so must the directory entry in case the journal was freshly
+// renamed/created. Best effort — a failed fsync here cannot make the
+// heal less correct, only less durable, so it never fails the resume.
+void FsyncFileAndParentDir(int fd, const std::string& path) {
+  ::fsync(fd);
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<Journal> Journal::Create(const std::string& path,
                                          const std::string& options_hash,
                                          std::size_t pair_count,
@@ -233,7 +254,9 @@ std::unique_ptr<Journal> Journal::Resume(const std::string& path,
     return nullptr;
   }
   // Heal a torn tail: drop the partial record so the resumed journal
-  // stays one well-formed record per line.
+  // stays one well-formed record per line. The heal itself must be
+  // durable — without the fsyncs a power cut after resume could bring
+  // the torn bytes back underneath records appended since.
   if (::ftruncate(fd, static_cast<off_t>(state.valid_bytes)) != 0) {
     if (error != nullptr) {
       *error = "cannot truncate torn journal tail: " +
@@ -242,6 +265,7 @@ std::unique_ptr<Journal> Journal::Resume(const std::string& path,
     ::close(fd);
     return nullptr;
   }
+  FsyncFileAndParentDir(fd, path);
   if (::lseek(fd, 0, SEEK_END) < 0) {
     if (error != nullptr) *error = "cannot seek journal";
     ::close(fd);

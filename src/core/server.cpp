@@ -23,11 +23,22 @@ std::uint64_t NowMs() {
           .count());
 }
 
-corpus::Pair BuildAnyPair(int idx) {
+GenPairLoader g_gen_loader = nullptr;
+
+corpus::Pair BuildAnyPair(int idx, std::uint64_t gen_seed) {
+  if (gen_seed != 0) {
+    if (g_gen_loader == nullptr) {
+      throw std::out_of_range("generated pair requested but no loader set");
+    }
+    return g_gen_loader(gen_seed, idx);
+  }
   return idx <= 15 ? corpus::BuildPair(idx) : corpus::BuildExtendedPair(idx);
 }
 
 }  // namespace
+
+void SetGenPairLoader(GenPairLoader loader) { g_gen_loader = loader; }
+GenPairLoader GetGenPairLoader() { return g_gen_loader; }
 
 // Smaller of two budgets where 0 means "unbounded" — the Deadline::
 // Sooner rule applied to millisecond knobs.
@@ -83,6 +94,9 @@ bool ParseServeRequest(std::string_view json, ServeRequest* out,
       return false;
     }
   }
+  if (const auto* v = value.Find("gen_seed")) {
+    out->gen_seed = static_cast<std::uint64_t>(v->AsInt());
+  }
   if (out->pair < 1) {
     if (error != nullptr) *error = "missing or invalid pair index";
     return false;
@@ -108,6 +122,7 @@ std::string SerializeServeRequest(const ServeRequest& r) {
   if (!r.poc_override.empty()) {
     out += ",\"poc\":\"" + ToHex(r.poc_override) + '"';
   }
+  if (r.gen_seed != 0) out += ",\"gen_seed\":" + std::to_string(r.gen_seed);
   out += '}';
   return out;
 }
@@ -436,7 +451,8 @@ void Server::ServeOne(Queued item) {
   bool responded = false;
   bool from_disk = false;
   try {
-    const corpus::Pair base = BuildAnyPair(item.request.pair);
+    const corpus::Pair base =
+        BuildAnyPair(item.request.pair, item.request.gen_seed);
     corpus::Pair pair = base;
     if (!item.request.poc_override.empty()) {
       pair.poc = item.request.poc_override;
@@ -585,6 +601,39 @@ ClientResult SendRequest(const std::string& socket_path,
     return result;
   }
   result.ok = true;
+  return result;
+}
+
+ClientResult SendRequestWithRetry(const std::string& socket_path,
+                                  const ServeRequest& request,
+                                  std::uint64_t timeout_ms,
+                                  const RetryPolicy& policy, int* attempts) {
+  ClientResult result;
+  int made = 0;
+  for (int attempt = 0;; ++attempt) {
+    result = SendRequest(socket_path, request, timeout_ms);
+    ++made;
+    if (result.ok || attempt >= policy.max_retries) break;
+    std::uint64_t nap =
+        std::min(policy.max_backoff_ms,
+                 policy.base_backoff_ms << std::min(attempt, 20));
+    if (!result.transport_error.empty()) {
+      // Transport failure: socket missing, connection refused, peer died
+      // mid-frame. Only retryable when the caller expects the daemon to
+      // come back (the soak harness riding through a SIGKILL restart).
+      if (!policy.retry_transport) break;
+    } else if (result.error.code == "RETRY_AFTER") {
+      // Honor the server's own estimate, but never back off less than
+      // the capped-exponential floor — a saturated daemon keeps
+      // suggesting small naps and the floor is what spreads retries out.
+      nap = std::min(policy.max_backoff_ms,
+                     std::max(nap, result.error.retry_after_ms));
+    } else {
+      break;  // BAD_REQUEST / INTERNAL: retrying cannot help
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+  }
+  if (attempts != nullptr) *attempts = made;
   return result;
 }
 

@@ -91,7 +91,20 @@ struct ServeRequest {
   /// Optional PoC override (raw bytes; wire format is hex). Empty means
   /// the pair's own corpus PoC.
   Bytes poc_override;
+  /// Non-zero routes pair indices beyond the built-in corpora (hog pair
+  /// 999, generated pairs >= 1000) to the registered generated-pair
+  /// loader with this generator seed. Content-addressed caching needs no
+  /// special casing: the generated programs themselves key the report.
+  std::uint64_t gen_seed = 0;
 };
+
+/// Loader for generated pair indices (src/gen). The daemon cannot link
+/// the generator directly (gen links core), so the CLI and the soak
+/// harness register gen::LoadGeneratedPair at startup. Unset, requests
+/// carrying gen_seed are rejected as BAD_REQUEST.
+using GenPairLoader = corpus::Pair (*)(std::uint64_t seed, int idx);
+void SetGenPairLoader(GenPairLoader loader);
+GenPairLoader GetGenPairLoader();
 
 /// Parses the JSON payload of an OCTO-REQ line. False (with *error set)
 /// on malformed JSON, an out-of-range pair index, or bad hex.
@@ -235,5 +248,27 @@ struct ClientResult {
 ClientResult SendRequest(const std::string& socket_path,
                          const ServeRequest& request,
                          std::uint64_t timeout_ms = 0);
+
+/// Client-side retry policy for SendRequestWithRetry. A structured
+/// RETRY_AFTER sleeps the server-suggested retry_after_ms floored by a
+/// capped-exponential backoff (base_backoff_ms << attempt, capped at
+/// max_backoff_ms) so repeated sheds back off even when the server keeps
+/// suggesting tiny naps. Transport failures (daemon restarting, socket
+/// gone) retry on the same schedule only when retry_transport is set —
+/// the soak harness uses that to ride through a SIGKILL'd daemon.
+struct RetryPolicy {
+  int max_retries = 0;  // additional attempts after the first
+  std::uint64_t base_backoff_ms = 50;
+  std::uint64_t max_backoff_ms = 2000;
+  bool retry_transport = false;
+};
+
+/// SendRequest plus the retry loop. Returns the final attempt's result;
+/// `attempts` (optional) reports how many round trips were made.
+ClientResult SendRequestWithRetry(const std::string& socket_path,
+                                  const ServeRequest& request,
+                                  std::uint64_t timeout_ms,
+                                  const RetryPolicy& policy,
+                                  int* attempts = nullptr);
 
 }  // namespace octopocs::core

@@ -1,0 +1,95 @@
+// Seeded synthetic propagated-vulnerability pair generator (ROADMAP item 1).
+//
+// Manufactures (S, T, ℓ, poc, expected_verdict) pairs by the hundreds.
+// Each pair picks one of five miniature parser skeletons (mirroring the
+// src/formats containers: MJPG / MGIF / MTIF / MPDF / MJ2K), injects one
+// vulnerability class into a self-contained shared area `gen_area` (the
+// ℓ of the pair), then derives T from S by a clone-and-mutate transform:
+//
+//   rename-locals    textual register renames (IR-identical clone)
+//   reorder-blocks   permuted basic-block emission order
+//   outline-helper   T moves header validation into a helper function
+//   inline-helper    S carries the outlined helper, T inlines it
+//   guard-insert     T validates the crashing field up front — the pair
+//                    is genuinely NotTriggerable (the guard predicate is
+//                    sound: it rules out every crashing input, so even
+//                    the fuzz rung cannot upgrade the verdict)
+//   symex-hostile    T short-circuits unless an untainted header byte is
+//                    large, then runs a symbolic-bound warm-up loop past
+//                    the θ ceiling — program-dead for symex, crashable by
+//                    the --fuzz-fallback rung (TriggeredByFuzzing)
+//   rename-clone     ℓ itself is renamed in T (exercises t_names)
+//
+// Every T additionally gets a per-pair padding preamble in main (distinct
+// immediates) so clone detection never matches the harnesses — only ℓ.
+// src/clone/detector recovers ℓ from the generated programs and the
+// generator asserts the recovery (closing the loop); generation also
+// concretely executes S(poc) / T(poc) and checks the observed traps match
+// the label, so a generated label is a checked promise, not a guess.
+//
+// Propagation chains: every 16th ordinal pair (o % 16 == 14) is the S→T
+// hop of a chain and the next ordinal (o % 16 == 15) is the T→U hop —
+// its S *is* the previous pair's T, enabling transitive verification
+// (reform S→T, feed poc' into T→U).
+//
+// Determinism: everything derives from (seed, ordinal) through
+// support::Rng. The same seed produces byte-identical programs, pocs and
+// manifests on every run — the soak harness and CI diff rely on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/octopocs.h"
+#include "corpus/pairs.h"
+
+namespace octopocs::gen {
+
+/// Generated pairs use idx = kGenBase + ordinal so they can never collide
+/// with the paper corpus (1..15) or the extended corpus (16..22).
+inline constexpr int kGenBase = 1000;
+
+/// Reserved index for the resource-hog pair (BuildHogPair): its T is both
+/// guard-protected and symex-hostile, so a fuzz campaign with a huge
+/// budget burns CPU forever without ever crashing — the deterministic way
+/// to exercise rlimit kills and quarantine in the soak harness.
+inline constexpr int kHogIdx = 999;
+
+struct GeneratedPair {
+  corpus::Pair pair;
+  /// The label the verifier must reproduce (with the fuzz rung enabled).
+  core::Verdict expected_verdict = core::Verdict::kTriggered;
+  /// True when the label needs --fuzz-fallback; without the rung the
+  /// pair verifies as kNotTriggerable (program-dead).
+  bool needs_fuzz = false;
+  std::string skeleton;    // "mjpg" | "mgif" | "mtif" | "mpdf" | "mj2k"
+  std::string vuln_class;  // "oob-write" | "oob-read" | "null-deref" |
+                           // "div0" | "fuel-loop" | "uaf"
+  std::string mutation;    // transform that derived T (see header comment)
+  int chain_hop = 0;       // 0 plain, 1 = S→T hop, 2 = T→U hop
+};
+
+/// Builds generated pair `ordinal` (0-based) of corpus `seed`.
+/// pair.idx == kGenBase + ordinal. Throws std::logic_error if any
+/// generation-time self-check fails (clone recovery, concrete traps).
+GeneratedPair BuildGeneratedPair(std::uint64_t seed, int ordinal);
+
+/// Ordinals [0, count). Deterministic in `seed`.
+std::vector<GeneratedPair> GenerateCorpus(std::uint64_t seed, int count);
+
+/// The rlimit-kill pair (idx == kHogIdx). `fuzz_execs` should be set huge
+/// by the caller; the campaign can never crash T.
+GeneratedPair BuildHogPair(std::uint64_t seed);
+
+/// Worker-side loader: resolves a generated index back to its pair.
+/// idx == kHogIdx → hog pair; idx >= kGenBase → ordinal idx - kGenBase.
+/// Throws std::out_of_range for other indices.
+corpus::Pair LoadGeneratedPair(std::uint64_t seed, int idx);
+
+/// One deterministic manifest line: ordinal, taxonomy, label and FNV-1a
+/// content hashes of S, T (disassembly) and the poc. `octopocs gen`
+/// emits these; CI diffs two same-seed manifests byte-for-byte.
+std::string DescribeGeneratedPair(const GeneratedPair& g);
+
+}  // namespace octopocs::gen

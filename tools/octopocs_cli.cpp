@@ -118,11 +118,33 @@
 //          [--deadline-ms N] [--cfg-fallback] [--solver-retry]
 //          [--fuzz-fallback] [--fuzz-seed N] [--fuzz-execs N]
 //          [--degrade-on-timeout] [--timeout-ms N] [--id STR]
+//          [--retry N] [--gen-seed N]
 //       Send one verification request to a running daemon and print the
 //       result in the exact per-pair format `corpus` uses (so a served
 //       corpus diffs byte-identically against a batch run). Exit 0 on a
 //       report, 5 when shed (RETRY_AFTER — honor retry_after_ms), 3 on
-//       a transport failure, 1/2 on server-side errors.
+//       a transport failure, 1/2 on server-side errors. --retry N naps
+//       for the shed's retry_after_ms (floored by capped-exponential
+//       backoff) and re-sends up to N times; the default stays one-shot
+//       so scripts driving the backoff themselves keep exit 5.
+//       --gen-seed routes generated pair indices (999 and >= 1000) to
+//       the synthetic-pair generator.
+//   gen [--seed N] [--count N] [--out FILE]
+//       Emit the deterministic manifest of a generated synthetic corpus
+//       (src/gen): one taxonomy + label + content-hash line per pair.
+//       The same seed prints byte-identical manifests on every run —
+//       CI diffs two runs to enforce it.
+//   soak --workdir DIR [--seed N] [--pairs N] [--jobs N] [--smoke]
+//        [--no-chaos] [--daemon-kills N] [--fuzz-execs N] [--out FILE]
+//        [--trace-out FILE]
+//       Generate a corpus and stream it through every execution surface
+//       — in-process batch, supervised workers with a crash journal,
+//       journal resume, the serve daemon in-process under a full fault
+//       schedule, and a subprocess daemon SIGKILLed and restarted
+//       mid-load — checking the crash-tolerance invariants
+//       (src/gen/soak.h). Exits 0 only when every invariant held; --out
+//       writes the deterministic report CI byte-diffs across two
+//       same-seed runs.
 //
 // Exit code 0 on success; verify exits 0 only for a decisive verdict
 // (Triggered or NotTriggerable); corpus exits 0 only when every pair's
@@ -160,6 +182,8 @@
 #include "core/server.h"
 #include "core/supervisor.h"
 #include "corpus/extended.h"
+#include "gen/generator.h"
+#include "gen/soak.h"
 #include "support/fault.h"
 #include "support/hex.h"
 #include "support/trace.h"
@@ -232,7 +256,16 @@ std::vector<std::string> SplitCommas(const std::string& csv) {
   return out;
 }
 
+/// Generator seed for worker/client subcommands (--gen-seed). Non-zero
+/// routes indices beyond the built-in corpora (hog pair 999, generated
+/// pairs >= 1000) through gen::LoadGeneratedPair, exactly like the
+/// daemon's GenPairLoader hook.
+std::uint64_t g_gen_seed = 0;
+
 corpus::Pair LoadPair(int idx) {
+  if (g_gen_seed != 0 && idx >= gen::kHogIdx) {
+    return gen::LoadGeneratedPair(g_gen_seed, idx);
+  }
   return idx <= 15 ? corpus::BuildPair(idx) : corpus::BuildExtendedPair(idx);
 }
 
@@ -564,6 +597,8 @@ int CmdPairWorker(int argc, char** argv) {
       // consumed
     } else if (arg == "--abort-fault" && i + 1 < argc) {
       abort_fault = argv[++i];
+    } else if (arg == "--gen-seed" && i + 1 < argc) {
+      g_gen_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
@@ -644,6 +679,8 @@ int CmdPoolWorker(int argc, char** argv) {
       // consumed
     } else if (arg == "--abort-fault" && i + 1 < argc) {
       abort_fault = argv[++i];
+    } else if (arg == "--gen-seed" && i + 1 < argc) {
+      g_gen_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (bool ok = true; ParseVmDispatch(arg, &dispatch, &ok)) {
       if (!ok) return 2;
       core::SetVmDispatch(opts, dispatch);
@@ -1152,6 +1189,10 @@ int CmdServe(int argc, char** argv) {
   }
 
   InstallSignalHandlers();
+  // Requests carrying gen_seed resolve their generated pairs through the
+  // same loader the soak harness uses; without this hook they would be
+  // rejected as BAD_REQUEST.
+  core::SetGenPairLoader(&gen::LoadGeneratedPair);
   support::Tracer tracer;
   if (!trace_out.empty()) serve.tracer = &tracer;
   serve.interrupt = &g_signal;
@@ -1212,6 +1253,7 @@ int CmdClient(int argc, char** argv) {
   std::string socket_path;
   std::string poc_path;
   std::uint64_t timeout_ms = 0;
+  int retries = 0;
   core::ServeRequest request;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1219,6 +1261,11 @@ int CmdClient(int argc, char** argv) {
       socket_path = argv[++i];
     } else if (arg == "--poc" && i + 1 < argc) {
       poc_path = argv[++i];
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (arg == "--gen-seed" && i + 1 < argc) {
+      request.gen_seed = std::strtoull(argv[++i], nullptr, 10);
+      g_gen_seed = request.gen_seed;
     } else if (arg == "--priority" && i + 1 < argc) {
       request.priority = std::atoi(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -1252,13 +1299,24 @@ int CmdClient(int argc, char** argv) {
                          "[--cfg-fallback] [--solver-retry] "
                          "[--fuzz-fallback] [--fuzz-seed N] [--fuzz-execs N] "
                          "[--degrade-on-timeout] [--timeout-ms N] "
-                         "[--id STR]\n");
+                         "[--id STR] [--retry N] [--gen-seed N]\n");
     return 2;
   }
   if (!poc_path.empty()) request.poc_override = ReadBinaryFile(poc_path);
 
-  const core::ClientResult result =
-      core::SendRequest(socket_path, request, timeout_ms);
+  // Without --retry the behaviour (and the exit-5 contract scripts key
+  // off) is one shot: a shed still exits 5 with retry_after_ms printed.
+  // With --retry N, RETRY_AFTER responses nap for the server's suggested
+  // retry_after_ms (floored by capped-exponential backoff) and re-send
+  // up to N times; exit 5 only remains when every attempt was shed.
+  core::RetryPolicy policy;
+  policy.max_retries = retries;
+  int attempts = 0;
+  const core::ClientResult result = core::SendRequestWithRetry(
+      socket_path, request, timeout_ms, policy, &attempts);
+  if (attempts > 1) {
+    std::fprintf(stderr, "retried: %d attempt(s)\n", attempts);
+  }
   if (!result.ok) {
     if (!result.transport_error.empty()) {
       std::fprintf(stderr, "transport: %s\n", result.transport_error.c_str());
@@ -1307,6 +1365,131 @@ int CmdExport(int argc, char** argv) {
   return 0;
 }
 
+// Deterministic manifest of a generated corpus: one DescribeGeneratedPair
+// line per ordinal plus the hog pair. The same seed must produce a
+// byte-identical manifest on every run and every machine — CI runs this
+// twice and diffs.
+int CmdGen(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int count = 64;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--count" && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: octopocs gen [--seed N] [--count N] "
+                           "[--out FILE]\n");
+      return 2;
+    }
+  }
+  if (count < 1) {
+    std::fprintf(stderr, "--count wants a positive number of pairs\n");
+    return 2;
+  }
+  std::string manifest = "gen-manifest seed=" + std::to_string(seed) +
+                         " count=" + std::to_string(count) + "\n";
+  for (const gen::GeneratedPair& g : gen::GenerateCorpus(seed, count)) {
+    manifest += gen::DescribeGeneratedPair(g) + "\n";
+  }
+  manifest += gen::DescribeGeneratedPair(gen::BuildHogPair(seed)) + "\n";
+  if (out_path.empty()) {
+    std::fwrite(manifest.data(), 1, manifest.size(), stdout);
+  } else {
+    WriteFile(out_path, manifest);
+    std::printf("manifest:  %d pair(s) + hog -> %s\n", count,
+                out_path.c_str());
+  }
+  return 0;
+}
+
+// Chaos soak: generate a corpus and stream it through every execution
+// surface under a seeded fault schedule (src/gen/soak.h lists the
+// invariants). Exit 0 only when every invariant held; --out captures the
+// deterministic report text CI byte-diffs across two same-seed runs.
+int CmdSoak(int argc, char** argv) {
+  gen::SoakOptions o;
+  o.worker_binary = g_self_exe;
+  std::string out_path;
+  std::string trace_out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      o.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--pairs" && i + 1 < argc) {
+      o.pairs = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--smoke") {
+      o.pairs = 64;  // the PR-sized preset: every leg, small corpus
+    } else if (arg == "--workdir" && i + 1 < argc) {
+      o.workdir = argv[++i];
+    } else if (arg == "--no-chaos") {
+      o.chaos = false;
+    } else if (arg == "--daemon-kills" && i + 1 < argc) {
+      o.daemon_kills = std::atoi(argv[++i]);
+    } else if (arg == "--fuzz-execs" && i + 1 < argc) {
+      o.fuzz_execs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: octopocs soak [--seed N] [--pairs N] "
+                           "[--jobs N] [--smoke] --workdir DIR "
+                           "[--no-chaos] [--daemon-kills N] [--fuzz-execs N] "
+                           "[--out FILE] [--trace-out FILE]\n");
+      return 2;
+    }
+  }
+  if (o.pairs < 1) {
+    std::fprintf(stderr, "--pairs wants a positive corpus size\n");
+    return 2;
+  }
+  if (o.workdir.empty()) {
+    std::fprintf(stderr, "soak: --workdir is required (journals, caches, "
+                         "sockets and stamp files live there)\n");
+    return 2;
+  }
+  core::SetGenPairLoader(&gen::LoadGeneratedPair);
+  support::Tracer tracer;
+  if (!trace_out.empty()) o.tracer = &tracer;
+
+  const auto start = std::chrono::steady_clock::now();
+  const gen::SoakReport report = gen::RunSoak(o);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::string text = gen::SerializeSoakReport(report);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  // The run-dependent half: scheduling- and timing-sensitive counters,
+  // printed for the log but never part of the diffable report.
+  std::printf("chaos:     %d fault(s) armed | %d client retry(ies) | "
+              "%llu shed | %d daemon restart(s) | %d quarantine(s)\n",
+              report.chaos_faults_armed, report.client_retries,
+              static_cast<unsigned long long>(report.server_sheds),
+              report.daemon_restarts, report.quarantines);
+  std::printf("time:      %.3f s wall\n", wall);
+  if (!out_path.empty()) {
+    WriteFile(out_path, text);
+    std::printf("report:    -> %s\n", out_path.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!tracer.WriteJsonlFile(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    } else {
+      std::printf("trace:     %zu event(s) -> %s\n", tracer.event_count(),
+                  trace_out.c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1314,7 +1497,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "octopocs — propagated-vulnerability verification\n"
                  "subcommands: verify, detect, run, minimize, disasm, "
-                 "export, corpus, serve, client, pair-worker, pool-worker\n");
+                 "export, corpus, serve, client, gen, soak, pair-worker, "
+                 "pool-worker\n");
     return 2;
   }
 #ifndef _WIN32
@@ -1334,6 +1518,8 @@ int main(int argc, char** argv) {
     if (cmd == "corpus") return CmdCorpus(argc - 2, argv + 2);
     if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
     if (cmd == "client") return CmdClient(argc - 2, argv + 2);
+    if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+    if (cmd == "soak") return CmdSoak(argc - 2, argv + 2);
     if (cmd == "pair-worker") return CmdPairWorker(argc - 2, argv + 2);
     if (cmd == "pool-worker") return CmdPoolWorker(argc - 2, argv + 2);
     if (cmd == "detect") return CmdDetect(argc - 2, argv + 2);
